@@ -1,0 +1,87 @@
+The demo subcommand runs a canned frequent-flyer script:
+
+  $ chronicle-cli demo | tail -n 14
+  balance:int,
+  flights:int)
+  (acct=1, balance=5130, flights=2)
+  (acct=2, balance=2475, flights=1)
+  (state:string,
+  total:int)
+  (state="NJ", total=5130)
+  (state="NY", total=2475)
+  tier: CA_join
+  body Δ class: IM-log(R)
+  view class: IM-log(R)
+  u=0 j=1
+  time: O(1^1 log|R|)
+  space: O(1^1)
+
+A billing scenario with periodic, windowed and ad-hoc queries:
+
+  $ chronicle-cli run billing.cdl
+  created calls
+  created plans
+  inserted 2 row(s) into plans
+  defined view spend: CA_1 (IM-Constant)
+  defined view by_plan: CA_join (IM-log(R))
+  defined periodic view monthly (0 interval views live)
+  defined windowed view recent (7 buckets)
+  appended 2 row(s) to calls at sn 1
+  clock advanced to 5
+  appended 1 row(s) to calls at sn 2
+  clock advanced to 31
+  appended 1 row(s) to calls at sn 3
+  (number:int,
+  total:float,
+  calls:int)
+  (number=1, total=4.4, calls=2)
+  (number=2, total=2.75, calls=2)
+  (plan:string,
+  total:float)
+  (plan="basic", total=4.4)
+  (plan="business", total=2.75)
+  (number:int,
+  total:float)
+  (number=1, total=4.4)
+  (number=2, total=2.2)
+  (number:int,
+  total:float)
+  (number=2, total=0.55)
+  (number:int,
+  minutes_7d:int)
+  (number=1, minutes_7d=NULL)
+  (number=2, minutes_7d=5)
+  (number:int,
+  total:float)
+  (number=1, total=4.4)
+  (number=2, total=2.75)
+  tier: CA_join
+  body Δ class: IM-log(R)
+  view class: IM-log(R)
+  u=0 j=1
+  time: O(1^1 log|R|)
+  space: O(1^1)
+
+Event rules fire through the language:
+
+  $ chronicle-cli run fraud.cdl
+  created txns
+  defined rule drain on txns
+  appended 1 row(s) to txns at sn 1
+  clock advanced to 2
+  appended 1 row(s) to txns at sn 2
+  clock advanced to 4
+  appended 1 row(s) to txns at sn 3
+  (rule:string,
+  key:string,
+  started:int,
+  fired:int,
+  sn:int)
+  (rule="drain", key="(7)", started=0, fired=4, sn=3)
+
+Definition errors are reported, not crashed on:
+
+  $ chronicle-cli run bad.cdl
+  created t
+  semantic error: WHERE conjunct (NOT (a = 1)) is not a disjunction of comparisons; the chronicle algebra (Definition 4.1) admits only such selections
+  [1]

@@ -1,0 +1,1 @@
+bench/e10_event_detection.ml: Banking Chronicle_core Chronicle_events Chronicle_workload Db Detector List Measure Pattern Predicate Printf Relational Rng Stats Value Zipf

@@ -1,0 +1,1 @@
+bench/e11_rewriter.ml: Aggregate Ca Chron Chronicle_core Delta Group List Measure Predicate Registry Relation Relational Rewrite Sca Schema Tuple Value View

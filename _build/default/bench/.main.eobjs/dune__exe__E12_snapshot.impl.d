@@ -1,0 +1,1 @@
+bench/e12_snapshot.ml: Aggregate Banking Ca Chron Chronicle_core Chronicle_workload Db List Measure Relational Rng Sca Snapshot String View Zipf

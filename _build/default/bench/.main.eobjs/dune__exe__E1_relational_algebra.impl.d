@@ -1,0 +1,1 @@
+bench/e1_relational_algebra.ml: Aggregate Ca Chron Chronicle_baseline Chronicle_core Classify Db Delta_ra Group List Measure Predicate Relational Sca Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+bench/e2_delta_cost.ml: Ca Chron Chronicle_core Delta Group Index List Measure Predicate Relation Relational Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+bench/e3_view_maintenance.ml: Aggregate Ca Chron Chronicle_core Delta Group Index List Measure Relational Sca Schema Stats Tuple Value View

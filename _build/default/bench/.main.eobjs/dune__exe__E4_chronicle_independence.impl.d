@@ -1,0 +1,1 @@
+bench/e4_chronicle_independence.ml: Aggregate Ca Chron Chronicle_baseline Chronicle_core Chronicle_workload Db Flyer Group List Measure Relational Rng Sca Stats Value Versioned Zipf

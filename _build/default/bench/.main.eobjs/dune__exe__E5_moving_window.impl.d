@@ -1,0 +1,1 @@
+bench/e5_moving_window.ml: Aggregate Ca Calendar Chron Chronicle_core Chronicle_temporal Chronicle_workload Db Group List Measure Periodic Relational Rng Sca Stock Tuple Value Window Windowed_view

@@ -1,0 +1,1 @@
+bench/e6_affected_views.ml: Aggregate Ca Chron Chronicle_core Delta Group List Measure Predicate Printf Registry Relational Sca Schema Tuple Value View

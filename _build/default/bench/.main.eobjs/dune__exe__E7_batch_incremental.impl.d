@@ -1,0 +1,1 @@
+bench/e7_batch_incremental.ml: Chron Chronicle_core Chronicle_workload Delta Discount Float Group List Measure Relational Rng Sca Telecom Value View Zipf

@@ -1,0 +1,1 @@
+bench/e8_throughput.ml: Aggregate Banking Ca Chronicle_baseline Chronicle_core Chronicle_workload Db List Measure Printf Relational Rng Sca Summary_fields Zipf

@@ -1,0 +1,1 @@
+bench/e9_theorems.ml: Aggregate Ca Chron Chronicle_core Chronicle_workload Classify Delta Eval Group List Measure Predicate Relation Relational Rng Schema Tuple Value

@@ -1,0 +1,1 @@
+bench/measure.ml: Array Float List Printf Relational Stats String Unix

@@ -1,0 +1,50 @@
+(* E12 — operational: snapshot save/load cost vs materialized state
+   size.  Because the chronicle is not stored, the persistent views ARE
+   the database; restart cost is proportional to |V| (plus retained
+   windows), never to |C|. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_workload
+
+let run () =
+  Measure.section "E12: snapshot cost (restart without replay)"
+    "Save/load a database whose views hold |V| groups after 5x|V| \
+     appends with retention Discard.  Cost scales with the materialized \
+     state, not with the (unstored, unbounded) chronicle.";
+  let rows = ref [] in
+  List.iter
+    (fun groups ->
+      let db = Db.create () in
+      ignore (Db.add_chronicle db ~name:"txns" Banking.txn_schema);
+      ignore
+        (Db.define_view db
+           (Sca.define ~name:"balance"
+              ~body:(Ca.Chronicle (Db.chronicle db "txns"))
+              (Sca.Group_agg
+                 ( [ "acct" ],
+                   [ Aggregate.sum "amount" "bal"; Aggregate.count_star "n";
+                     Aggregate.avg "amount" "avg" ] ))));
+      let rng = Rng.create 3 in
+      let zipf = Zipf.create ~n:groups ~s:0.5 in
+      for _ = 1 to 5 * groups do
+        ignore (Db.append db "txns" [ Banking.txn rng zipf ])
+      done;
+      let text = ref "" in
+      let save_secs = Measure.median_time ~runs:3 (fun () -> text := Snapshot.save db) in
+      let load_secs =
+        Measure.median_time ~runs:3 (fun () -> ignore (Snapshot.load !text))
+      in
+      rows :=
+        [
+          Measure.i (View.size (Db.view db "balance"));
+          Measure.i (Chron.total_appended (Db.chronicle db "txns"));
+          Measure.f1 (save_secs *. 1e3);
+          Measure.f1 (load_secs *. 1e3);
+          Measure.i (String.length !text / 1024);
+        ]
+        :: !rows)
+    [ 1_000; 10_000; 100_000 ];
+  Measure.print_table ~title:"E12  snapshot save/load vs view size"
+    ~header:[ "|V| groups"; "|C| appended"; "save ms"; "load ms"; "size KiB" ]
+    (List.rev !rows)

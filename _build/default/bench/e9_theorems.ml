@@ -1,0 +1,106 @@
+(* E9 — dynamic checks of Theorem 4.1 (monotonicity) and Theorem 4.3
+   (maximality): randomized streams through random CA expressions, with
+   the freshness invariant verified on every delta, plus the
+   classifier's verdict on each of the four forbidden extensions. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_workload
+
+let schema = Schema.make [ ("acct", Value.TInt); ("x", Value.TInt) ]
+
+let random_expr rng c1 c2 =
+  let base () = if Rng.bool rng then Ca.Chronicle c1 else Ca.Chronicle c2 in
+  let pred () =
+    match Rng.int rng 3 with
+    | 0 -> Predicate.("x" >% Value.Int (Rng.int rng 100))
+    | 1 -> Predicate.("acct" =% Value.Int (1 + Rng.int rng 5))
+    | _ ->
+        Predicate.(
+          Or ("acct" =% Value.Int (1 + Rng.int rng 5), "x" <% Value.Int (Rng.int rng 50)))
+  in
+  let rec go depth =
+    if depth = 0 then base ()
+    else
+      match Rng.int rng 4 with
+      | 0 -> base ()
+      | 1 -> Ca.Select (pred (), go (depth - 1))
+      | 2 -> Ca.Union (go (depth - 1), go (depth - 1))
+      | _ -> Ca.Diff (go (depth - 1), go (depth - 1))
+  in
+  go 3
+
+let run () =
+  Measure.section "E9: Theorems 4.1 and 4.3 — dynamic invariant checks"
+    "Random CA expressions driven by random streams: every Δ tuple must \
+     carry the batch's fresh sequence number (Thm 4.1), and the \
+     accumulated Δs must equal full recomputation.  Then the four \
+     forbidden extensions of Thm 4.3, as judged by the classifier.";
+  let rng = Rng.create 23 in
+  let trials = 200 in
+  let violations = ref 0 and mismatches = ref 0 and deltas_checked = ref 0 in
+  for _ = 1 to trials do
+    let group = Group.create "g" in
+    let c1 = Chron.create ~group ~retention:Chron.Full ~name:"c1" schema in
+    let c2 = Chron.create ~group ~retention:Chron.Full ~name:"c2" schema in
+    let expr = random_expr rng c1 c2 in
+    let out_schema = Ca.schema_of expr in
+    let collected = ref [] in
+    for _ = 1 to 10 do
+      let chron = if Rng.bool rng then c1 else c2 in
+      let tuples =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            Tuple.make [ Value.Int (1 + Rng.int rng 5); Value.Int (Rng.int rng 100) ])
+      in
+      let sn = Chron.append chron tuples in
+      let tagged = List.map (Chron.tag sn) tuples in
+      let delta = Delta.eval expr ~sn ~batch:[ (chron, tagged) ] in
+      incr deltas_checked;
+      if not (Delta.all_fresh out_schema sn delta) then incr violations;
+      collected := !collected @ delta
+    done;
+    let full = Eval.eval expr in
+    let sort = List.sort Tuple.compare in
+    if not (List.equal Tuple.equal (sort !collected) (sort full)) then
+      incr mismatches
+  done;
+  Measure.print_table ~title:"E9a  randomized Thm 4.1 checks"
+    ~header:[ "trials"; "deltas checked"; "freshness violations"; "recompute mismatches" ]
+    [ [ Measure.i trials; Measure.i !deltas_checked; Measure.i !violations;
+        Measure.i !mismatches ] ];
+
+  let group = Group.create "g" in
+  let c1 = Chron.create ~group ~name:"c1" schema in
+  let c2 = Chron.create ~group ~name:"c2" schema in
+  let rel = Relation.create ~name:"r" ~schema ~key:[ "acct" ] () in
+  ignore rel;
+  let forbidden =
+    [
+      ("projection dropping sn", Ca.Project ([ "acct" ], Ca.Chronicle c1));
+      ( "grouping without sn",
+        Ca.GroupBySeq ([ "acct" ], [ Aggregate.sum "x" "s" ], Ca.Chronicle c1) );
+      ("chronicle cross product", Ca.CrossChron (Ca.Chronicle c1, Ca.Chronicle c2));
+      ( "non-equijoin of chronicles",
+        Ca.ThetaJoinChron
+          ( Predicate.(Cmp (Attr "x", Lt, Attr "r.x")),
+            Ca.Chronicle c1,
+            Ca.Chronicle c2 ) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, e) ->
+        let r = Classify.ca e in
+        let rejected =
+          match Ca.check e with
+          | () -> "accepted (BUG)"
+          | exception Ca.Ill_formed _ -> "rejected"
+        in
+        [ name; Classify.im_class_name r.Classify.body_im; rejected ])
+      forbidden
+  in
+  Measure.print_table ~title:"E9b  Thm 4.3 forbidden extensions"
+    ~header:[ "extension"; "classified"; "Ca.check" ]
+    rows

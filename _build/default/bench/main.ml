@@ -1,0 +1,41 @@
+(* Benchmark harness: one experiment per claim of the paper (the paper
+   has no numbered tables/figures; see DESIGN.md section 3 for the
+   claim-to-experiment index and EXPERIMENTS.md for recorded results).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe E3 E4      -- run a subset
+     dune exec bench/main.exe micro      -- bechamel micro-benchmarks *)
+
+let experiments =
+  [
+    ("E1", E1_relational_algebra.run);
+    ("E2", E2_delta_cost.run);
+    ("E3", E3_view_maintenance.run);
+    ("E4", E4_chronicle_independence.run);
+    ("E5", E5_moving_window.run);
+    ("E6", E6_affected_views.run);
+    ("E7", E7_batch_incremental.run);
+    ("E8", E8_throughput.run);
+    ("E9", E9_theorems.run);
+    ("E10", E10_event_detection.run);
+    ("E11", E11_rewriter.run);
+    ("E12", E12_snapshot.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  print_newline ()

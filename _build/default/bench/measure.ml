@@ -1,0 +1,72 @@
+(* Measurement kit for the experiment harness: wall-clock timing plus
+   the engine's operation counters, and fixed-width table printing. *)
+
+open Relational
+
+let now () = Unix.gettimeofday ()
+
+(* Median wall-clock time of [runs] executions of [f], in seconds. *)
+let median_time ?(runs = 5) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = now () in
+        f ();
+        now () -. t0)
+  in
+  let sorted = List.sort Float.compare samples in
+  List.nth sorted (runs / 2)
+
+type per_op = {
+  micros : float; (* wall micro-seconds per operation *)
+  counters : (Stats.counter * float) list; (* per-operation counter deltas *)
+}
+
+(* Run [op] [times] times; report wall time and counters per call. *)
+let per_op ?(times = 200) op =
+  let before = Stats.snapshot () in
+  let t0 = now () in
+  for i = 0 to times - 1 do
+    op i
+  done;
+  let elapsed = now () -. t0 in
+  let after = Stats.snapshot () in
+  let n = float_of_int times in
+  {
+    micros = elapsed /. n *. 1e6;
+    counters =
+      List.map (fun (c, d) -> (c, float_of_int d /. n)) (Stats.diff before after);
+  }
+
+let counter r c =
+  match List.assoc_opt c r.counters with Some v -> v | None -> 0.
+
+(* ---- table printing ---- *)
+
+let rule width = String.make width '-'
+
+let print_table ~title ~header rows =
+  let columns = List.length header in
+  let widths = Array.make columns 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let pad i s = Printf.sprintf "%*s" widths.(i) s in
+  let total = Array.fold_left ( + ) 0 widths + (3 * (columns - 1)) in
+  Printf.printf "\n%s\n%s\n" title (rule (max total (String.length title)));
+  print_endline (String.concat " | " (List.mapi pad header));
+  print_endline (rule total);
+  List.iter (fun row -> print_endline (String.concat " | " (List.mapi pad row))) rows;
+  flush stdout
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let i v = string_of_int v
+
+let section title doc =
+  Printf.printf "\n==== %s ====\n%s\n" title doc;
+  flush stdout
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt

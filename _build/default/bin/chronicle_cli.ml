@@ -1,0 +1,163 @@
+(* chronicle-cli: run view-definition-language scripts against an
+   in-memory chronicle database, or explore one interactively.
+
+     dune exec bin/chronicle_cli.exe -- run script.cdl
+     dune exec bin/chronicle_cli.exe -- repl
+     dune exec bin/chronicle_cli.exe -- demo *)
+
+open Chronicle_lang
+
+let print_result r = Format.printf "%a@." Analyze.pp_result r
+
+let report_error = function
+  | Lexer.Lex_error { message; line; column } ->
+      Format.eprintf "lex error at %d:%d: %s@." line column message;
+      1
+  | Parser.Parse_error { message; line } ->
+      Format.eprintf "parse error at line %d: %s@." line message;
+      1
+  | Analyze.Semantic_error message ->
+      Format.eprintf "semantic error: %s@." message;
+      1
+  | Chronicle_core.Ca.Ill_formed message ->
+      Format.eprintf "algebra error: %s@." message;
+      1
+  | Chronicle_core.Db.Unknown message ->
+      Format.eprintf "catalog error: %s@." message;
+      1
+  | exn -> raise exn
+
+let run_file snapshot_in snapshot_out path =
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let session =
+    match snapshot_in with
+    | None -> Session.create ()
+    | Some snap -> (
+        match Session_snapshot.load_file snap with
+        | session ->
+            Format.printf "restored snapshot %s@." snap;
+            session
+        | exception Chronicle_core.Snapshot.Snapshot_error msg
+        | exception Session_snapshot.Session_snapshot_error msg ->
+            Format.eprintf "snapshot error: %s@." msg;
+            exit 1)
+  in
+  match Parser.parse src with
+  | exception e -> report_error e
+  | stmts ->
+      (* execute statement by statement so partial progress is visible *)
+      let rec go = function
+        | [] -> (
+            match snapshot_out with
+            | None -> 0
+            | Some snap -> (
+                match Session_snapshot.save_file session snap with
+                | () ->
+                    Format.printf "saved snapshot %s@." snap;
+                    0
+                | exception Chronicle_core.Snapshot.Snapshot_error msg
+                | exception Session_snapshot.Session_snapshot_error msg ->
+                    Format.eprintf "snapshot error: %s@." msg;
+                    1))
+        | stmt :: rest -> (
+            match Analyze.exec session stmt with
+            | result ->
+                print_result result;
+                go rest
+            | exception e -> report_error e)
+      in
+      go stmts
+
+let repl () =
+  let session = Session.create () in
+  Format.printf
+    "chronicle repl — statements end with ';', Ctrl-D to exit.@.Try: CREATE \
+     CHRONICLE t (a INT); DEFINE VIEW v AS SELECT a, COUNT(*) AS n FROM \
+     CHRONICLE t GROUP BY a;@.";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then Format.printf "> @?"
+    else Format.printf "… @?";
+    match input_line stdin with
+    | exception End_of_file -> 0
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' then begin
+          Buffer.clear buffer;
+          (match Analyze.run_script session text with
+          | results -> List.iter print_result results
+          | exception e -> ignore (report_error e));
+          loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+let demo_script =
+  "CREATE CHRONICLE mileage (acct INT, flight STRING, miles INT);\n\
+   CREATE RELATION customers (cust INT, state STRING) KEY (cust);\n\
+   INSERT INTO customers VALUES (1, 'NJ'), (2, 'NY');\n\
+   DEFINE VIEW balance AS SELECT acct, SUM(miles) AS balance, COUNT(*) AS \
+   flights FROM CHRONICLE mileage GROUP BY acct;\n\
+   DEFINE VIEW by_state AS SELECT state, SUM(miles) AS total FROM CHRONICLE \
+   mileage JOIN customers ON acct = cust GROUP BY state;\n\
+   APPEND INTO mileage VALUES (1, 'EWR-SFO', 2565);\n\
+   APPEND INTO mileage VALUES (2, 'JFK-LAX', 2475), (1, 'SFO-EWR', 2565);\n\
+   SHOW VIEW balance;\n\
+   SHOW VIEW by_state;\n\
+   SHOW CLASSIFY by_state;"
+
+let demo () =
+  Format.printf "-- the script:@.%s@.@.-- results:@." demo_script;
+  let session = Session.create () in
+  match Analyze.run_script session demo_script with
+  | results ->
+      List.iter print_result results;
+      0
+  | exception e -> report_error e
+
+open Cmdliner
+
+let run_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT" ~doc:"Script file to execute.")
+  in
+  let snapshot_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "load" ] ~docv:"SNAPSHOT"
+          ~doc:"Restore the database from a snapshot before the script runs.")
+  in
+  let snapshot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"SNAPSHOT"
+          ~doc:"Save the database to a snapshot after the script succeeds.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
+    Term.(const run_file $ snapshot_in $ snapshot_out $ path)
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive statement loop.") Term.(const repl $ const ())
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a canned frequent-flyer demo script.")
+    Term.(const demo $ const ())
+
+let () =
+  let info =
+    Cmd.info "chronicle-cli"
+      ~doc:"The chronicle data model: declarative persistent views over transaction streams."
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; repl_cmd; demo_cmd ]))

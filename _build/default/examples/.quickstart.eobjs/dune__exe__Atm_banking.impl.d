@@ -1,0 +1,1 @@
+examples/atm_banking.ml: Aggregate Banking Ca Chronicle_baseline Chronicle_core Chronicle_workload Db Float Format Relational Rng Sca Summary_fields Tuple Value Zipf

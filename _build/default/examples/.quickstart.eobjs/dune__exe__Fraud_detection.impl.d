@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Aggregate Banking Ca Chronicle_core Chronicle_events Chronicle_workload Db Detector Format Pattern Predicate Relational Rng Sca Schema Tuple Value Zipf

@@ -1,0 +1,1 @@
+examples/frequent_flyer.ml: Aggregate Ca Chronicle_core Classify Db Format List Predicate Relational Sca Schema Tuple Value Versioned View

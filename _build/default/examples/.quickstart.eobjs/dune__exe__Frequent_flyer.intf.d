@@ -1,0 +1,1 @@
+examples/frequent_flyer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Ca Chronicle_core Chronicle_lang Classify Db Format List Relational Sca Schema Tuple Value

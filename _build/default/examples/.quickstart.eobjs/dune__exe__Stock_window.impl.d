@@ -1,0 +1,1 @@
+examples/stock_window.ml: Aggregate Ca Calendar Chronicle_core Chronicle_temporal Chronicle_workload Db Format List Periodic Relational Rng Sca Stock Tuple Value View Window

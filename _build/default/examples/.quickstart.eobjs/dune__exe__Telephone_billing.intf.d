@@ -1,0 +1,1 @@
+examples/telephone_billing.mli:

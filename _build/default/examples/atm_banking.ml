@@ -1,0 +1,92 @@
+(* Consumer banking (§1): the dollar_balance summary field.  An ATM
+   withdrawal must see a balance that already reflects every prior
+   transaction — the summary view is maintained as part of each append.
+
+   The example contrasts the declarative persistent view with the two
+   hand-written procedural maintainers of the baseline library: a
+   correct one and one reproducing the Chemical Bank double-posting of
+   February 18, 1994 (front page of the New York Times, and the
+   paper's motivating disaster).
+
+   Run with: dune exec examples/atm_banking.exe *)
+
+open Relational
+open Chronicle_core
+open Chronicle_baseline
+open Chronicle_workload
+
+let () =
+  let db = Db.create () in
+  ignore (Db.add_chronicle db ~name:"txns" Banking.txn_schema);
+
+  let _balance_view =
+    Db.define_view db
+      (Sca.define ~name:"balance"
+         ~body:(Ca.Chronicle (Db.chronicle db "txns"))
+         (Sca.Group_agg
+            ( [ "acct" ],
+              [ Aggregate.sum "amount" "dollar_balance";
+                Aggregate.count_star "txn_count";
+                Aggregate.min_ "amount" "largest_withdrawal" ] )))
+  in
+
+  let correct = Summary_fields.create_banking () in
+  let buggy = Summary_fields.create_banking ~bug:`Chemical_bank () in
+
+  let balance acct =
+    match Db.summary db ~view:"balance" [ Value.Int acct ] with
+    | Some row -> Value.to_float (Tuple.get row 1)
+    | None -> 0.
+  in
+
+  let post acct kind amount =
+    let tu = Tuple.make [ Value.Int acct; Value.Str kind; Value.Float amount ] in
+    ignore (Db.append db "txns" [ tu ]);
+    Summary_fields.process correct tu;
+    Summary_fields.process buggy tu
+  in
+
+  (* An ATM session: deposit paycheck, withdraw cash twice. *)
+  post 1 "deposit" 1200.;
+  post 1 "withdrawal" (-100.);
+  post 1 "withdrawal" (-60.);
+
+  Format.printf "after 3 transactions on account 1:@.";
+  Format.printf "  persistent view        : $%.2f@." (balance 1);
+  Format.printf "  procedural (correct)   : $%.2f@."
+    (Summary_fields.balance correct ~acct:1);
+  Format.printf "  procedural (buggy 1994): $%.2f  <- withdrawals double-posted@."
+    (Summary_fields.balance buggy ~acct:1);
+
+  (* The authorization check an ATM performs before dispensing: *)
+  let requested = 950. in
+  Format.printf "@.authorize $%.2f withdrawal?@." requested;
+  Format.printf "  view says balance $%.2f -> %s@." (balance 1)
+    (if balance 1 >= requested then "approve" else "decline");
+  Format.printf "  buggy field says $%.2f -> %s (wrongly bounced: the 1994 \
+                 incident)@."
+    (Summary_fields.balance buggy ~acct:1)
+    (if Summary_fields.balance buggy ~acct:1 >= requested then "approve"
+     else "decline");
+
+  (* Scale it up: a day of branch traffic, then verify the view agrees
+     with the correct procedural code on every account. *)
+  let rng = Rng.create 99 in
+  let zipf = Zipf.create ~n:500 ~s:1.0 in
+  for _ = 1 to 5_000 do
+    let tu = Banking.txn rng zipf in
+    ignore (Db.append db "txns" [ tu ]);
+    Summary_fields.process correct tu
+  done;
+  let disagreements = ref 0 in
+  for acct = 1 to 500 do
+    let v = balance acct and p = Summary_fields.balance correct ~acct in
+    if Float.abs (v -. p) > 1e-6 then incr disagreements
+  done;
+  Format.printf
+    "@.after 5000 more transactions: %d disagreements between the view and \
+     the correct procedural code across 500 accounts@."
+    !disagreements;
+  Format.printf
+    "the difference: the view needed zero lines of update code and is \
+     guaranteed by Theorem 4.4 to cost O(log |V|) per transaction@."

@@ -1,0 +1,1 @@
+lib/baseline/delta_ra.ml: Chronicle_core Delta Sca View

@@ -1,0 +1,1 @@
+lib/baseline/delta_ra.mli: Chronicle_core Delta Index Relational Sca Seqnum Tuple Value View

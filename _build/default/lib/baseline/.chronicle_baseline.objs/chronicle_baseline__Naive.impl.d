@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: Array Chronicle_core Eval List Relational Sca Tuple Value

@@ -1,0 +1,1 @@
+lib/baseline/naive.mli: Chronicle_core Relational Sca Tuple Value

@@ -1,0 +1,1 @@
+lib/baseline/summary_fields.ml: Format Hashtbl Option Relational Tuple Value

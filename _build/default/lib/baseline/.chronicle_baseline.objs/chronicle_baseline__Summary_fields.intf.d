@@ -1,0 +1,1 @@
+lib/baseline/summary_fields.mli: Relational Tuple

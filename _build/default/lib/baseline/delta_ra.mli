@@ -1,0 +1,23 @@
+open Relational
+open Chronicle_core
+
+(** Baseline B2: incremental maintenance of views {e outside} CA.
+
+    Proposition 3.1 / Theorem 4.3 witnesses: the Δ-rules for a
+    chronicle–chronicle cross product or non-equijoin need the {e old}
+    value of the opposite operand, i.e. they must read retained
+    chronicle history on every append.  This maintainer wires
+    [Delta.eval] (which implements those expensive rules) to a
+    materialized view so benchmarks can measure the |C|-dependent
+    per-append cost that the chronicle algebra is designed to exclude. *)
+
+type t
+
+val create : ?index:Index.kind -> Sca.t -> t
+(** Use [Sca.define ~allow_non_ca:true] for the interesting cases. *)
+
+val on_batch : t -> sn:Seqnum.t -> batch:Delta.batch -> unit
+(** Incremental maintenance step (reads history for non-CA operators). *)
+
+val view : t -> View.t
+val lookup : t -> Value.t list -> Tuple.t option

@@ -1,0 +1,26 @@
+open Relational
+open Chronicle_core
+
+type t = {
+  def : Sca.t;
+  key_of : Tuple.t -> Tuple.t;
+  mutable result : Tuple.t list;
+  mutable refreshes : int;
+}
+
+let create def =
+  let schema = Sca.schema def in
+  { def; key_of = Tuple.projector schema (Sca.group_attrs def); result = []; refreshes = 0 }
+
+let refresh t =
+  t.result <- Sca.eval_summarize t.def (Eval.eval (Sca.body t.def));
+  t.refreshes <- t.refreshes + 1
+
+let result t = t.result
+
+let lookup t key =
+  List.find_opt
+    (fun tu -> Value.equal_list (Array.to_list (t.key_of tu)) key)
+    t.result
+
+let refresh_count t = t.refreshes

@@ -1,0 +1,29 @@
+open Relational
+open Chronicle_core
+
+(** Baseline B1: full recomputation.
+
+    The view is re-evaluated from retained chronicle history on every
+    refresh — what a summary query costs when the system keeps no
+    persistent views (the IM-Cᵏ upper bound that motivates the whole
+    paper).  Requires the base chronicles to retain full history
+    ([Chron.Full]); every refresh scans them, which the
+    [Stats.Chronicle_scan] counter exposes. *)
+
+type t
+
+val create : Sca.t -> t
+(** Accepts any definition, including non-CA bodies
+    ([Sca.define ~allow_non_ca:true]). *)
+
+val refresh : t -> unit
+(** Recompute from scratch (O(|C|) and up). *)
+
+val result : t -> Tuple.t list
+(** Result as of the last {!refresh}. *)
+
+val lookup : t -> Value.t list -> Tuple.t option
+(** Point query against the last refreshed result, by the view's
+    logical key (linear scan — the baseline also has no index). *)
+
+val refresh_count : t -> int

@@ -1,0 +1,35 @@
+open Relational
+
+type t = {
+  bug : [ `None | `Chemical_bank ];
+  balances : (int, float) Hashtbl.t;
+  mutable processed : int;
+}
+
+let create_banking ?(bug = `None) () =
+  { bug; balances = Hashtbl.create 1024; processed = 0 }
+
+(* Expects (acct:int, kind:string, amount:float) tuples, withdrawals
+   carrying negative amounts. *)
+let process t tuple =
+  let acct = Value.to_int (Tuple.get tuple 0) in
+  let kind =
+    match Tuple.get tuple 1 with
+    | Value.Str s -> s
+    | v -> invalid_arg (Format.asprintf "Summary_fields: bad kind %a" Value.pp v)
+  in
+  let amount = Value.to_float (Tuple.get tuple 2) in
+  let old = Option.value ~default:0. (Hashtbl.find_opt t.balances acct) in
+  let applied =
+    match t.bug, kind with
+    | `Chemical_bank, "withdrawal" ->
+        (* the Feb 18, 1994 bug: the withdrawal is posted twice *)
+        2. *. amount
+    | (`None | `Chemical_bank), _ -> amount
+  in
+  Hashtbl.replace t.balances acct (old +. applied);
+  t.processed <- t.processed + 1
+
+let balance t ~acct = Option.value ~default:0. (Hashtbl.find_opt t.balances acct)
+let transactions_processed t = t.processed
+let accounts_tracked t = Hashtbl.length t.balances

@@ -1,0 +1,31 @@
+open Relational
+
+(** Baseline B3: summary fields maintained by procedural application
+    code — the status quo the paper replaces.
+
+    "An application program may define a few summary fields (e.g.
+    minutes_called, dollar_balance) for each customer, and update these
+    fields whenever a new transaction is processed. … This updating
+    code is known to be very tricky, and has been the cause of
+    well-publicized banking disasters" (§1, citing the Chemical Bank
+    double-posting of February 18, 1994).
+
+    Two hand-written banking maintainers are provided: a correct one,
+    and a [`Chemical_bank] variant that re-applies withdrawals under a
+    race-like condition — demonstrating precisely the class of bug that
+    declarative persistent views eliminate. *)
+
+type t
+
+val create_banking : ?bug:[ `None | `Chemical_bank ] -> unit -> t
+(** Procedural dollar_balance maintenance over [Banking.txn_schema]
+    tuples (untagged user tuples). *)
+
+val process : t -> Tuple.t -> unit
+(** Hand-coded per-transaction update of the summary fields. *)
+
+val balance : t -> acct:int -> float
+(** The dollar_balance summary field (0 for unseen accounts). *)
+
+val transactions_processed : t -> int
+val accounts_tracked : t -> int

@@ -1,0 +1,1 @@
+lib/chronicle/audit.ml: Chron Db Eval Format List Registry Relational Sca String Tuple View

@@ -1,0 +1,1 @@
+lib/chronicle/audit.mli: Db Format Relational Tuple View

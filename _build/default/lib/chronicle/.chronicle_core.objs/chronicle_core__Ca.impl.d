@@ -1,0 +1,1 @@
+lib/chronicle/ca.ml: Aggregate Chron Format Group List Predicate Relation Relational Schema Seqnum String

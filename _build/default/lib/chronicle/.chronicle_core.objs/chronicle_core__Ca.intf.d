@@ -1,0 +1,1 @@
+lib/chronicle/ca.mli: Aggregate Chron Format Group Predicate Relation Relational Schema

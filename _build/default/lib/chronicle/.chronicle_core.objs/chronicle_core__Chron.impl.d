@@ -1,0 +1,1 @@
+lib/chronicle/chron.ml: Array Format Group List Printf Relational Schema Seqnum Stats Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/chronicle/chron.mli: Format Group Relational Schema Seqnum Tuple

@@ -1,0 +1,1 @@
+lib/chronicle/classify.ml: Aggregate Ca Format List Predicate Printf Relation Relational Sca Seqnum

@@ -1,0 +1,1 @@
+lib/chronicle/classify.mli: Ca Format Sca

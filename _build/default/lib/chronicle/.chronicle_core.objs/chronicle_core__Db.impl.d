@@ -1,0 +1,1 @@
+lib/chronicle/db.ml: Ca Chron Classify Delta Eval Format Group Hashtbl List Option Printf Registry Sca Seqnum String Versioned View

@@ -1,0 +1,1 @@
+lib/chronicle/db.mli: Chron Classify Delta Group Index Registry Relational Sca Schema Seqnum Tuple Value Versioned View

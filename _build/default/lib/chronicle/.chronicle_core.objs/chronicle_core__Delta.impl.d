@@ -1,0 +1,1 @@
+lib/chronicle/delta.ml: Array Ca Chron Eval Groupby List Predicate Relation Relational Schema Seqnum Tuple

@@ -1,0 +1,1 @@
+lib/chronicle/delta.mli: Ca Chron Relational Schema Seqnum Tuple

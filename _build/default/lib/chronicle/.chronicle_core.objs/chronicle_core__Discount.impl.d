@@ -1,0 +1,1 @@
+lib/chronicle/discount.ml: Aggregate Ca Chron Eval List Relational Sca Schema Tuple Value View

@@ -1,0 +1,1 @@
+lib/chronicle/discount.mli: Chron Relational Sca Value View

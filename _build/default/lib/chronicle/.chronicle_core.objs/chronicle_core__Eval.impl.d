@@ -1,0 +1,1 @@
+lib/chronicle/eval.ml: Ca Chron List Printf Ra Relational Schema Seqnum Tuple

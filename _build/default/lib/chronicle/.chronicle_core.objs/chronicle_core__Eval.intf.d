@@ -1,0 +1,1 @@
+lib/chronicle/eval.mli: Ca Chron Relational Seqnum Tuple

@@ -1,0 +1,1 @@
+lib/chronicle/group.mli: Seqnum

@@ -1,0 +1,1 @@
+lib/chronicle/registry.ml: Ca Chron List Option Predicate Printf Relational Sca Schema String Tuple View

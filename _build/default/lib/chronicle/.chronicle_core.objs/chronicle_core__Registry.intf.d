@@ -1,0 +1,1 @@
+lib/chronicle/registry.mli: Chron Relational Tuple View

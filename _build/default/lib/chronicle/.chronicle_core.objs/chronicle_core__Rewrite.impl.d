@@ -1,0 +1,1 @@
+lib/chronicle/rewrite.ml: Ca List Predicate Relational Schema String

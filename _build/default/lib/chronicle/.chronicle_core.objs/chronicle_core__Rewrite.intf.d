@@ -1,0 +1,1 @@
+lib/chronicle/rewrite.mli: Ca

@@ -1,0 +1,1 @@
+lib/chronicle/sca.ml: Aggregate Ca Format Groupby List Relational Schema Seqnum String Tuple

@@ -1,0 +1,1 @@
+lib/chronicle/sca.mli: Aggregate Ca Format Relational Schema Tuple

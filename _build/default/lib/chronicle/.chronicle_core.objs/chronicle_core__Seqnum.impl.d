@@ -1,0 +1,1 @@
+lib/chronicle/seqnum.ml: Format Int Relational Value

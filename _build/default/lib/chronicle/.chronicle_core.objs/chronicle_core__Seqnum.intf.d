@@ -1,0 +1,1 @@
+lib/chronicle/seqnum.mli: Format Relational Value

@@ -1,0 +1,1 @@
+lib/chronicle/snapshot.ml: Aggregate Array Ca Chron Db Format Fun Group Index List Predicate Registry Relation Relational Sca Schema Sexp Tuple Value Versioned View

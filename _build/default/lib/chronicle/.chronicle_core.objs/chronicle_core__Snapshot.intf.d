@@ -1,0 +1,1 @@
+lib/chronicle/snapshot.mli: Ca Chron Db Predicate Relation Relational Sca Schema Sexp View

@@ -1,0 +1,1 @@
+lib/chronicle/versioned.ml: Group List Option Predicate Relation Relational Seqnum Tuple Vec

@@ -1,0 +1,1 @@
+lib/chronicle/versioned.mli: Group Predicate Relation Relational Schema Seqnum Tuple

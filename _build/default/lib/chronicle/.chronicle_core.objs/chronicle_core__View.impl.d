@@ -1,0 +1,1 @@
+lib/chronicle/view.ml: Aggregate Array Btree Ca Format Hashtbl Index List Option Relation Relational Sca Schema Stats Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/chronicle/view.mli: Aggregate Format Index Relation Relational Sca Schema Tuple Value

@@ -1,0 +1,40 @@
+open Relational
+
+type verdict =
+  | Consistent of { rows : int }
+  | Inconsistent of { missing : Tuple.t list; unexpected : Tuple.t list }
+  | Unauditable of string
+
+let check_view view =
+  let def = View.def view in
+  match Sca.eval_summarize def (Eval.eval (Sca.body def)) with
+  | exception Chron.Not_retained msg -> Unauditable msg
+  | expected ->
+      let actual = View.to_list view in
+      let missing = Tuple.diff expected actual in
+      let unexpected = Tuple.diff actual expected in
+      if missing = [] && unexpected = [] then
+        Consistent { rows = List.length actual }
+      else Inconsistent { missing; unexpected }
+
+let check_db db =
+  Registry.views (Db.registry db)
+  |> List.map (fun v -> (View.name v, check_view v))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let is_consistent = function
+  | Consistent _ -> true
+  | Inconsistent _ | Unauditable _ -> false
+
+let pp_verdict ppf = function
+  | Consistent { rows } -> Format.fprintf ppf "consistent (%d rows)" rows
+  | Unauditable msg -> Format.fprintf ppf "unauditable: %s" msg
+  | Inconsistent { missing; unexpected } ->
+      Format.fprintf ppf
+        "@[<v>INCONSISTENT: %d rows missing from the view, %d unexpected"
+        (List.length missing) (List.length unexpected);
+      List.iter (fun tu -> Format.fprintf ppf "@,missing %a" Tuple.pp tu) missing;
+      List.iter
+        (fun tu -> Format.fprintf ppf "@,unexpected %a" Tuple.pp tu)
+        unexpected;
+      Format.fprintf ppf "@]"

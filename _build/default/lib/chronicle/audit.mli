@@ -1,0 +1,35 @@
+open Relational
+
+(** Consistency auditing.
+
+    Incremental maintenance is only trustworthy if it can be checked.
+    When a view's base chronicles happen to retain complete history
+    (retention [Full], or a window that nothing has fallen out of yet),
+    the auditor recomputes the view from scratch through the reference
+    semantics ({!Eval} + batch summarization) and diffs it against the
+    materialization — the runtime analogue of this library's
+    delta-vs-recompute property tests, usable in production as a
+    spot-check.  Views over partially-discarded history are reported
+    [Unauditable] rather than guessed at. *)
+
+type verdict =
+  | Consistent of { rows : int }
+  | Inconsistent of { missing : Tuple.t list; unexpected : Tuple.t list }
+      (** rows the recomputation has but the view lacks, and vice
+          versa *)
+  | Unauditable of string
+      (** retention has discarded history (the normal operating mode —
+          auditability is exactly what the chronicle model lets you
+          trade away) *)
+
+val check_view : View.t -> verdict
+(** Recompute-and-diff one view.  Relations are read at their current
+    version, so the verdict is only meaningful if relation updates since
+    the audited appends were key-preserving — the same caveat as any
+    after-the-fact audit of a temporal join. *)
+
+val check_db : Db.t -> (string * verdict) list
+(** Audit every registered view, sorted by name. *)
+
+val is_consistent : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

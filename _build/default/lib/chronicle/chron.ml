@@ -1,0 +1,161 @@
+open Relational
+
+type retention = Discard | Window of int | Full
+
+exception Not_retained of string
+
+(* Retained storage: nothing, a ring of the last [n] tuples, or the full
+   history in a growable array. *)
+type store =
+  | No_store
+  | Ring of { buf : Tuple.t option array; mutable next : int; mutable count : int }
+  | All of Tuple.t Vec.t
+
+type t = {
+  name : string;
+  group : Group.t;
+  user_schema : Schema.t;
+  schema : Schema.t;
+  retention : retention;
+  store : store;
+  mutable total : int;
+  mutable last_sn : Seqnum.t option;
+  mutable subscribers : (Seqnum.t -> Tuple.t list -> unit) list;
+}
+
+let create ~group ?(retention = Discard) ~name user_schema =
+  if Schema.mem user_schema Seqnum.attr then
+    invalid_arg
+      (Printf.sprintf
+         "Chron.create %s: user schema must not contain the reserved \
+          sequencing attribute %S"
+         name Seqnum.attr);
+  let schema =
+    Schema.concat (Schema.make [ (Seqnum.attr, Value.TInt) ]) user_schema
+  in
+  let store =
+    match retention with
+    | Discard -> No_store
+    | Window n ->
+        if n <= 0 then invalid_arg "Chron.create: window must be positive";
+        Ring { buf = Array.make n None; next = 0; count = 0 }
+    | Full -> All (Vec.create ())
+  in
+  {
+    name;
+    group;
+    user_schema;
+    schema;
+    retention;
+    store;
+    total = 0;
+    last_sn = None;
+    subscribers = [];
+  }
+
+let name t = t.name
+let group t = t.group
+let user_schema t = t.user_schema
+let schema t = t.schema
+let retention t = t.retention
+let total_appended t = t.total
+let last_sn t = t.last_sn
+
+let tag sn tuple = Tuple.concat [| Seqnum.value sn |] tuple
+let sn_of tuple = Seqnum.of_value (Tuple.get tuple 0)
+
+let store_tuple t tuple =
+  match t.store with
+  | No_store -> ()
+  | Ring r ->
+      r.buf.(r.next) <- Some tuple;
+      r.next <- (r.next + 1) mod Array.length r.buf;
+      r.count <- min (r.count + 1) (Array.length r.buf)
+  | All v -> ignore (Vec.push v tuple)
+
+let check_tuples t tuples =
+  List.iter
+    (fun tu ->
+      if not (Tuple.type_check t.user_schema tu) then
+        invalid_arg
+          (Format.asprintf "Chron.append %s: tuple %a does not match schema %a"
+             t.name Tuple.pp tu Schema.pp t.user_schema))
+    tuples
+
+(* Record a batch already holding a claimed sequence number; returns the
+   tagged tuples but does not notify subscribers (multi-chronicle batches
+   notify only once everything is recorded). *)
+let record t sn tuples =
+  check_tuples t tuples;
+  let tagged = List.map (tag sn) tuples in
+  List.iter (store_tuple t) tagged;
+  t.total <- t.total + List.length tuples;
+  t.last_sn <- Some sn;
+  tagged
+
+let notify t sn tagged =
+  List.iter (fun f -> f sn tagged) (List.rev t.subscribers)
+
+let append t tuples =
+  let sn = Group.next_sn t.group in
+  let tagged = record t sn tuples in
+  notify t sn tagged;
+  sn
+
+let append_sparse t sn tuples =
+  Group.claim_sn t.group sn;
+  let tagged = record t sn tuples in
+  notify t sn tagged
+
+let append_multi group batch =
+  List.iter
+    (fun (c, _) ->
+      if not (Group.same c.group group) then
+        invalid_arg
+          (Printf.sprintf "Chron.append_multi: %s is not in group %s" c.name
+             (Group.name group)))
+    batch;
+  let sn = Group.next_sn group in
+  let recorded = List.map (fun (c, tuples) -> (c, record c sn tuples)) batch in
+  List.iter (fun (c, tagged) -> notify c sn tagged) recorded;
+  sn
+
+let on_append t f = t.subscribers <- f :: t.subscribers
+
+let restore t ~total ~last_sn ~retained =
+  if t.total <> 0 then invalid_arg "Chron.restore: chronicle is not fresh";
+  List.iter (store_tuple t) retained;
+  t.total <- total;
+  t.last_sn <- last_sn
+
+let stored_count t =
+  match t.store with
+  | No_store -> 0
+  | Ring r -> r.count
+  | All v -> Vec.length v
+
+let scan f t =
+  let deliver tuple =
+    Stats.incr Stats.Chronicle_scan;
+    f tuple
+  in
+  match t.store with
+  | No_store -> ()
+  | Ring r ->
+      let n = Array.length r.buf in
+      let start = if r.count < n then 0 else r.next in
+      for i = 0 to r.count - 1 do
+        match r.buf.((start + i) mod n) with
+        | Some tuple -> deliver tuple
+        | None -> assert false
+      done
+  | All v -> Vec.iter deliver v
+
+let stored t =
+  let acc = ref [] in
+  scan (fun tu -> acc := tu :: !acc) t;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "chronicle %s %a [appended %d, retained %d]" t.name
+    Schema.pp t.user_schema t.total (stored_count t)

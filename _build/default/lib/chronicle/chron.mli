@@ -1,0 +1,93 @@
+open Relational
+
+(** Chronicles: append-only sequences of transaction records.
+
+    A chronicle is represented as a relation with the extra sequencing
+    attribute {!Seqnum.attr} (always the first column).  The only
+    permissible update is appending tuples whose sequence number exceeds
+    every sequence number in the chronicle's {e group} (§2.1, §4).
+
+    Chronicles can be very large and "the entire chronicle may not be
+    stored in the system": each chronicle has a {e retention policy},
+    and incremental view maintenance never reads retained history —
+    every read of a stored chronicle tuple bumps
+    [Stats.Chronicle_scan], so tests and benchmarks can assert the
+    zero-access property. *)
+
+type retention =
+  | Discard  (** store nothing beyond the live append (the default) *)
+  | Window of int  (** keep the last [n] tuples, for detail queries *)
+  | Full  (** keep everything (recomputation baselines only) *)
+
+type t
+
+exception Not_retained of string
+(** Raised when an operation needs history the retention policy threw
+    away. *)
+
+val create :
+  group:Group.t -> ?retention:retention -> name:string -> Schema.t -> t
+(** [create ~group ~name user_schema].  The user schema must not
+    contain {!Seqnum.attr}; the chronicle's full schema is
+    [sn :: user_schema]. *)
+
+val name : t -> string
+val group : t -> Group.t
+val user_schema : t -> Schema.t
+val schema : t -> Schema.t
+(** Full schema including the sequencing attribute. *)
+
+val retention : t -> retention
+
+val append : t -> Tuple.t list -> Seqnum.t
+(** Append a batch of user tuples (without [sn]); a fresh sequence
+    number is drawn from the group and assigned to the whole batch.
+    Raises [Invalid_argument] if a tuple does not match the user
+    schema.  Subscribers run after the batch is recorded. *)
+
+val append_sparse : t -> Seqnum.t -> Tuple.t list -> unit
+(** Like {!append} with a caller-chosen sequence number (sequence
+    numbers need not be dense); raises [Group.Stale_sequence_number]
+    if it does not exceed the group watermark. *)
+
+val append_multi : Group.t -> (t * Tuple.t list) list -> Seqnum.t
+(** Simultaneous insertion into several chronicles of one group under a
+    single fresh sequence number (§4 allows distinct tuples with the
+    same sequence number).  All subscribers of all involved chronicles
+    run after the whole batch is recorded. *)
+
+val on_append : t -> (Seqnum.t -> Tuple.t list -> unit) -> unit
+(** Register a maintenance hook; it receives the batch's sequence number
+    and the {e tagged} tuples (with [sn] first). *)
+
+val total_appended : t -> int
+(** Number of tuples ever appended (the "size of the chronicle"). *)
+
+val last_sn : t -> Seqnum.t option
+(** Sequence number of the most recent batch appended here. *)
+
+(** {2 Retained history}
+
+    For detail queries over the latest window, and for recomputation
+    baselines.  Every tuple delivered bumps [Stats.Chronicle_scan]. *)
+
+val stored_count : t -> int
+val scan : (Tuple.t -> unit) -> t -> unit
+(** Oldest-to-newest over retained tuples. *)
+
+val stored : t -> Tuple.t list
+
+val restore : t -> total:int -> last_sn:Seqnum.t option -> retained:Tuple.t list -> unit
+(** Snapshot support: reinstate the append counters and the retained
+    window (tagged tuples, oldest first) of a freshly created
+    chronicle.  Does not touch the group watermark and notifies no
+    subscribers.  Raises [Invalid_argument] if the chronicle already
+    has appends. *)
+
+val tag : Seqnum.t -> Tuple.t -> Tuple.t
+(** [tag sn user_tuple] prepends the sequence number. *)
+
+val sn_of : Tuple.t -> Seqnum.t
+(** Sequence number of a tagged tuple. *)
+
+val pp : Format.formatter -> t -> unit

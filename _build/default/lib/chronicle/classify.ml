@@ -1,0 +1,194 @@
+open Relational
+
+type tier =
+  | Tier_ca1
+  | Tier_ca_key
+  | Tier_ca
+  | Tier_not_ca of string
+
+type im_class = IM_constant | IM_log_r | IM_poly_r | IM_poly_c
+
+type report = {
+  tier : tier;
+  body_im : im_class;
+  view_im : im_class;
+  unions : int;
+  joins : int;
+  time_formula : string;
+  space_formula : string;
+  notes : string list;
+}
+
+let tier_name = function
+  | Tier_ca1 -> "CA_1"
+  | Tier_ca_key -> "CA_join"
+  | Tier_ca -> "CA"
+  | Tier_not_ca _ -> "not CA"
+
+let im_class_name = function
+  | IM_constant -> "IM-Constant"
+  | IM_log_r -> "IM-log(R)"
+  | IM_poly_r -> "IM-R^k"
+  | IM_poly_c -> "IM-C^k"
+
+let im_rank = function
+  | IM_constant -> 0
+  | IM_log_r -> 1
+  | IM_poly_r -> 2
+  | IM_poly_c -> 3
+
+let im_subseteq a b = im_rank a <= im_rank b
+
+let im_max a b = if im_rank a >= im_rank b then a else b
+
+let covers_key rel pairs =
+  match Relation.key rel with
+  | None -> false
+  | Some key -> List.for_all (fun k -> List.mem k (List.map snd pairs)) key
+
+(* Walk the body, accumulating the tier and notes. *)
+let body_tier expr =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  let join_tier a b =
+    match a, b with
+    | Tier_not_ca r, _ | _, Tier_not_ca r -> Tier_not_ca r
+    | Tier_ca, _ | _, Tier_ca -> Tier_ca
+    | Tier_ca_key, _ | _, Tier_ca_key -> Tier_ca_key
+    | Tier_ca1, Tier_ca1 -> Tier_ca1
+  in
+  let rec go = function
+    | Ca.Chronicle _ -> Tier_ca1
+    | Ca.Select (p, e) ->
+        if not (Predicate.is_ca_form p) then
+          note
+            "selection %a is not a disjunction of comparisons; Definition \
+             4.1 would reject it (cost is unaffected)"
+            Predicate.pp p;
+        go e
+    | Ca.Project (attrs, e) ->
+        if not (List.mem Seqnum.attr attrs) then
+          Tier_not_ca
+            "projection drops the sequencing attribute (Theorem 4.3: not a \
+             chronicle)"
+        else go e
+    | Ca.GroupBySeq (gl, _, e) ->
+        if not (List.mem Seqnum.attr gl) then
+          Tier_not_ca
+            "grouping list omits the sequencing attribute (Theorem 4.3: \
+             not a chronicle)"
+        else go e
+    | Ca.SeqJoin (l, r) | Ca.Union (l, r) | Ca.Diff (l, r) ->
+        join_tier (go l) (go r)
+    | Ca.ProductRel (e, rel) ->
+        note "product with relation %s: fanout |R| per delta tuple"
+          (Relation.name rel);
+        join_tier Tier_ca (go e)
+    | Ca.KeyJoinRel (e, rel, pairs) ->
+        if covers_key rel pairs then join_tier Tier_ca_key (go e)
+        else begin
+          note
+            "join with %s does not cover its key: constant-fanout \
+             guarantee of Definition 4.2 fails, demoted to full CA"
+            (Relation.name rel);
+          join_tier Tier_ca (go e)
+        end
+    | Ca.CrossChron (_, _) ->
+        Tier_not_ca
+          "cross product between chronicles (Theorem 4.3: maintenance \
+           depends on |C|)"
+    | Ca.ThetaJoinChron (_, _, _) ->
+        Tier_not_ca
+          "non-equijoin between chronicles (Theorem 4.3: maintenance \
+           depends on |C|)"
+  in
+  let tier = go expr in
+  (tier, List.rev !notes)
+
+let body_im_of_tier = function
+  | Tier_ca1 -> IM_constant
+  | Tier_ca_key -> IM_log_r
+  | Tier_ca -> IM_poly_r
+  | Tier_not_ca _ -> IM_poly_c
+
+(* Theorem 4.2's formulas, instantiated with the expression's u and j. *)
+let formulas tier u j =
+  match tier with
+  | Tier_ca1 -> (Printf.sprintf "O(%d^%d)" (max u 1) j, Printf.sprintf "O(%d^%d)" (max u 1) j)
+  | Tier_ca_key ->
+      ( Printf.sprintf "O(%d^%d log|R|)" (max u 1) j,
+        Printf.sprintf "O(%d^%d)" (max u 1) j )
+  | Tier_ca ->
+      ( Printf.sprintf "O((%d|R|)^%d log|R|)" (max u 1) j,
+        Printf.sprintf "O((%d|R|)^%d)" (max u 1) j )
+  | Tier_not_ca _ -> ("O(poly |C|)", "O(poly |C|)")
+
+let ca expr =
+  let tier, notes = body_tier expr in
+  let u = Ca.unions expr and j = Ca.joins expr in
+  let body_im = body_im_of_tier tier in
+  let time_formula, space_formula = formulas tier u j in
+  {
+    tier;
+    body_im;
+    view_im = body_im;
+    unions = u;
+    joins = j;
+    time_formula;
+    space_formula;
+    notes;
+  }
+
+let sca def =
+  let r = ca (Sca.body def) in
+  (* Theorem 4.4: the summarization step adds O(t log |V|) group
+     localization, which the incremental classes count as index lookups;
+     Theorem 4.5 assigns SCA_1 -> IM-Constant (hash localization),
+     SCA_join -> IM-log(R), SCA -> IM-R^k. *)
+  let view_im =
+    match r.tier with
+    | Tier_ca1 -> IM_constant
+    | Tier_ca_key -> IM_log_r
+    | Tier_ca -> IM_poly_r
+    | Tier_not_ca _ -> IM_poly_c
+  in
+  let notes =
+    match Sca.summarize def with
+    | Sca.Project_out _ -> r.notes
+    | Sca.Group_agg (_, al) ->
+        let non_incremental =
+          List.filter_map
+            (fun (c : Aggregate.call) ->
+              match c.func with
+              | Aggregate.Count | Aggregate.Sum | Aggregate.Min | Aggregate.Max
+                ->
+                  None
+              | Aggregate.Avg ->
+                  Some
+                    (Printf.sprintf
+                       "%s decomposes into (SUM, COUNT); maintained via its \
+                        decomposition"
+                       c.alias)
+              | Aggregate.Var | Aggregate.Stddev ->
+                  Some
+                    (Printf.sprintf
+                       "%s decomposes into (COUNT, SUM, SUM-of-squares); \
+                        maintained via its decomposition"
+                       c.alias))
+            al
+        in
+        r.notes @ non_incremental
+  in
+  { r with view_im = im_max r.body_im view_im; notes }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>tier: %s@,body Δ class: %s@,view class: %s@,u=%d j=%d@,time: \
+     %s@,space: %s"
+    (tier_name r.tier) (im_class_name r.body_im) (im_class_name r.view_im)
+    r.unions r.joins r.time_formula r.space_formula;
+  (match r.tier with
+  | Tier_not_ca reason -> Format.fprintf ppf "@,reason: %s" reason
+  | Tier_ca1 | Tier_ca_key | Tier_ca -> ());
+  List.iter (fun n -> Format.fprintf ppf "@,note: %s" n) r.notes;
+  Format.fprintf ppf "@]"

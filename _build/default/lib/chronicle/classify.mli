@@ -1,0 +1,50 @@
+(** Static incremental-maintenance complexity classification (§3,
+    Proposition 3.1, Theorems 4.2/4.3/4.5).
+
+    Given a chronicle-algebra body or a summarized view definition, the
+    classifier determines the smallest language tier containing it
+    (CA₁ ⊂ CA_⋈ ⊂ CA, or outside CA), the corresponding IM complexity
+    class, and the concrete Theorem 4.2 cost parameters u (unions) and
+    j (joins/products) with the predicted time/space formulas. *)
+
+type tier =
+  | Tier_ca1  (** CA₁: no relation operators *)
+  | Tier_ca_key  (** CA_⋈: relation joins are key joins *)
+  | Tier_ca  (** full CA: has a chronicle × relation product *)
+  | Tier_not_ca of string  (** outside CA; the reason (Theorem 4.3) *)
+
+type im_class =
+  | IM_constant  (** O(1) per append *)
+  | IM_log_r  (** O(log |R|) per append *)
+  | IM_poly_r  (** polynomial in |R|, independent of |C| *)
+  | IM_poly_c  (** polynomial in |C|: impractical (Prop. 3.1) *)
+
+type report = {
+  tier : tier;
+  body_im : im_class;
+      (** class of Δ-computation for the body (Theorem 4.2) *)
+  view_im : im_class;
+      (** class of full view maintenance (Theorem 4.5); for summarized
+          views this folds in the O(log |V|) group localization of
+          Theorem 4.4, which the paper counts as "modulo index
+          lookups" *)
+  unions : int;  (** u of Theorem 4.2 *)
+  joins : int;  (** j of Theorem 4.2 *)
+  time_formula : string;  (** predicted Δ-computation time *)
+  space_formula : string;  (** predicted Δ-computation space *)
+  notes : string list;
+}
+
+val ca : Ca.t -> report
+(** Classify a chronicle-algebra body. *)
+
+val sca : Sca.t -> report
+(** Classify a persistent-view definition (body + summarization). *)
+
+val tier_name : tier -> string
+val im_class_name : im_class -> string
+
+val im_subseteq : im_class -> im_class -> bool
+(** The containment order IM-Constant ⊂ IM-log(R) ⊂ IM-Rᵏ ⊂ IM-Cᵏ. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,168 @@
+exception Unknown of string
+
+type t = {
+  groups : (string, Group.t) Hashtbl.t;
+  chronicles : (string, Chron.t) Hashtbl.t;
+  relations : (string, Versioned.t) Hashtbl.t;
+  registry : Registry.t;
+  default_group : string;
+  mutable batch_hooks : (sn:Seqnum.t -> batch:Delta.batch -> unit) list;
+}
+
+let unknown kind name =
+  raise (Unknown (Printf.sprintf "%s %S is not in the catalog" kind name))
+
+let create ?(default_group = "main") () =
+  let t =
+    {
+      groups = Hashtbl.create 4;
+      chronicles = Hashtbl.create 16;
+      relations = Hashtbl.create 16;
+      registry = Registry.create ();
+      default_group;
+      batch_hooks = [];
+    }
+  in
+  Hashtbl.add t.groups default_group (Group.create default_group);
+  t
+
+let add_group t ?clock_start name =
+  if Hashtbl.mem t.groups name then
+    invalid_arg (Printf.sprintf "Db.add_group: group %S already exists" name);
+  let g = Group.create ?clock_start name in
+  Hashtbl.add t.groups name g;
+  g
+
+let group t name =
+  match Hashtbl.find_opt t.groups name with
+  | Some g -> g
+  | None -> unknown "group" name
+
+let default_group t = group t t.default_group
+
+let add_chronicle t ?group:gname ?retention ~name schema =
+  if Hashtbl.mem t.chronicles name then
+    invalid_arg (Printf.sprintf "Db.add_chronicle: %S already exists" name);
+  let g = group t (Option.value ~default:t.default_group gname) in
+  let c = Chron.create ~group:g ?retention ~name schema in
+  Hashtbl.add t.chronicles name c;
+  c
+
+let chronicle t name =
+  match Hashtbl.find_opt t.chronicles name with
+  | Some c -> c
+  | None -> unknown "chronicle" name
+
+let add_relation t ?group:gname ~name ~schema ?key () =
+  if Hashtbl.mem t.relations name then
+    invalid_arg (Printf.sprintf "Db.add_relation: %S already exists" name);
+  let g = group t (Option.value ~default:t.default_group gname) in
+  let r = Versioned.create ~group:g ~name ~schema ?key () in
+  Hashtbl.add t.relations name r;
+  r
+
+let relation t name =
+  match Hashtbl.find_opt t.relations name with
+  | Some r -> r
+  | None -> unknown "relation" name
+
+let names_of tbl =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
+
+let group_names t = names_of t.groups
+let chronicle_names t = names_of t.chronicles
+let relation_names t = names_of t.relations
+
+let define_view t ?index ?(tier_limit = Classify.IM_poly_r) def =
+  let report = Classify.sca def in
+  if not (Classify.im_subseteq report.Classify.view_im tier_limit) then
+    raise
+      (Ca.Ill_formed
+         (Format.asprintf
+            "view %s is in %s, outside this database's limit %s:@ %a"
+            (Sca.name def)
+            (Classify.im_class_name report.Classify.view_im)
+            (Classify.im_class_name tier_limit)
+            Classify.pp_report report));
+  let body = Sca.body def in
+  let has_history =
+    List.exists (fun c -> Chron.total_appended c > 0) (Ca.chronicles body)
+  in
+  let view =
+    if has_history then
+      match Eval.eval body with
+      | initial -> View.of_initial ?index def initial
+      | exception Chron.Not_retained msg ->
+          raise
+            (Ca.Ill_formed
+               (Printf.sprintf
+                  "view %s cannot be initialized: %s.  Define views before \
+                   appending, or give the chronicle a retention policy that \
+                   still covers its history"
+                  (Sca.name def) msg))
+    else View.create ?index def
+  in
+  Registry.register t.registry view;
+  view
+
+let view t name =
+  match Registry.find t.registry name with
+  | Some v -> v
+  | None -> unknown "view" name
+
+let drop_view t name =
+  match Registry.find t.registry name with
+  | Some _ -> Registry.unregister t.registry name
+  | None -> unknown "view" name
+
+let views t = Registry.views t.registry
+let classify_view t name = Classify.sca (View.def (view t name))
+let registry t = t.registry
+
+let maintain t batch sn =
+  (* future-effective relation updates that have come due take effect
+     before the views see this batch (they are proactive for [sn]) *)
+  Hashtbl.iter (fun _ r -> Versioned.flush_pending r ~upto:(sn - 1)) t.relations;
+  let affected =
+    List.concat_map
+      (fun (c, tagged) -> Registry.affected t.registry c tagged)
+      batch
+  in
+  (* a view affected through several chronicles of the batch is
+     maintained once, with the whole batch *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let name = View.name v in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        let delta = Delta.eval (Sca.body (View.def v)) ~sn ~batch in
+        View.apply_delta v delta
+      end)
+    affected;
+  List.iter (fun hook -> hook ~sn ~batch) (List.rev t.batch_hooks)
+
+let on_batch t hook = t.batch_hooks <- hook :: t.batch_hooks
+
+let append t cname tuples =
+  let c = chronicle t cname in
+  let sn = Chron.append c tuples in
+  let tagged = List.map (Chron.tag sn) tuples in
+  maintain t [ (c, tagged) ] sn;
+  sn
+
+let append_multi t ?group:gname batch =
+  let g = group t (Option.value ~default:t.default_group gname) in
+  let batch = List.map (fun (cname, tuples) -> (chronicle t cname, tuples)) batch in
+  let sn = Chron.append_multi g batch in
+  let tagged_batch =
+    List.map (fun (c, tuples) -> (c, List.map (Chron.tag sn) tuples)) batch
+  in
+  maintain t tagged_batch sn;
+  sn
+
+let advance_clock t ?group:gname chronon =
+  Group.advance_clock (group t (Option.value ~default:t.default_group gname)) chronon
+
+let summary t ~view:vname key = View.lookup (view t vname) key
+let view_contents t vname = View.to_list (view t vname)

@@ -1,0 +1,98 @@
+open Relational
+
+(** The chronicle database system (Definition 2.1): a quadruple
+    (𝒞, ℛ, ℒ, 𝒱) of chronicles, relations, the view-definition
+    language (here: {!Sca}, statically classified by {!Classify}), and
+    persistent views.
+
+    [append] is the transaction path: record the batch, flush
+    future-effective relation updates that have come due, identify the
+    affected persistent views through the registry (§5.2), and fold the
+    Δ of each one — reading neither stored chronicle history nor any
+    intermediate view. *)
+
+type t
+
+exception Unknown of string
+
+val create : ?default_group:string -> unit -> t
+(** A database starts with one chronicle group (named "main" unless
+    overridden). *)
+
+(** {2 Catalog} *)
+
+val add_group : t -> ?clock_start:Seqnum.chronon -> string -> Group.t
+val group : t -> string -> Group.t
+val default_group : t -> Group.t
+
+val add_chronicle :
+  t ->
+  ?group:string ->
+  ?retention:Chron.retention ->
+  name:string ->
+  Schema.t ->
+  Chron.t
+
+val chronicle : t -> string -> Chron.t
+
+val add_relation :
+  t ->
+  ?group:string ->
+  name:string ->
+  schema:Schema.t ->
+  ?key:string list ->
+  unit ->
+  Versioned.t
+
+val relation : t -> string -> Versioned.t
+
+val group_names : t -> string list
+val chronicle_names : t -> string list
+val relation_names : t -> string list
+(** Catalog enumeration (sorted), for snapshots and tooling. *)
+
+val define_view :
+  t -> ?index:Index.kind -> ?tier_limit:Classify.im_class -> Sca.t -> View.t
+(** Register and materialize a persistent view.  The definition is
+    classified; if its view class is not contained in [tier_limit]
+    (default [IM_poly_r], the largest |C|-independent class) the
+    definition is rejected with [Ca.Ill_formed] — this is how the
+    system guarantees its own transaction-rate envelope (§3).  If the
+    view's chronicles already carry retained history the initial state
+    is computed from it (requires complete retention). *)
+
+val view : t -> string -> View.t
+
+val drop_view : t -> string -> unit
+(** Stop maintaining and forget a persistent view.  Raises {!Unknown}
+    if absent. *)
+
+val views : t -> View.t list
+val classify_view : t -> string -> Classify.report
+val registry : t -> Registry.t
+
+(** {2 Transactions} *)
+
+val append : t -> string -> Tuple.t list -> Seqnum.t
+(** Append one batch of user tuples (without [sn]) to the named
+    chronicle and maintain all affected persistent views. *)
+
+val append_multi : t -> ?group:string -> (string * Tuple.t list) list -> Seqnum.t
+(** One batch spanning several chronicles of one group under a single
+    sequence number. *)
+
+val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
+
+val on_batch : t -> (sn:Seqnum.t -> batch:Delta.batch -> unit) -> unit
+(** Register a hook that sees every append batch after the registered
+    persistent views are maintained; this is how periodic-view families
+    and other extensions subscribe to the transaction path. *)
+
+(** {2 Summary queries} *)
+
+val summary : t -> view:string -> Value.t list -> Tuple.t option
+(** Point lookup by the view's logical key — the paper's motivating
+    "sub-second summary query", answered entirely from the persistent
+    view. *)
+
+val view_contents : t -> string -> Tuple.t list

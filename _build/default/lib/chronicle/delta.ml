@@ -1,0 +1,102 @@
+open Relational
+
+type batch = (Chron.t * Tuple.t list) list
+
+let delta_of_base batch c =
+  match List.find_opt (fun (c', _) -> c' == c) batch with
+  | Some (_, tuples) -> tuples
+  | None -> []
+
+(* Join each Δ tuple with the matching relation tuples via an index
+   probe on the join attributes (at most a constant number of matches in
+   CA_⋈, by the key guarantee). *)
+let key_join schema rel pairs delta =
+  let left_key = Tuple.projector schema (List.map fst pairs) in
+  let right_attrs = List.map snd pairs in
+  let rschema = Relation.schema rel in
+  let keep =
+    List.filter (fun n -> not (List.mem n right_attrs)) (Schema.names rschema)
+  in
+  let rproj = Tuple.projector rschema keep in
+  List.concat_map
+    (fun tu ->
+      let key = Array.to_list (left_key tu) in
+      List.map
+        (fun rtu -> Tuple.concat tu (rproj rtu))
+        (Relation.lookup rel ~attrs:right_attrs key))
+    delta
+
+let rec eval expr ~sn ~batch =
+  match expr with
+  | Ca.Chronicle c -> delta_of_base batch c
+  | Ca.Select (p, e) ->
+      let s = Ca.schema_of e in
+      let keep = Predicate.compile s p in
+      List.filter keep (eval e ~sn ~batch)
+  | Ca.Project (attrs, e) ->
+      let s = Ca.schema_of e in
+      let proj = Tuple.projector s attrs in
+      List.map proj (eval e ~sn ~batch)
+  | Ca.SeqJoin (l, r) ->
+      (* both deltas carry only the batch's sequence number, so the join
+         degenerates to a product of the two deltas (appendix, Thm 4.1) *)
+      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
+      if dl = [] || dr = [] then []
+      else
+        let rs = Ca.schema_of r in
+        let drop_sn = Tuple.remove rs Seqnum.attr in
+        List.concat_map
+          (fun ltu -> List.map (fun rtu -> Tuple.concat ltu (drop_sn rtu)) dr)
+          dl
+  | Ca.Union (l, r) ->
+      Tuple.dedup (eval l ~sn ~batch @ eval r ~sn ~batch)
+  | Ca.Diff (l, r) -> Tuple.diff (eval l ~sn ~batch) (eval r ~sn ~batch)
+  | Ca.GroupBySeq (gl, al, e) ->
+      let s = Ca.schema_of e in
+      snd (Groupby.run s (eval e ~sn ~batch) ~group_by:gl ~aggs:al)
+  | Ca.ProductRel (e, rel) ->
+      let delta = eval e ~sn ~batch in
+      if delta = [] then []
+      else
+        Relation.fold
+          (fun acc rtu ->
+            List.fold_left (fun acc tu -> Tuple.concat tu rtu :: acc) acc delta)
+          [] rel
+        |> List.rev
+  | Ca.KeyJoinRel (e, rel, pairs) ->
+      key_join (Ca.schema_of e) rel pairs (eval e ~sn ~batch)
+  | Ca.CrossChron (l, r) ->
+      (* Theorem 4.3: requires the old value of the opposite operand,
+         i.e. access to retained history. *)
+      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
+      let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
+      let cross left right =
+        List.concat_map
+          (fun ltu -> List.map (fun rtu -> Tuple.concat ltu rtu) right)
+          left
+      in
+      cross dl old_r @ cross old_l dr @ cross dl dr
+  | Ca.ThetaJoinChron (p, l, r) ->
+      let s = Ca.schema_of expr in
+      let keep = Predicate.compile s p in
+      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
+      let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
+      let cross left right =
+        List.concat_map
+          (fun ltu ->
+            List.filter_map
+              (fun rtu ->
+                let tu = Tuple.concat ltu rtu in
+                if keep tu then Some tu else None)
+              right)
+          left
+      in
+      cross dl old_r @ cross old_l dr @ cross dl dr
+
+let all_fresh schema sn tuples =
+  match Schema.pos_opt schema Seqnum.attr with
+  | None -> true
+  | Some pos ->
+      List.for_all
+        (fun tu -> Seqnum.of_value (Tuple.get tu pos) = sn)
+        tuples

@@ -1,0 +1,42 @@
+open Relational
+
+(** Incremental change propagation through chronicle-algebra
+    expressions — the computational content of Theorems 4.1 and 4.2.
+
+    Given one append batch (a set of tuples inserted under a single
+    fresh sequence number, possibly into several chronicles of one
+    group), [eval] computes the set of tuples the batch adds to the
+    expression — {e without} accessing the stored chronicles, the
+    materialized view, or any intermediate view, for every operator of
+    CA.  Only the deliberately non-CA operators ([Ca.CrossChron],
+    [Ca.ThetaJoinChron]) fall back to re-reading retained history
+    (bumping [Stats.Chronicle_scan]); their cost is what Theorem 4.3
+    says cannot be avoided.
+
+    The Δ-rules, from the paper's appendix:
+    {ul
+    {- Δ(σₚE) = σₚ(ΔE)}
+    {- Δ(ΠE) = Π(ΔE)}
+    {- Δ(E₁ ∪ E₂) = ΔE₁ ∪ ΔE₂ (set union)}
+    {- Δ(E₁ − E₂) = ΔE₁ − ΔE₂ (sound because fresh sequence numbers
+       cannot collide with any pre-existing tuple of the group)}
+    {- Δ(C₁ ⋈_SN C₂) = ΔC₁ ⋈_SN ΔC₂ (the cross terms are empty for the
+       same reason)}
+    {- Δ(GROUPBY(E, GL ∋ SN, AL)) = GROUPBY(ΔE, GL, AL) (fresh sequence
+       numbers open brand-new groups)}
+    {- Δ(C × R) = ΔC × R, with R's {e current} version (the implicit
+       temporal join of §2.3)}
+    {- Δ(C ⋈_key R) = one index probe into R per ΔC tuple.}} *)
+
+type batch = (Chron.t * Tuple.t list) list
+(** The tagged tuples appended to each chronicle, all under one
+    sequence number. *)
+
+val eval : Ca.t -> sn:Seqnum.t -> batch:batch -> Tuple.t list
+(** Tuples added to the expression by the batch. *)
+
+val all_fresh : Schema.t -> Seqnum.t -> Tuple.t list -> bool
+(** Theorem 4.1 check: every tuple's sequencing attribute equals the
+    batch's sequence number (the delta contains only "new sequence
+    number tuples").  Vacuously true for schemas without the sequencing
+    attribute. *)

@@ -1,0 +1,55 @@
+open Relational
+
+type t = (float * float) list (* (threshold, rate), ascending thresholds *)
+
+let make tiers =
+  let rec validate prev_threshold prev_rate = function
+    | [] -> ()
+    | (threshold, rate) :: rest ->
+        if threshold <= prev_threshold then
+          invalid_arg "Discount.make: thresholds must be strictly increasing";
+        if rate < prev_rate || rate < 0. || rate > 1. then
+          invalid_arg
+            "Discount.make: rates must be non-decreasing and within [0,1]";
+        validate threshold rate rest
+  in
+  validate neg_infinity 0. tiers;
+  tiers
+
+let rate t total =
+  List.fold_left
+    (fun acc (threshold, tier_rate) -> if total > threshold then tier_rate else acc)
+    0. t
+
+let discounted t total = total *. (1. -. rate t total)
+
+let us_phone_1995 = make [ (10., 0.10); (25., 0.20) ]
+
+let view_def ~name ~chronicle ~customer_attr ~amount_attr =
+  Sca.define ~name
+    ~body:(Ca.Chronicle chronicle)
+    (Sca.Group_agg
+       ([ customer_attr ], [ Aggregate.sum amount_attr "total_expenses" ]))
+
+let current_total view ~customer =
+  match View.lookup view [ customer ] with
+  | None -> 0.
+  | Some row -> (
+      match Tuple.field (View.schema view) row "total_expenses" with
+      | Value.Null -> 0.
+      | v -> Value.to_float v)
+
+let current_discounted t view ~customer =
+  discounted t (current_total view ~customer)
+
+let batch_discounted t chron ~customer_attr ~amount_attr ~customer =
+  let schema = Chron.schema chron in
+  let cpos = Schema.pos schema customer_attr in
+  let apos = Schema.pos schema amount_attr in
+  let total = ref 0. in
+  List.iter
+    (fun tu ->
+      if Value.equal (Tuple.get tu cpos) customer then
+        total := !total +. Value.to_float (Tuple.get tu apos))
+    (Eval.chronicle_tuples chron);
+  discounted t !total

@@ -1,0 +1,58 @@
+open Relational
+
+(** Batch-to-incremental computations (§5.3): tiered discount plans.
+
+    "A popular telephone discounting plan gives a discount of 10% on
+    all calls made if the monthly undiscounted expenses exceed \$10, a
+    discount of 20% if the expenses exceed \$25, and so on."  Computed
+    once at period end (batch), the figure is stale all month; the
+    chronicle model computes it incrementally from a persistent
+    SUM view so it is always current.
+
+    A plan is a list of (threshold, rate) tiers; the applicable rate is
+    that of the highest threshold strictly exceeded by the undiscounted
+    total.  Because the discount re-applies to {e all} calls once a
+    threshold is crossed, the discounted total is a non-trivial
+    function of the running sum — exactly the mapping §5.3 calls
+    "nontrivial to derive incrementally".  Here it is derived in O(#tiers)
+    per lookup from the maintained running sum. *)
+
+type t
+
+val make : (float * float) list -> t
+(** [(threshold, rate)] tiers; rates in [0,1].  Raises
+    [Invalid_argument] unless thresholds are strictly increasing, rates
+    non-decreasing and within [0,1]. *)
+
+val rate : t -> float -> float
+(** Applicable rate for an undiscounted total. *)
+
+val discounted : t -> float -> float
+(** [total * (1 - rate total)]. *)
+
+val us_phone_1995 : t
+(** The plan quoted in the paper: 10% over \$10, 20% over \$25. *)
+
+(** {2 Wiring to persistent views} *)
+
+val view_def :
+  name:string ->
+  chronicle:Chron.t ->
+  customer_attr:string ->
+  amount_attr:string ->
+  Sca.t
+(** The SCA₁ view [GROUPBY(C, [customer], [SUM(amount)])] whose
+    maintained sum drives the plan. *)
+
+val current_total : View.t -> customer:Value.t -> float
+(** Running undiscounted total (0 if no activity). *)
+
+val current_discounted : t -> View.t -> customer:Value.t -> float
+(** Always-current discounted total: the incremental answer. *)
+
+val batch_discounted :
+  t -> Chron.t -> customer_attr:string -> amount_attr:string -> customer:Value.t -> float
+(** End-of-period batch recomputation from retained history (the status
+    quo §5.3 criticizes).  Raises [Chron.Not_retained] if history was
+    discarded — the point being that the incremental path needs no
+    history at all. *)

@@ -1,0 +1,69 @@
+open Relational
+
+let chronicle_tuples c =
+  let complete =
+    match Chron.retention c with
+    | Chron.Full -> true
+    | Chron.Window n -> Chron.total_appended c <= n
+    | Chron.Discard -> Chron.total_appended c = 0
+  in
+  if not complete then
+    raise
+      (Chron.Not_retained
+         (Printf.sprintf
+            "%s: %d tuples appended but only %d retained; full evaluation \
+             needs complete history"
+            (Chron.name c)
+            (Chron.total_appended c)
+            (Chron.stored_count c)));
+  Chron.stored c
+
+(* Evaluation shares the generic operator semantics with the relational
+   substrate by translating to an [Ra] expression over inline constants. *)
+let rec to_ra expr =
+  match expr with
+  | Ca.Chronicle c -> Ra.Const (Chron.schema c, chronicle_tuples c)
+  | Ca.Select (p, e) -> Ra.Select (p, to_ra e)
+  | Ca.Project (attrs, e) -> Ra.Project (attrs, to_ra e)
+  | Ca.SeqJoin (l, r) ->
+      Ra.EquiJoin ([ (Seqnum.attr, Seqnum.attr) ], to_ra l, to_ra r)
+  | Ca.Union (l, r) -> Ra.Union (to_ra l, to_ra r)
+  | Ca.Diff (l, r) -> Ra.Diff (to_ra l, to_ra r)
+  | Ca.GroupBySeq (gl, al, e) -> Ra.GroupBy (gl, al, to_ra e)
+  | Ca.ProductRel (e, r) -> Ra.Product (to_ra e, Ra.Rel r)
+  | Ca.KeyJoinRel (e, r, pairs) -> Ra.EquiJoin (pairs, to_ra e, Ra.Rel r)
+  | Ca.CrossChron (l, r) -> Ra.Product (to_ra l, Ra.Prefix ("r", to_ra r))
+  | Ca.ThetaJoinChron (p, l, r) ->
+      Ra.ThetaJoin (p, to_ra l, Ra.Prefix ("r", to_ra r))
+
+let eval expr = Ra.eval (to_ra expr)
+
+let eval_before expr sn =
+  let restrict e =
+    match e with
+    | Ca.Chronicle c ->
+        let pos = Schema.pos (Chron.schema c) Seqnum.attr in
+        Ra.Const
+          ( Chron.schema c,
+            List.filter
+              (fun tu -> Seqnum.of_value (Tuple.get tu pos) < sn)
+              (chronicle_tuples c) )
+    | _ -> assert false
+  in
+  let rec go expr =
+    match expr with
+    | Ca.Chronicle _ -> restrict expr
+    | Ca.Select (p, e) -> Ra.Select (p, go e)
+    | Ca.Project (attrs, e) -> Ra.Project (attrs, go e)
+    | Ca.SeqJoin (l, r) ->
+        Ra.EquiJoin ([ (Seqnum.attr, Seqnum.attr) ], go l, go r)
+    | Ca.Union (l, r) -> Ra.Union (go l, go r)
+    | Ca.Diff (l, r) -> Ra.Diff (go l, go r)
+    | Ca.GroupBySeq (gl, al, e) -> Ra.GroupBy (gl, al, go e)
+    | Ca.ProductRel (e, r) -> Ra.Product (go e, Ra.Rel r)
+    | Ca.KeyJoinRel (e, r, pairs) -> Ra.EquiJoin (pairs, go e, Ra.Rel r)
+    | Ca.CrossChron (l, r) -> Ra.Product (go l, Ra.Prefix ("r", go r))
+    | Ca.ThetaJoinChron (p, l, r) ->
+        Ra.ThetaJoin (p, go l, Ra.Prefix ("r", go r))
+  in
+  Ra.eval (go expr)

@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  mutable watermark : Seqnum.t;
+  mutable clock : Seqnum.chronon;
+}
+
+exception Stale_sequence_number of { given : Seqnum.t; watermark : Seqnum.t }
+
+let create ?(clock_start = 0) name =
+  { name; watermark = Seqnum.zero; clock = clock_start }
+
+let name t = t.name
+let watermark t = t.watermark
+let now t = t.clock
+
+let advance_clock t chronon =
+  if chronon < t.clock then
+    invalid_arg
+      (Printf.sprintf "Group.advance_clock %s: %d is before current chronon %d"
+         t.name chronon t.clock);
+  t.clock <- chronon
+
+let next_sn t =
+  t.watermark <- t.watermark + 1;
+  t.watermark
+
+let claim_sn t sn =
+  if sn <= t.watermark then
+    raise (Stale_sequence_number { given = sn; watermark = t.watermark });
+  t.watermark <- sn
+
+let same a b = a == b

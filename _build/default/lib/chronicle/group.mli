@@ -1,0 +1,39 @@
+(** Chronicle groups.
+
+    A chronicle group is a collection of chronicles whose sequence
+    numbers are drawn from one domain, with the invariant that an insert
+    into {e any} member must carry a sequence number greater than the
+    sequence number of {e every} tuple already in the group (§4).  The
+    group owns the watermark; union, difference and sequence joins are
+    only permitted among members of one group.
+
+    The group also carries the current {e chronon} (§2.1): the temporal
+    instant associated with the sequence numbers being issued, which the
+    periodic-view machinery (§5.1) maps to calendar intervals. *)
+
+type t
+
+val create : ?clock_start:Seqnum.chronon -> string -> t
+val name : t -> string
+
+val watermark : t -> Seqnum.t
+(** Greatest sequence number issued so far ([Seqnum.zero] initially). *)
+
+val now : t -> Seqnum.chronon
+(** Current chronon. *)
+
+val advance_clock : t -> Seqnum.chronon -> unit
+(** Move the clock forward; raises [Invalid_argument] if moving back. *)
+
+exception Stale_sequence_number of { given : Seqnum.t; watermark : Seqnum.t }
+
+val next_sn : t -> Seqnum.t
+(** Issue a fresh sequence number ([watermark + 1]) and advance the
+    watermark.  All tuples of one append batch — possibly spanning
+    several chronicles of the group — share the issued number. *)
+
+val claim_sn : t -> Seqnum.t -> unit
+(** Use a caller-chosen (possibly sparse) sequence number; it must
+    exceed the watermark, else {!Stale_sequence_number} is raised. *)
+
+val same : t -> t -> bool

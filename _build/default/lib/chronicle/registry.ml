@@ -1,0 +1,119 @@
+open Relational
+
+(* A guard for (view, chronicle): either a compiled necessary condition
+   on appended tuples, or [None] meaning "always maintain". *)
+type entry = {
+  view : View.t;
+  guards : (Chron.t * (Tuple.t -> bool) option) list;
+}
+
+type t = {
+  mutable entries : entry list;
+  mutable checked : int;
+  mutable skipped : int;
+}
+
+let create () = { entries = []; checked = 0; skipped = 0 }
+
+(* Extract a conjunction of selection predicates that is a necessary
+   condition, on a tuple appended to the base chronicle [c], for the
+   expression's delta to be non-empty.  The walk may descend through
+   any operator whose delta is empty whenever the chronicle-side delta
+   is empty: projections (no renaming), relation joins/products,
+   sn-grouping, sequence joins (both sides must be non-empty, so either
+   side's guard is necessary) and the left side of a difference.
+   Predicates that mention attributes not present in the chronicle
+   schema (e.g. relation attributes above a join) make the final
+   compilation fail, and the caller falls back to "always maintain" —
+   sound, merely less economical. *)
+let rec extract_guard c expr acc =
+  match expr with
+  | Ca.Chronicle c' -> if c' == c then Some acc else None
+  | Ca.Select (p, e) -> extract_guard c e (p :: acc)
+  | Ca.Project (_, e)
+  | Ca.KeyJoinRel (e, _, _)
+  | Ca.ProductRel (e, _)
+  | Ca.GroupBySeq (_, _, e) ->
+      extract_guard c e acc
+  | Ca.SeqJoin (l, r) -> (
+      match extract_guard c l acc with
+      | Some g -> Some g
+      | None -> extract_guard c r acc)
+  | Ca.Diff (l, _) ->
+      (* Δ(E₁ − E₂) = ΔE₁ − ΔE₂ is empty whenever ΔE₁ is *)
+      extract_guard c l acc
+  | Ca.Union _ | Ca.CrossChron _ | Ca.ThetaJoinChron _ -> None
+
+let guard_for view c =
+  let body = Sca.body (View.def view) in
+  (* Union of select-chains: a tuple is relevant if any branch's chain
+     accepts it.  For a single chain the guard is the conjunction.  For
+     other shapes (joins, differences, grouping above the chronicle) we
+     keep the trivial guard. *)
+  let rec branch_guards expr =
+    match expr with
+    | Ca.Union (l, r) -> (
+        match branch_guards l, branch_guards r with
+        | Some gl, Some gr -> Some (gl @ gr)
+        | (Some _ | None), _ -> None)
+    | _ when not (Ca.depends_on expr c) ->
+        (* this branch cannot produce a delta for appends to [c] *)
+        Some []
+    | _ -> (
+        match extract_guard c expr [] with
+        | Some preds -> Some [ Predicate.conj preds ]
+        | None -> None)
+  in
+  match branch_guards body with
+  | None -> None
+  | Some branches ->
+      let pred = Predicate.disj branches in
+      (try Some (Predicate.compile (Chron.schema c) pred)
+       with Schema.Unknown_attribute _ -> None)
+
+let register t view =
+  let vname = View.name view in
+  if List.exists (fun e -> String.equal (View.name e.view) vname) t.entries then
+    invalid_arg (Printf.sprintf "Registry.register: view %s already exists" vname);
+  let chronicles = Ca.chronicles (Sca.body (View.def view)) in
+  let guards = List.map (fun c -> (c, guard_for view c)) chronicles in
+  t.entries <- t.entries @ [ { view; guards } ]
+
+let unregister t name =
+  t.entries <-
+    List.filter (fun e -> not (String.equal (View.name e.view) name)) t.entries
+
+let find t name =
+  Option.map
+    (fun e -> e.view)
+    (List.find_opt (fun e -> String.equal (View.name e.view) name) t.entries)
+
+let views t = List.map (fun e -> e.view) t.entries
+
+let dependents t c =
+  List.filter_map
+    (fun e -> if List.exists (fun (c', _) -> c' == c) e.guards then Some e.view else None)
+    t.entries
+
+let affected t c tuples =
+  List.filter_map
+    (fun e ->
+      match List.find_opt (fun (c', _) -> c' == c) e.guards with
+      | None -> None (* view does not depend on this chronicle *)
+      | Some (_, None) -> Some e.view (* no guard: always maintain *)
+      | Some (_, Some guard) ->
+          t.checked <- t.checked + 1;
+          if List.exists guard tuples then Some e.view
+          else begin
+            t.skipped <- t.skipped + 1;
+            None
+          end)
+    t.entries
+
+let checked t = t.checked
+let skipped t = t.skipped
+
+let index_advice t =
+  List.map
+    (fun e -> (View.name e.view, Sca.group_attrs (View.def e.view)))
+    t.entries

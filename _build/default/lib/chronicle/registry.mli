@@ -1,0 +1,45 @@
+open Relational
+
+(** Identifying affected persistent views (§5.2).
+
+    When many views are maintained over one chronicle, each append
+    should touch only the views it can actually change.  The registry
+    keeps, per view and per base chronicle it depends on, a sound
+    {e guard predicate}: a necessary condition on an appended tuple for
+    the view's delta to be non-empty.  Guards are extracted statically
+    from selection chains over the base chronicle (the analogue of
+    "queries independent of updates" [LS93]); views whose body shape
+    defeats extraction get the trivial guard and are always maintained
+    (sound, merely less economical). *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> View.t -> unit
+(** Raises [Invalid_argument] if a view with the same name is already
+    registered. *)
+
+val unregister : t -> string -> unit
+val find : t -> string -> View.t option
+val views : t -> View.t list
+
+val dependents : t -> Chron.t -> View.t list
+(** All registered views whose body mentions the chronicle. *)
+
+val affected : t -> Chron.t -> Tuple.t list -> View.t list
+(** Views that may change given the tagged tuples appended to the
+    chronicle: dependents whose guard passes at least one tuple. *)
+
+(** {2 Economics counters} *)
+
+val checked : t -> int
+(** Guard evaluations performed. *)
+
+val skipped : t -> int
+(** View maintenances avoided by a failing guard. *)
+
+val index_advice : t -> (string * string list) list
+(** Per registered view, the attribute list its persistent store should
+    be indexed on (the view's logical key) — the "what indices should be
+    constructed" question of §5.2. *)

@@ -1,0 +1,96 @@
+open Relational
+
+let subset pred schema =
+  List.for_all (Schema.mem schema) (Predicate.attrs pred)
+
+(* Wrap [expr] in the remaining selections (order is irrelevant
+   semantically; keep the original relative order for readability). *)
+let reapply preds expr =
+  List.fold_left (fun e p -> Ca.Select (p, e)) expr (List.rev preds)
+
+(* Push a pending stack of selection predicates as close to the base
+   chronicles as their attribute sets allow. *)
+let push_selections expr =
+  let rec push preds expr =
+    match expr with
+    | Ca.Select (p, e) -> push (p :: preds) e
+    | Ca.Project (attrs, e) ->
+        (* projection never renames: every pending predicate was
+           validated against the projected schema, a subset of the
+           inner schema *)
+        Ca.Project (attrs, push preds e)
+    | Ca.Union (l, r) ->
+        (* union/difference are positional: predicates (which bind by
+           name) only push through when both operands carry the very
+           same attribute names *)
+        if Schema.equal (Ca.schema_of l) (Ca.schema_of r) then
+          Ca.Union (push preds l, push preds r)
+        else reapply preds (Ca.Union (push [] l, push [] r))
+    | Ca.Diff (l, r) ->
+        if Schema.equal (Ca.schema_of l) (Ca.schema_of r) then
+          Ca.Diff (push preds l, push preds r)
+        else reapply preds (Ca.Diff (push [] l, push [] r))
+    | Ca.SeqJoin (l, r) ->
+        let ls = Ca.schema_of l and rs = Ca.schema_of r in
+        let to_left, rest = List.partition (fun p -> subset p ls) preds in
+        let to_right, stay = List.partition (fun p -> subset p rs) rest in
+        reapply stay (Ca.SeqJoin (push to_left l, push to_right r))
+    | Ca.KeyJoinRel (e, r, pairs) ->
+        let es = Ca.schema_of e in
+        let below, stay = List.partition (fun p -> subset p es) preds in
+        reapply stay (Ca.KeyJoinRel (push below e, r, pairs))
+    | Ca.ProductRel (e, r) ->
+        let es = Ca.schema_of e in
+        let below, stay = List.partition (fun p -> subset p es) preds in
+        reapply stay (Ca.ProductRel (push below e, r))
+    | Ca.GroupBySeq (gl, al, e) ->
+        (* a selection purely over grouping attributes commutes with the
+           grouping: it keeps or drops whole groups *)
+        let gl_schema = Schema.project (Ca.schema_of e) gl in
+        let below, stay = List.partition (fun p -> subset p gl_schema) preds in
+        reapply stay (Ca.GroupBySeq (gl, al, push below e))
+    | Ca.Chronicle _ -> reapply preds expr
+    | Ca.CrossChron (l, r) ->
+        reapply preds (Ca.CrossChron (push [] l, push [] r))
+    | Ca.ThetaJoinChron (p, l, r) ->
+        reapply preds (Ca.ThetaJoinChron (p, push [] l, push [] r))
+  in
+  push [] expr
+
+let rec fuse_projections expr =
+  match expr with
+  | Ca.Chronicle _ -> expr
+  | Ca.Select (p, e) -> Ca.Select (p, fuse_projections e)
+  | Ca.Project (attrs, e) -> (
+      match fuse_projections e with
+      | Ca.Project (_, inner) ->
+          (* outer attribute list is a subset of the inner one *)
+          fuse_projections (Ca.Project (attrs, inner))
+      | e' ->
+          if List.equal String.equal attrs (Schema.names (Ca.schema_of e'))
+          then e' (* identity projection *)
+          else Ca.Project (attrs, e'))
+  | Ca.SeqJoin (l, r) -> Ca.SeqJoin (fuse_projections l, fuse_projections r)
+  | Ca.Union (l, r) -> Ca.Union (fuse_projections l, fuse_projections r)
+  | Ca.Diff (l, r) -> Ca.Diff (fuse_projections l, fuse_projections r)
+  | Ca.GroupBySeq (gl, al, e) -> Ca.GroupBySeq (gl, al, fuse_projections e)
+  | Ca.ProductRel (e, r) -> Ca.ProductRel (fuse_projections e, r)
+  | Ca.KeyJoinRel (e, r, pairs) -> Ca.KeyJoinRel (fuse_projections e, r, pairs)
+  | Ca.CrossChron (l, r) -> Ca.CrossChron (fuse_projections l, fuse_projections r)
+  | Ca.ThetaJoinChron (p, l, r) ->
+      Ca.ThetaJoinChron (p, fuse_projections l, fuse_projections r)
+
+let optimize expr =
+  (* one push pass moves every selection as deep as it can go; fusion
+     can expose identity projections, so run the pair twice *)
+  let pass e = fuse_projections (push_selections e) in
+  pass (pass expr)
+
+let rec size = function
+  | Ca.Chronicle _ -> 1
+  | Ca.Select (_, e) | Ca.Project (_, e) | Ca.GroupBySeq (_, _, e)
+  | Ca.ProductRel (e, _) | Ca.KeyJoinRel (e, _, _) ->
+      1 + size e
+  | Ca.SeqJoin (l, r) | Ca.Union (l, r) | Ca.Diff (l, r) | Ca.CrossChron (l, r)
+  | Ca.ThetaJoinChron (_, l, r) ->
+      1 + size l + size r

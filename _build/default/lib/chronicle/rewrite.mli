@@ -1,0 +1,30 @@
+(** Algebraic rewriting of chronicle-algebra expressions.
+
+    The rewrites preserve the expression's value (and therefore its
+    deltas) while moving work toward the base chronicles:
+
+    - selections commute through projections (chronicle projections
+      never rename, so predicates keep their meaning);
+    - selections push below relation joins/products when they mention
+      only chronicle-side attributes (fewer join probes per append);
+    - selections push into the matching side(s) of sequence joins,
+      unions and differences;
+    - selections over grouping attributes commute below
+      [GroupBySeq];
+    - adjacent projections fuse; projections that keep every attribute
+      vanish.
+
+    Besides shrinking Δ-computation, pushing selections down is what
+    lets {!Registry} extract selective guards: a body of the shape
+    σ…σ(chronicle) is exactly the shape its guard analysis understands. *)
+
+val push_selections : Ca.t -> Ca.t
+val fuse_projections : Ca.t -> Ca.t
+
+val optimize : Ca.t -> Ca.t
+(** All rewrites to fixpoint (bounded).  The result is semantically
+    equal to the input: property tests check value- and delta-
+    equivalence on random expressions and streams. *)
+
+val size : Ca.t -> int
+(** Operator count (for tests and reporting). *)

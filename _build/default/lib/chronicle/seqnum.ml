@@ -1,0 +1,18 @@
+open Relational
+
+type t = int
+
+let attr = "sn"
+let zero = 0
+let compare = Int.compare
+let pp = Format.pp_print_int
+
+type chronon = int
+
+let value sn = Value.Int sn
+
+let of_value = function
+  | Value.Int sn -> sn
+  | v ->
+      invalid_arg
+        (Format.asprintf "Seqnum.of_value: %a is not a sequence number" Value.pp v)

@@ -1,0 +1,28 @@
+open Relational
+
+(** Sequence numbers and chronons.
+
+    A chronicle is a relation with an extra {e sequencing attribute}
+    drawn from an infinite ordered domain; every sequence number has an
+    associated temporal instant ({e chronon}).  Sequence numbers need
+    not be dense (§2.1). *)
+
+type t = int
+(** A sequence number.  The distinguished sequencing attribute of every
+    chronicle is named {!attr} and holds [Value.Int] sequence numbers. *)
+
+val attr : string
+(** ["sn"] — the reserved sequencing-attribute name.  User schemas may
+    not use it. *)
+
+val zero : t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+type chronon = int
+(** A temporal instant, in abstract clock ticks (applications choose the
+    granularity: seconds, days, ...). *)
+
+val value : t -> Value.t
+val of_value : Value.t -> t
+(** Raises [Invalid_argument] on non-integer values. *)

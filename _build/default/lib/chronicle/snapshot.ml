@@ -1,0 +1,426 @@
+open Relational
+
+exception Snapshot_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Snapshot_error s)) fmt
+
+(* ---- schemas ---- *)
+
+let sexp_of_ty ty = Sexp.Atom (Value.ty_name ty)
+
+let ty_of_sexp s =
+  match Sexp.to_atom s with
+  | "bool" -> Value.TBool
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "string" -> Value.TStr
+  | other -> error "unknown type %s" other
+
+let sexp_of_schema schema =
+  Sexp.List
+    (List.map
+       (fun (a : Schema.attr) -> Sexp.List [ Sexp.Atom a.name; sexp_of_ty a.ty ])
+       (Array.to_list (Schema.attrs schema)))
+
+let schema_of_sexp s =
+  Schema.make
+    (List.map
+       (function
+         | Sexp.List [ Sexp.Atom name; ty ] -> (name, ty_of_sexp ty)
+         | s -> error "bad schema entry %s" (Sexp.to_string s))
+       (Sexp.to_list s))
+
+let sexp_of_tuple tu = Sexp.List (List.map Value.to_sexp (Array.to_list tu))
+let tuple_of_sexp s = Tuple.make (List.map Value.of_sexp (Sexp.to_list s))
+
+(* ---- predicates ---- *)
+
+let sexp_of_operand = function
+  | Predicate.Attr a -> Sexp.List [ Sexp.Atom "attr"; Sexp.Atom a ]
+  | Predicate.Const v -> Value.to_sexp v
+
+let operand_of_sexp = function
+  | Sexp.List [ Sexp.Atom "attr"; Sexp.Atom a ] -> Predicate.Attr a
+  | s -> Predicate.Const (Value.of_sexp s)
+
+let rec sexp_of_predicate = function
+  | Predicate.True -> Sexp.Atom "true"
+  | Predicate.False -> Sexp.Atom "false"
+  | Predicate.Cmp (a, op, b) ->
+      Sexp.List
+        [ Sexp.Atom (Predicate.op_name op); sexp_of_operand a; sexp_of_operand b ]
+  | Predicate.And (p, q) ->
+      Sexp.List [ Sexp.Atom "and"; sexp_of_predicate p; sexp_of_predicate q ]
+  | Predicate.Or (p, q) ->
+      Sexp.List [ Sexp.Atom "or"; sexp_of_predicate p; sexp_of_predicate q ]
+  | Predicate.Not p -> Sexp.List [ Sexp.Atom "not"; sexp_of_predicate p ]
+
+let op_of_name = function
+  | "=" -> Predicate.Eq
+  | "<>" -> Predicate.Ne
+  | "<=" -> Predicate.Le
+  | "<" -> Predicate.Lt
+  | ">" -> Predicate.Gt
+  | ">=" -> Predicate.Ge
+  | other -> error "unknown comparison %s" other
+
+let rec predicate_of_sexp = function
+  | Sexp.Atom "true" -> Predicate.True
+  | Sexp.Atom "false" -> Predicate.False
+  | Sexp.List [ Sexp.Atom "and"; p; q ] ->
+      Predicate.And (predicate_of_sexp p, predicate_of_sexp q)
+  | Sexp.List [ Sexp.Atom "or"; p; q ] ->
+      Predicate.Or (predicate_of_sexp p, predicate_of_sexp q)
+  | Sexp.List [ Sexp.Atom "not"; p ] -> Predicate.Not (predicate_of_sexp p)
+  | Sexp.List [ Sexp.Atom op; a; b ] ->
+      Predicate.Cmp (operand_of_sexp a, op_of_name op, operand_of_sexp b)
+  | s -> error "bad predicate %s" (Sexp.to_string s)
+
+(* ---- aggregation calls ---- *)
+
+let sexp_of_call (c : Aggregate.call) =
+  Sexp.List
+    [
+      Sexp.Atom (Aggregate.func_name c.func);
+      (match c.arg with None -> Sexp.Atom "*" | Some a -> Sexp.Atom a);
+      Sexp.Atom c.alias;
+    ]
+
+let call_of_sexp = function
+  | Sexp.List [ Sexp.Atom fname; arg; Sexp.Atom alias ] ->
+      let func =
+        match Aggregate.func_of_name fname with
+        | Some f -> f
+        | None -> error "unknown aggregate %s" fname
+      in
+      let arg = match Sexp.to_atom arg with "*" -> None | a -> Some a in
+      { Aggregate.func; arg; alias }
+  | s -> error "bad aggregate call %s" (Sexp.to_string s)
+
+let sexp_of_attrs attrs = Sexp.List (List.map (fun a -> Sexp.Atom a) attrs)
+let attrs_of_sexp s = List.map Sexp.to_atom (Sexp.to_list s)
+
+(* ---- chronicle algebra ---- *)
+
+let rec sexp_of_ca = function
+  | Ca.Chronicle c -> Sexp.List [ Sexp.Atom "chronicle"; Sexp.Atom (Chron.name c) ]
+  | Ca.Select (p, e) ->
+      Sexp.List [ Sexp.Atom "select"; sexp_of_predicate p; sexp_of_ca e ]
+  | Ca.Project (attrs, e) ->
+      Sexp.List [ Sexp.Atom "project"; sexp_of_attrs attrs; sexp_of_ca e ]
+  | Ca.SeqJoin (l, r) ->
+      Sexp.List [ Sexp.Atom "seqjoin"; sexp_of_ca l; sexp_of_ca r ]
+  | Ca.Union (l, r) -> Sexp.List [ Sexp.Atom "union"; sexp_of_ca l; sexp_of_ca r ]
+  | Ca.Diff (l, r) -> Sexp.List [ Sexp.Atom "diff"; sexp_of_ca l; sexp_of_ca r ]
+  | Ca.GroupBySeq (gl, al, e) ->
+      Sexp.List
+        [
+          Sexp.Atom "groupby";
+          sexp_of_attrs gl;
+          Sexp.List (List.map sexp_of_call al);
+          sexp_of_ca e;
+        ]
+  | Ca.ProductRel (e, r) ->
+      Sexp.List [ Sexp.Atom "product"; sexp_of_ca e; Sexp.Atom (Relation.name r) ]
+  | Ca.KeyJoinRel (e, r, pairs) ->
+      Sexp.List
+        [
+          Sexp.Atom "keyjoin";
+          sexp_of_ca e;
+          Sexp.Atom (Relation.name r);
+          Sexp.List
+            (List.map (fun (a, b) -> Sexp.List [ Sexp.Atom a; Sexp.Atom b ]) pairs);
+        ]
+  | Ca.CrossChron (l, r) ->
+      Sexp.List [ Sexp.Atom "crosschron"; sexp_of_ca l; sexp_of_ca r ]
+  | Ca.ThetaJoinChron (p, l, r) ->
+      Sexp.List
+        [ Sexp.Atom "thetajoin"; sexp_of_predicate p; sexp_of_ca l; sexp_of_ca r ]
+
+let rec ca_of_sexp ~chronicle ~relation sexp =
+  let recurse = ca_of_sexp ~chronicle ~relation in
+  match sexp with
+  | Sexp.List [ Sexp.Atom "chronicle"; Sexp.Atom name ] ->
+      Ca.Chronicle (chronicle name)
+  | Sexp.List [ Sexp.Atom "select"; p; e ] ->
+      Ca.Select (predicate_of_sexp p, recurse e)
+  | Sexp.List [ Sexp.Atom "project"; attrs; e ] ->
+      Ca.Project (attrs_of_sexp attrs, recurse e)
+  | Sexp.List [ Sexp.Atom "seqjoin"; l; r ] -> Ca.SeqJoin (recurse l, recurse r)
+  | Sexp.List [ Sexp.Atom "union"; l; r ] -> Ca.Union (recurse l, recurse r)
+  | Sexp.List [ Sexp.Atom "diff"; l; r ] -> Ca.Diff (recurse l, recurse r)
+  | Sexp.List [ Sexp.Atom "groupby"; gl; Sexp.List al; e ] ->
+      Ca.GroupBySeq (attrs_of_sexp gl, List.map call_of_sexp al, recurse e)
+  | Sexp.List [ Sexp.Atom "product"; e; Sexp.Atom r ] ->
+      Ca.ProductRel (recurse e, relation r)
+  | Sexp.List [ Sexp.Atom "keyjoin"; e; Sexp.Atom r; Sexp.List pairs ] ->
+      let pairs =
+        List.map
+          (function
+            | Sexp.List [ Sexp.Atom a; Sexp.Atom b ] -> (a, b)
+            | s -> error "bad join pair %s" (Sexp.to_string s))
+          pairs
+      in
+      Ca.KeyJoinRel (recurse e, relation r, pairs)
+  | Sexp.List [ Sexp.Atom "crosschron"; l; r ] ->
+      Ca.CrossChron (recurse l, recurse r)
+  | Sexp.List [ Sexp.Atom "thetajoin"; p; l; r ] ->
+      Ca.ThetaJoinChron (predicate_of_sexp p, recurse l, recurse r)
+  | s -> error "bad chronicle-algebra expression %s" (Sexp.to_string s)
+
+(* ---- views ---- *)
+
+let sexp_of_summarize = function
+  | Sca.Project_out attrs -> Sexp.List [ Sexp.Atom "project_out"; sexp_of_attrs attrs ]
+  | Sca.Group_agg (gl, al) ->
+      Sexp.List
+        [ Sexp.Atom "group_agg"; sexp_of_attrs gl; Sexp.List (List.map sexp_of_call al) ]
+
+let summarize_of_sexp = function
+  | Sexp.List [ Sexp.Atom "project_out"; attrs ] -> Sca.Project_out (attrs_of_sexp attrs)
+  | Sexp.List [ Sexp.Atom "group_agg"; gl; Sexp.List al ] ->
+      Sca.Group_agg (attrs_of_sexp gl, List.map call_of_sexp al)
+  | s -> error "bad summarization %s" (Sexp.to_string s)
+
+let sexp_of_key key = Sexp.List (List.map Value.to_sexp key)
+let key_of_sexp s = List.map Value.of_sexp (Sexp.to_list s)
+
+let sexp_of_view_contents view =
+  match View.dump view with
+  | View.Rows_dump keys ->
+      Sexp.List [ Sexp.Atom "rows"; Sexp.List (List.map sexp_of_key keys) ]
+  | View.Groups_dump groups ->
+      Sexp.List
+        [
+          Sexp.Atom "groups";
+          Sexp.List
+            (List.map
+               (fun (key, states) ->
+                 Sexp.List
+                   [
+                     sexp_of_key key;
+                     Sexp.List (List.map Aggregate.sexp_of_state states);
+                   ])
+               groups);
+        ]
+
+let view_contents_of_sexp = function
+  | Sexp.List [ Sexp.Atom "rows"; Sexp.List keys ] ->
+      View.Rows_dump (List.map key_of_sexp keys)
+  | Sexp.List [ Sexp.Atom "groups"; Sexp.List groups ] ->
+      View.Groups_dump
+        (List.map
+           (function
+             | Sexp.List [ key; Sexp.List states ] ->
+                 (key_of_sexp key, List.map Aggregate.state_of_sexp states)
+             | s -> error "bad view group %s" (Sexp.to_string s))
+           groups)
+  | s -> error "bad view contents %s" (Sexp.to_string s)
+
+(* ---- whole database ---- *)
+
+let sexp_of_retention = function
+  | Chron.Discard -> Sexp.Atom "discard"
+  | Chron.Full -> Sexp.Atom "full"
+  | Chron.Window n -> Sexp.List [ Sexp.Atom "window"; Sexp.int n ]
+
+let retention_of_sexp = function
+  | Sexp.Atom "discard" -> Chron.Discard
+  | Sexp.Atom "full" -> Chron.Full
+  | Sexp.List [ Sexp.Atom "window"; n ] -> Chron.Window (Sexp.to_int n)
+  | s -> error "bad retention %s" (Sexp.to_string s)
+
+let sexp_of_sca def =
+  Sexp.record
+    [
+      ("name", Sexp.Atom (Sca.name def));
+      ("body", sexp_of_ca (Sca.body def));
+      ("summarize", sexp_of_summarize (Sca.summarize def));
+    ]
+
+let sca_of_sexp ~chronicle ~relation entry =
+  Sca.define ~allow_non_ca:true
+    ~name:(Sexp.to_atom (Sexp.field entry "name"))
+    ~body:(ca_of_sexp ~chronicle ~relation (Sexp.field entry "body"))
+    (summarize_of_sexp (Sexp.field entry "summarize"))
+
+let sexp_of_index_kind = function
+  | Index.Hash -> Sexp.Atom "hash"
+  | Index.Ordered -> Sexp.Atom "ordered"
+
+let index_kind_of_sexp s =
+  match Sexp.to_atom s with
+  | "hash" -> Index.Hash
+  | "ordered" -> Index.Ordered
+  | other -> error "bad index kind %s" other
+
+let sexp_of_db db =
+  let groups =
+    List.map
+      (fun name ->
+        let g = Db.group db name in
+        Sexp.record
+          [
+            ("name", Sexp.Atom name);
+            ("watermark", Sexp.int (Group.watermark g));
+            ("clock", Sexp.int (Group.now g));
+          ])
+      (Db.group_names db)
+  in
+  let chronicles =
+    List.map
+      (fun name ->
+        let c = Db.chronicle db name in
+        Sexp.record
+          [
+            ("name", Sexp.Atom name);
+            ("group", Sexp.Atom (Group.name (Chron.group c)));
+            ("retention", sexp_of_retention (Chron.retention c));
+            ("schema", sexp_of_schema (Chron.user_schema c));
+            ("total", Sexp.int (Chron.total_appended c));
+            ( "last_sn",
+              match Chron.last_sn c with
+              | None -> Sexp.Atom "none"
+              | Some sn -> Sexp.int sn );
+            ("retained", Sexp.List (List.map sexp_of_tuple (Chron.stored c)));
+          ])
+      (Db.chronicle_names db)
+  in
+  let relations =
+    List.map
+      (fun name ->
+        let v = Db.relation db name in
+        if Versioned.pending_count v > 0 then
+          error
+            "relation %s has %d pending future-effective updates; apply or \
+             drop them before snapshotting (update functions are code and \
+             cannot be serialized)"
+            name (Versioned.pending_count v);
+        let rel = Versioned.relation v in
+        Sexp.record
+          [
+            ("name", Sexp.Atom name);
+            ("group", Sexp.Atom (Group.name (Versioned.group v)));
+            ("schema", sexp_of_schema (Relation.schema rel));
+            ( "key",
+              match Relation.key rel with
+              | None -> Sexp.Atom "none"
+              | Some key -> sexp_of_attrs key );
+            ("rows", Sexp.List (List.map sexp_of_tuple (Relation.to_list rel)));
+          ])
+      (Db.relation_names db)
+  in
+  let views =
+    List.map
+      (fun view ->
+        let def = View.def view in
+        Sexp.record
+          [
+            ("name", Sexp.Atom (View.name view));
+            ("index", sexp_of_index_kind (View.index_kind view));
+            ("body", sexp_of_ca (Sca.body def));
+            ("summarize", sexp_of_summarize (Sca.summarize def));
+            ("contents", sexp_of_view_contents view);
+          ])
+      (Db.views db)
+  in
+  Sexp.record
+    [
+      ("chronicle-snapshot", Sexp.int 1);
+      ("groups", Sexp.List groups);
+      ("chronicles", Sexp.List chronicles);
+      ("relations", Sexp.List relations);
+      ("views", Sexp.List views);
+    ]
+
+let save db = Sexp.to_string_pretty (sexp_of_db db)
+
+let db_of_sexp doc =
+  (match Sexp.field_opt doc "chronicle-snapshot" with
+  | Some v when Sexp.to_int v = 1 -> ()
+  | Some v -> error "unsupported snapshot version %s" (Sexp.to_string v)
+  | None -> error "not a chronicle snapshot");
+  let group_entries = Sexp.to_list (Sexp.field doc "groups") in
+  (* groups: the default "main" group always exists; extra ones are added *)
+  let db =
+    Db.create
+      ~default_group:
+        (match group_entries with
+        | first :: _ -> Sexp.to_atom (Sexp.field first "name")
+        | [] -> "main")
+      ()
+  in
+  List.iteri
+    (fun i entry ->
+      let name = Sexp.to_atom (Sexp.field entry "name") in
+      let g = if i = 0 then Db.group db name else Db.add_group db name in
+      let watermark = Sexp.to_int (Sexp.field entry "watermark") in
+      if watermark > Group.watermark g then Group.claim_sn g watermark;
+      Group.advance_clock g (Sexp.to_int (Sexp.field entry "clock")))
+    group_entries;
+  List.iter
+    (fun entry ->
+      let name = Sexp.to_atom (Sexp.field entry "name") in
+      let group = Sexp.to_atom (Sexp.field entry "group") in
+      let retention = retention_of_sexp (Sexp.field entry "retention") in
+      let schema = schema_of_sexp (Sexp.field entry "schema") in
+      let c = Db.add_chronicle db ~group ~retention ~name schema in
+      let last_sn =
+        match Sexp.field entry "last_sn" with
+        | Sexp.Atom "none" -> None
+        | s -> Some (Sexp.to_int s)
+      in
+      Chron.restore c
+        ~total:(Sexp.to_int (Sexp.field entry "total"))
+        ~last_sn
+        ~retained:(List.map tuple_of_sexp (Sexp.to_list (Sexp.field entry "retained"))))
+    (Sexp.to_list (Sexp.field doc "chronicles"));
+  List.iter
+    (fun entry ->
+      let name = Sexp.to_atom (Sexp.field entry "name") in
+      let group = Sexp.to_atom (Sexp.field entry "group") in
+      let schema = schema_of_sexp (Sexp.field entry "schema") in
+      let key =
+        match Sexp.field entry "key" with
+        | Sexp.Atom "none" -> None
+        | s -> Some (attrs_of_sexp s)
+      in
+      let v = Db.add_relation db ~group ~name ~schema ?key () in
+      List.iter
+        (fun row -> Versioned.insert v (tuple_of_sexp row))
+        (Sexp.to_list (Sexp.field entry "rows")))
+    (Sexp.to_list (Sexp.field doc "relations"));
+  List.iter
+    (fun entry ->
+      let name = Sexp.to_atom (Sexp.field entry "name") in
+      let index = index_kind_of_sexp (Sexp.field entry "index") in
+      let body =
+        ca_of_sexp
+          ~chronicle:(Db.chronicle db)
+          ~relation:(fun r -> Versioned.relation (Db.relation db r))
+          (Sexp.field entry "body")
+      in
+      let summarize = summarize_of_sexp (Sexp.field entry "summarize") in
+      let def = Sca.define ~allow_non_ca:true ~name ~body summarize in
+      let view = View.create ~index def in
+      View.load view (view_contents_of_sexp (Sexp.field entry "contents"));
+      Registry.register (Db.registry db) view)
+    (Sexp.to_list (Sexp.field doc "views"));
+  db
+
+let load text = db_of_sexp (Sexp.of_string text)
+
+let save_file db path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save db))
+
+let load_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  load text

@@ -1,0 +1,65 @@
+open Relational
+
+(** Database snapshots.
+
+    A chronicle is an unbounded stream that the system deliberately
+    does {e not} store — so after a restart the persistent views cannot
+    be recomputed by replay.  Their materialized state (plus the
+    catalog, group watermarks/clocks, relation contents, and whatever
+    chronicle window the retention policies kept) therefore {e is} the
+    database, and this module serializes exactly that to a textual
+    S-expression document and back.
+
+    Not captured (documented limits):
+    - the [Versioned] forward log and pending future-effective updates
+      ([save] refuses while updates are pending, since their update
+      functions are code);
+    - periodic-view families, windowed views and event-detector state
+      (session-level objects; re-attach them after load and they take
+      over from the restored clock);
+    - chronicle subscribers (re-register after load). *)
+
+exception Snapshot_error of string
+
+val save : Db.t -> string
+(** Serialize the database.  Raises {!Snapshot_error} if a relation has
+    pending future-effective updates, or a registered view definition
+    is not expressible in the snapshot grammar. *)
+
+val load : string -> Db.t
+(** Rebuild a database from {!save} output.  Raises {!Snapshot_error}
+    (or [Sexp.Parse_error]) on malformed documents. *)
+
+val save_file : Db.t -> string -> unit
+val load_file : string -> Db.t
+
+val sexp_of_db : Db.t -> Sexp.t
+val db_of_sexp : Sexp.t -> Db.t
+(** The underlying document (used by the session-level snapshot, which
+    embeds the database document alongside temporal and event state). *)
+
+(** {2 Building blocks} (exposed for tests and tooling) *)
+
+val sexp_of_schema : Schema.t -> Sexp.t
+val schema_of_sexp : Sexp.t -> Schema.t
+val sexp_of_predicate : Predicate.t -> Sexp.t
+val predicate_of_sexp : Sexp.t -> Predicate.t
+
+val sexp_of_ca : Ca.t -> Sexp.t
+(** Chronicles and relations are referenced by name. *)
+
+val ca_of_sexp :
+  chronicle:(string -> Chron.t) ->
+  relation:(string -> Relation.t) ->
+  Sexp.t ->
+  Ca.t
+
+val sexp_of_sca : Sca.t -> Sexp.t
+val sca_of_sexp :
+  chronicle:(string -> Chron.t) ->
+  relation:(string -> Relation.t) ->
+  Sexp.t ->
+  Sca.t
+
+val sexp_of_view_contents : View.t -> Sexp.t
+val view_contents_of_sexp : Sexp.t -> View.dump

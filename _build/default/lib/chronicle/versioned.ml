@@ -1,0 +1,97 @@
+open Relational
+
+exception Retroactive_update of { effective : Seqnum.t; watermark : Seqnum.t }
+
+type op =
+  | Insert of Tuple.t
+  | Delete_where of Predicate.t
+  | Update_where of Predicate.t * (Tuple.t -> Tuple.t)
+
+type t = {
+  rel : Relation.t;
+  group : Group.t;
+  track_history : bool;
+  log : (Seqnum.t * op) Vec.t; (* effective-from watermark, forward op *)
+  mutable pending : (Seqnum.t * op) list; (* future-effective, sorted *)
+}
+
+let create ~group ~name ~schema ?key ?(track_history = true) () =
+  {
+    rel = Relation.create ~name ~schema ?key ();
+    group;
+    track_history;
+    log = Vec.create ();
+    pending = [];
+  }
+
+let relation t = t.rel
+let group t = t.group
+let name t = Relation.name t.rel
+
+let apply_op t op =
+  match op with
+  | Insert tuple -> ignore (Relation.insert t.rel tuple)
+  | Delete_where pred -> ignore (Relation.delete_where t.rel pred)
+  | Update_where (pred, f) ->
+      let matches = Predicate.compile (Relation.schema t.rel) pred in
+      let victims = ref [] in
+      Relation.iter
+        (fun row tuple -> if matches tuple then victims := (row, tuple) :: !victims)
+        t.rel;
+      List.iter (fun (row, tuple) -> Relation.update t.rel row (f tuple)) !victims
+
+let record t effective op =
+  if t.track_history then ignore (Vec.push t.log (effective, op))
+
+let submit ?effective t op =
+  let watermark = Group.watermark t.group in
+  let effective = Option.value ~default:watermark effective in
+  if effective < watermark then
+    raise (Retroactive_update { effective; watermark })
+  else if effective = watermark then begin
+    (* effective now: visible to every sequence number > watermark *)
+    apply_op t op;
+    record t effective op
+  end
+  else
+    (* proactive, future-effective: queue in effective order *)
+    t.pending <-
+      List.merge
+        (fun (a, _) (b, _) -> Seqnum.compare a b)
+        t.pending
+        [ (effective, op) ]
+
+let insert ?effective t tuple = submit ?effective t (Insert tuple)
+let delete_where ?effective t pred = submit ?effective t (Delete_where pred)
+
+let update_where ?effective t pred f =
+  submit ?effective t (Update_where (pred, f))
+
+let pending_count t = List.length t.pending
+
+let flush_pending t ~upto =
+  let rec go = function
+    | (effective, op) :: rest when effective <= upto ->
+        apply_op t op;
+        record t effective op;
+        go rest
+    | rest -> t.pending <- rest
+  in
+  go t.pending
+
+let as_of t sn =
+  if not t.track_history then
+    invalid_arg "Versioned.as_of: history tracking is disabled";
+  (* replay ops effective strictly before [sn] into a scratch relation *)
+  let scratch =
+    Relation.create ~name:(name t ^ "@asof") ~schema:(Relation.schema t.rel) ()
+  in
+  let scratch_t =
+    { t with rel = scratch; log = Vec.create (); pending = []; track_history = false }
+  in
+  Vec.iter
+    (fun (effective, op) -> if effective < sn then apply_op scratch_t op)
+    t.log;
+  Relation.to_list scratch
+
+let log_length t = Vec.length t.log

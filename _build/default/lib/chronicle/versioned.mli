@@ -1,0 +1,60 @@
+open Relational
+
+(** Versioned relations with the proactive-update discipline of §2.3.
+
+    Conceptually each relation has one temporal version per update; a
+    join between a chronicle and a relation is an implicit temporal
+    join — each chronicle tuple sees the relation version current at
+    its sequence number.  Because the chronicle model admits only
+    {e proactive} updates, maintenance always reads the {e current}
+    version and no version history is ever needed by the engine.
+
+    This module enforces the discipline: an update is stamped with the
+    group watermark at which it takes effect.  Updates effective at a
+    {e future} sequence number are queued and applied when the
+    watermark reaches them; a request to change the past raises
+    {!Retroactive_update} (the paper excludes such updates from the
+    model).  A replayable forward log supports [as_of] reconstruction
+    for tests and audits — the engine itself never uses it. *)
+
+type t
+
+exception Retroactive_update of { effective : Seqnum.t; watermark : Seqnum.t }
+
+val create :
+  group:Group.t ->
+  name:string ->
+  schema:Schema.t ->
+  ?key:string list ->
+  ?track_history:bool ->
+  unit ->
+  t
+(** [track_history] (default true) keeps the forward log for {!as_of}. *)
+
+val relation : t -> Relation.t
+(** The current version, read by the maintenance engine. *)
+
+val group : t -> Group.t
+val name : t -> string
+
+(** {2 Updates}
+
+    Each takes [?effective] (default: now, i.e. visible to the next
+    sequence number).  An [effective] that is ≤ the group watermark
+    raises {!Retroactive_update}; one in the future is queued until
+    {!flush_pending} (the database calls it on every append). *)
+
+val insert : ?effective:Seqnum.t -> t -> Tuple.t -> unit
+val delete_where : ?effective:Seqnum.t -> t -> Predicate.t -> unit
+val update_where : ?effective:Seqnum.t -> t -> Predicate.t -> (Tuple.t -> Tuple.t) -> unit
+
+val pending_count : t -> int
+val flush_pending : t -> upto:Seqnum.t -> unit
+(** Apply all queued updates with [effective <= upto]. *)
+
+val as_of : t -> Seqnum.t -> Tuple.t list
+(** The version visible to tuples with the given sequence number
+    (replayed from the log).  Raises [Invalid_argument] if history
+    tracking is off. *)
+
+val log_length : t -> int

@@ -1,0 +1,221 @@
+open Relational
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = Value.equal_list
+  let hash = Value.hash_list
+end)
+
+module Key_tree = Btree.Make (struct
+  type t = Value.t list
+
+  let compare = Value.compare_list
+end)
+
+(* The group table: either hash-backed (expected O(1) localization, with
+   a side vector remembering insertion order) or B+-tree-backed
+   (O(log |V|) worst case, ordered iteration). *)
+type 'v backing =
+  | Hash of 'v Key_tbl.t * Value.t list Vec.t
+  | Tree of 'v Key_tree.t
+
+type contents =
+  | Groups of Aggregate.state array backing (* Group_agg *)
+  | Rows of unit backing (* Project_out: a set of result tuples *)
+
+type t = {
+  def : Sca.t;
+  body_schema : Schema.t;
+  key_of : Tuple.t -> Tuple.t;
+  aggs : Aggregate.call list;
+  arg_pos : int option array;
+  contents : contents;
+  mutable batches : int;
+}
+
+let make_backing : type v. Index.kind -> v backing = function
+  | Index.Hash -> Hash (Key_tbl.create 256, Vec.create ())
+  | Index.Ordered -> Tree (Key_tree.create ())
+
+let backing_find : type v. v backing -> Value.t list -> v option =
+ fun b key ->
+  Stats.incr Stats.Group_lookup;
+  match b with
+  | Hash (tbl, _) ->
+      Stats.incr Stats.Index_probe;
+      Key_tbl.find_opt tbl key
+  | Tree tree -> Key_tree.find tree key
+
+let backing_add : type v. v backing -> Value.t list -> v -> unit =
+ fun b key v ->
+  match b with
+  | Hash (tbl, order) ->
+      Key_tbl.add tbl key v;
+      ignore (Vec.push order key)
+  | Tree tree -> ignore (Key_tree.insert tree key v)
+
+let backing_size : type v. v backing -> int = function
+  | Hash (tbl, _) -> Key_tbl.length tbl
+  | Tree tree -> Key_tree.length tree
+
+let backing_iter : type v. (Value.t list -> v -> unit) -> v backing -> unit =
+ fun f -> function
+  | Hash (tbl, order) -> Vec.iter (fun key -> f key (Key_tbl.find tbl key)) order
+  | Tree tree -> Key_tree.iter f tree
+
+let create ?(index = Index.Hash) def =
+  let body_schema = Ca.schema_of (Sca.body def) in
+  let key_of, aggs =
+    match Sca.summarize def with
+    | Sca.Project_out attrs -> (Tuple.projector body_schema attrs, [])
+    | Sca.Group_agg (gl, al) -> (Tuple.projector body_schema gl, al)
+  in
+  let arg_pos =
+    Array.of_list
+      (List.map
+         (fun (c : Aggregate.call) -> Option.map (Schema.pos body_schema) c.arg)
+         aggs)
+  in
+  let contents =
+    match Sca.summarize def with
+    | Sca.Project_out _ -> Rows (make_backing index)
+    | Sca.Group_agg _ -> Groups (make_backing index)
+  in
+  { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0 }
+
+let def t = t.def
+let name t = Sca.name t.def
+let schema t = Sca.schema t.def
+
+let index_kind t =
+  let kind : type v. v backing -> Index.kind = function
+    | Hash _ -> Index.Hash
+    | Tree _ -> Index.Ordered
+  in
+  match t.contents with
+  | Rows backing -> kind backing
+  | Groups backing -> kind backing
+
+let apply_delta t delta =
+  t.batches <- t.batches + 1;
+  match t.contents with
+  | Rows backing ->
+      List.iter
+        (fun tu ->
+          let key = Array.to_list (t.key_of tu) in
+          match backing_find backing key with
+          | Some () -> () (* set semantics: already present *)
+          | None ->
+              Stats.incr Stats.Tuple_write;
+              backing_add backing key ())
+        delta
+  | Groups backing ->
+      List.iter
+        (fun tu ->
+          let key = Array.to_list (t.key_of tu) in
+          let states =
+            match backing_find backing key with
+            | Some states -> states
+            | None ->
+                let states =
+                  Array.of_list
+                    (List.map
+                       (fun (c : Aggregate.call) -> Aggregate.init c.func)
+                       t.aggs)
+                in
+                Stats.incr Stats.Tuple_write;
+                backing_add backing key states;
+                states
+          in
+          List.iteri
+            (fun i (c : Aggregate.call) ->
+              let arg =
+                match t.arg_pos.(i) with
+                | None -> Value.Int 1 (* COUNT over the whole tuple *)
+                | Some p -> Tuple.get tu p
+              in
+              states.(i) <- Aggregate.step c.func states.(i) arg)
+            t.aggs)
+        delta
+
+let of_initial ?index def initial =
+  let t = create ?index def in
+  apply_delta t initial;
+  t.batches <- 0;
+  t
+
+let row_of t key states =
+  Tuple.make
+    (key
+    @ List.mapi
+        (fun i (c : Aggregate.call) -> Aggregate.final c.func states.(i))
+        t.aggs)
+
+let lookup t key =
+  match t.contents with
+  | Rows backing ->
+      Option.map (fun () -> Tuple.make key) (backing_find backing key)
+  | Groups backing ->
+      Option.map (row_of t key) (backing_find backing key)
+
+let size t =
+  match t.contents with
+  | Rows backing -> backing_size backing
+  | Groups backing -> backing_size backing
+
+let iter f t =
+  match t.contents with
+  | Rows backing -> backing_iter (fun key () -> f (Tuple.make key)) backing
+  | Groups backing ->
+      backing_iter (fun key states -> f (row_of t key states)) backing
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun tu -> acc := tu :: !acc) t;
+  List.rev !acc
+
+let materialize t =
+  let rel = Relation.create ~name:(name t) ~schema:(schema t) () in
+  iter (fun tu -> ignore (Relation.insert rel tu)) t;
+  rel
+
+let maintained_batches t = t.batches
+
+type dump =
+  | Groups_dump of (Value.t list * Aggregate.state list) list
+  | Rows_dump of Value.t list list
+
+let dump t =
+  match t.contents with
+  | Rows backing ->
+      let acc = ref [] in
+      backing_iter (fun key () -> acc := key :: !acc) backing;
+      Rows_dump (List.rev !acc)
+  | Groups backing ->
+      let acc = ref [] in
+      backing_iter
+        (fun key states -> acc := (key, Array.to_list states) :: !acc)
+        backing;
+      Groups_dump (List.rev !acc)
+
+let load t dump =
+  if size t <> 0 then invalid_arg "View.load: view is not empty";
+  match t.contents, dump with
+  | Rows backing, Rows_dump keys ->
+      List.iter (fun key -> backing_add backing key ()) keys
+  | Groups backing, Groups_dump groups ->
+      List.iter
+        (fun (key, states) ->
+          if List.length states <> List.length t.aggs then
+            invalid_arg "View.load: aggregate-state arity mismatch";
+          backing_add backing key (Array.of_list states))
+        groups
+  | Rows _, Groups_dump _ | Groups _, Rows_dump _ ->
+      invalid_arg "View.load: dump shape does not match the view kind"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>view %a [%d rows, %d batches]" Sca.pp t.def (size t)
+    t.batches;
+  iter (fun tu -> Format.fprintf ppf "@,%a" (Tuple.pp_with (schema t)) tu) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+open Relational
+
+(** Materialized persistent views with Theorem 4.4 maintenance:
+    O(t · log|V|) time per batch of t body-delta tuples, O(|V|) space,
+    and no access to the chronicle or the (virtual) chronicle-algebra
+    body.
+
+    The group table is backed either by a hash map (expected O(1)
+    per group localization — the IM-Constant story of SCA₁) or by a
+    B+-tree (worst-case O(log |V|), Theorem 4.4's bound, plus ordered
+    iteration); choose with [~index]. *)
+
+type t
+
+val create : ?index:Index.kind -> Sca.t -> t
+(** Materialize an (initially empty) persistent view.  Default backing
+    index is [Hash]. *)
+
+val of_initial : ?index:Index.kind -> Sca.t -> Tuple.t list -> t
+(** Materialize over an existing body value (used when a view is
+    defined after chronicles already carry retained history): folds the
+    given body tuples as one initial delta. *)
+
+val def : t -> Sca.t
+val name : t -> string
+val schema : t -> Schema.t
+val index_kind : t -> Index.kind
+
+val apply_delta : t -> Tuple.t list -> unit
+(** Fold a batch of body-delta tuples (from [Delta.eval]) into the
+    materialization. *)
+
+val lookup : t -> Value.t list -> Tuple.t option
+(** Summary-query point lookup by the view's logical key
+    ([Sca.group_attrs]): the paper's "sub-second summary query".  For
+    projection views the key is the full tuple. *)
+
+val size : t -> int
+(** |V|: number of materialized rows (groups). *)
+
+val to_list : t -> Tuple.t list
+(** Current contents.  Hash-backed views list in insertion order,
+    tree-backed views in key order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val materialize : t -> Relation.t
+(** Copy the current contents into a fresh relation (for ad-hoc [Ra]
+    queries over the view). *)
+
+val maintained_batches : t -> int
+(** Number of delta batches folded in so far. *)
+
+(** {2 Snapshots}
+
+    Persistent views must survive restarts without replaying the
+    chronicle (which was never stored); dump/load expose the exact
+    materialization state. *)
+
+type dump =
+  | Groups_dump of (Value.t list * Aggregate.state list) list
+  | Rows_dump of Value.t list list
+
+val dump : t -> dump
+val load : t -> dump -> unit
+(** Restore into a freshly created view of the same definition; raises
+    [Invalid_argument] if the view is non-empty or the dump shape does
+    not match the summarization kind. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/events/detector.ml: Array Chron Chronicle_core Db Format Group Hashtbl Int List Pattern Predicate Printf Relational Schema Seqnum Stats String Tuple Value Vec

@@ -1,0 +1,1 @@
+lib/events/detector.mli: Chron Chronicle_core Db Format Pattern Relational Seqnum Tuple Value

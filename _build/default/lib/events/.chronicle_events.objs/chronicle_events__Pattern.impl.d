@@ -1,0 +1,1 @@
+lib/events/pattern.ml: Format List Predicate Relational Stdlib

@@ -1,0 +1,1 @@
+lib/events/pattern.mli: Format Predicate Relational

@@ -1,0 +1,60 @@
+open Relational
+
+type t =
+  | Atom of string * Predicate.t
+  | Seq of t * t
+  | Or of t * t
+  | And of t * t
+
+let atom name pred = Atom (name, pred)
+
+let seq = function
+  | [] -> invalid_arg "Pattern.seq: empty sequence"
+  | p :: ps -> List.fold_left (fun acc q -> Seq (acc, q)) p ps
+
+let repeat n p =
+  if n < 1 then invalid_arg "Pattern.repeat: need n >= 1";
+  seq (List.init n (fun _ -> p))
+
+type step = Complete | Partial of t
+
+let rec deriv pat sat =
+  match pat with
+  | Atom (_, p) -> if sat p then [ Complete ] else []
+  | Seq (a, b) ->
+      List.map
+        (function
+          | Complete -> Partial b
+          | Partial a' -> Partial (Seq (a', b)))
+        (deriv a sat)
+  | Or (a, b) -> deriv a sat @ deriv b sat
+  | And (a, b) ->
+      let advance_left =
+        List.map
+          (function
+            | Complete -> Partial b
+            | Partial a' -> Partial (And (a', b)))
+          (deriv a sat)
+      in
+      let advance_right =
+        List.map
+          (function
+            | Complete -> Partial a
+            | Partial b' -> Partial (And (a, b')))
+          (deriv b sat)
+      in
+      advance_left @ advance_right
+
+(* Patterns contain no closures (predicates are first-order data), so
+   the structural order is safe and gives us residual deduplication. *)
+let compare = Stdlib.compare
+
+let rec size = function
+  | Atom _ -> 1
+  | Seq (a, b) | Or (a, b) | And (a, b) -> 1 + size a + size b
+
+let rec pp ppf = function
+  | Atom (name, p) -> Format.fprintf ppf "%s[%a]" name Predicate.pp p
+  | Seq (a, b) -> Format.fprintf ppf "(%a ; %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b

@@ -1,0 +1,45 @@
+open Relational
+
+(** Composite-event patterns over a chronicle of events.
+
+    §6 of the paper: "in active databases, the recognition of complex
+    events to be fired is done on a chronicle of events.  The notion of
+    history-less evaluation … is simply the idea of incremental
+    maintenance of the persistent views defined by the event algebra",
+    where the language is "a variant of regular expressions" [GJS92].
+
+    This is that event algebra: regular-expression-like patterns over
+    per-tuple predicates, evaluated {e history-lessly} by Brzozowski-
+    style derivatives — each appended event rewrites the set of partial
+    residual patterns, and no past event is ever re-read.
+
+    Semantics: patterns are non-contiguous (irrelevant events in
+    between are ignored); one event advances one leg of a composite at
+    a time. *)
+
+type t =
+  | Atom of string * Predicate.t
+      (** a named step: one event satisfying the predicate *)
+  | Seq of t * t  (** the first, then — strictly later — the second *)
+  | Or of t * t  (** either *)
+  | And of t * t  (** both, in any order, on distinct events *)
+
+val atom : string -> Predicate.t -> t
+val seq : t list -> t
+(** [seq [a;b;c]] = a then b then c; raises [Invalid_argument] on []. *)
+
+val repeat : int -> t -> t
+(** [repeat n p] = [n] successive occurrences of [p] (n ≥ 1). *)
+
+(** The outcome of feeding one event to a pattern. *)
+type step = Complete | Partial of t
+
+val deriv : t -> (Predicate.t -> bool) -> step list
+(** [deriv p sat] are the ways [p] advances on an event whose predicate
+    satisfaction is decided by [sat] (the caller fixes the event tuple
+    and schema).  The original pattern is {e not} included: callers
+    keep an instance alive themselves if they want skip semantics. *)
+
+val compare : t -> t -> int
+val size : t -> int
+val pp : Format.formatter -> t -> unit

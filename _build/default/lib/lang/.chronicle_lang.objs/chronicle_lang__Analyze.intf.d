@@ -1,0 +1,1 @@
+lib/lang/analyze.mli: Ast Chronicle_core Classify Db Format Ra Relational Sca Schema Seqnum Session Tuple

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Aggregate Format List Predicate Printf Relational String Value

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Buffer Format List String Token

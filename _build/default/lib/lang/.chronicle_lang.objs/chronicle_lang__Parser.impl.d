@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Aggregate Array Ast Format Lexer List Option Predicate Relational String Token Value

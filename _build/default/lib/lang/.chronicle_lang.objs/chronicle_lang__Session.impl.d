@@ -1,0 +1,1 @@
+lib/lang/session.ml: Chron Chronicle_core Chronicle_events Chronicle_temporal Db Detector Hashtbl List Periodic Printf String Windowed_view

@@ -1,0 +1,1 @@
+lib/lang/session.mli: Chron Chronicle_core Chronicle_events Chronicle_temporal Db Detector Periodic Windowed_view

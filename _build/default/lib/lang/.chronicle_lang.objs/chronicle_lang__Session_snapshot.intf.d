@@ -1,0 +1,1 @@
+lib/lang/session_snapshot.mli: Session

@@ -1,0 +1,141 @@
+open Relational
+
+type operand = Attr of string | Lit of Value.t
+
+type comparison = { left : operand; op : Predicate.op; right : operand }
+
+type cond =
+  | Cmp of comparison
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type select_item =
+  | Col of string
+  | Agg of { func : Aggregate.func; arg : string option; alias : string option }
+
+type join_clause = { rel : string; on : (string * string) list }
+
+type select = {
+  items : select_item list;
+  chronicle : string;
+  join : join_clause option;
+  where : cond option;
+  group_by : string list;
+}
+
+type retention_spec = Retain_window of int | Retain_full
+
+type column = string * Value.ty
+
+type calendar_spec = {
+  shape : [ `Tiling | `Sliding | `Stride of int ];
+  cal_start : int;
+  cal_width : int;
+}
+
+(** Surface event patterns (§6's event algebra): THEN binds tightest,
+    then AND, then OR; REPEAT is sugar for a THEN-chain. *)
+type event_pattern =
+  | Ev_atom of string option * cond
+  | Ev_seq of event_pattern * event_pattern
+  | Ev_and of event_pattern * event_pattern
+  | Ev_or of event_pattern * event_pattern
+  | Ev_repeat of int * event_pattern
+
+type query = {
+  q_items : select_item list;
+  q_from : string;
+  q_join : (string * (string * string) list) option;
+  q_where : cond option;
+  q_group : string list;
+}
+
+type stmt =
+  | Create_chronicle of { name : string; columns : column list; retain : retention_spec option }
+  | Create_relation of { name : string; columns : column list; key : string list }
+  | Define_view of { name : string; select : select }
+  | Define_periodic of {
+      name : string;
+      select : select;
+      calendar : calendar_spec;
+      expire : int option;
+    }
+  | Define_windowed of {
+      name : string;
+      select : select;
+      buckets : int;
+      bucket_width : int;
+    }
+  | Append_into of { chronicle : string; rows : Value.t list list }
+  | Insert_into of { relation : string; rows : Value.t list list }
+  | Load_csv of { target : string; path : string }
+  | Define_rule of {
+      name : string;
+      chronicle : string;
+      key : string list;
+      within : int option;
+      cooldown : int option;
+      reset_on_match : bool;
+      pattern : event_pattern;
+    }
+  | Advance_clock of int
+  | Query of query
+  | Show_view of string
+  | Show_classify of string
+  | Show_periodic of { name : string; index : int option }
+  | Show_windowed of string
+  | Show_alerts
+  | Show_audit
+  | Show_plan of string
+  | Show_stats
+  | Drop_view of string
+
+let operand_to_pred = function
+  | Attr a -> Predicate.Attr a
+  | Lit v -> Predicate.Const v
+
+let rec cond_to_predicate = function
+  | Cmp { left; op; right } ->
+      Predicate.Cmp (operand_to_pred left, op, operand_to_pred right)
+  | And (a, b) -> Predicate.And (cond_to_predicate a, cond_to_predicate b)
+  | Or (a, b) -> Predicate.Or (cond_to_predicate a, cond_to_predicate b)
+  | Not c -> Predicate.Not (cond_to_predicate c)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+let pp_stmt ppf = function
+  | Create_chronicle { name; columns; _ } ->
+      Format.fprintf ppf "CREATE CHRONICLE %s (%d columns)" name
+        (List.length columns)
+  | Create_relation { name; columns; key } ->
+      Format.fprintf ppf "CREATE RELATION %s (%d columns) KEY (%s)" name
+        (List.length columns) (String.concat ", " key)
+  | Define_view { name; _ } -> Format.fprintf ppf "DEFINE VIEW %s" name
+  | Define_periodic { name; _ } ->
+      Format.fprintf ppf "DEFINE PERIODIC VIEW %s" name
+  | Define_windowed { name; buckets; _ } ->
+      Format.fprintf ppf "DEFINE WINDOWED VIEW %s (%d buckets)" name buckets
+  | Define_rule { name; chronicle; _ } ->
+      Format.fprintf ppf "DEFINE RULE %s ON %s" name chronicle
+  | Show_alerts -> Format.fprintf ppf "SHOW ALERTS"
+  | Show_audit -> Format.fprintf ppf "SHOW AUDIT"
+  | Show_plan name -> Format.fprintf ppf "SHOW PLAN %s" name
+  | Show_stats -> Format.fprintf ppf "SHOW STATS"
+  | Drop_view name -> Format.fprintf ppf "DROP VIEW %s" name
+  | Advance_clock c -> Format.fprintf ppf "ADVANCE CLOCK TO %d" c
+  | Query { q_from; _ } -> Format.fprintf ppf "SELECT ... FROM %s" q_from
+  | Show_periodic { name; index } ->
+      Format.fprintf ppf "SHOW PERIODIC %s%s" name
+        (match index with None -> "" | Some i -> Printf.sprintf " AT %d" i)
+  | Show_windowed name -> Format.fprintf ppf "SHOW WINDOWED %s" name
+  | Append_into { chronicle; rows } ->
+      Format.fprintf ppf "APPEND INTO %s (%d rows)" chronicle (List.length rows)
+  | Load_csv { target; path } ->
+      Format.fprintf ppf "LOAD INTO %s FROM %S" target path
+  | Insert_into { relation; rows } ->
+      Format.fprintf ppf "INSERT INTO %s (%d rows)" relation (List.length rows)
+  | Show_view name -> Format.fprintf ppf "SHOW VIEW %s" name
+  | Show_classify name -> Format.fprintf ppf "SHOW CLASSIFY %s" name

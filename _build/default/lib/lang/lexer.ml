@@ -1,0 +1,118 @@
+exception Lex_error of { message : string; line : int; column : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let error i fmt =
+    Format.kasprintf
+      (fun message ->
+        raise (Lex_error { message; line = !line; column = i - !line_start + 1 }))
+      fmt
+  in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      line_start := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match Token.keyword_of_string word with
+      | Some kw -> emit kw
+      | None -> emit (Token.Ident (String.lowercase_ascii word))
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub src start (!i - start) in
+      if is_float then emit (Token.Float_lit (float_of_string text))
+      else emit (Token.Int_lit (int_of_string text))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then error !i "unterminated string literal";
+      emit (Token.Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "<>" ->
+          emit Token.Op_ne;
+          i := !i + 2
+      | Some "!=" ->
+          emit Token.Op_ne;
+          i := !i + 2
+      | Some "<=" ->
+          emit Token.Op_le;
+          i := !i + 2
+      | Some ">=" ->
+          emit Token.Op_ge;
+          i := !i + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit Token.Lparen
+          | ')' -> emit Token.Rparen
+          | ',' -> emit Token.Comma
+          | ';' -> emit Token.Semicolon
+          | '*' -> emit Token.Star
+          | '.' -> emit Token.Dot
+          | '=' -> emit Token.Op_eq
+          | '<' -> emit Token.Op_lt
+          | '>' -> emit Token.Op_gt
+          | _ -> error !i "unexpected character %C" c);
+          incr i)
+    end
+  done;
+  emit Token.Eof;
+  Array.of_list (List.rev !tokens)

@@ -1,0 +1,8 @@
+(** Hand-written lexer for the view-definition language. *)
+
+exception Lex_error of { message : string; line : int; column : int }
+
+val tokenize : string -> (Token.t * int) array
+(** Tokens with their source line numbers, ending with [Eof].
+    Comments run from ["--"] to end of line.  String literals use
+    single quotes with [''] as the escape for a quote. *)

@@ -1,0 +1,593 @@
+open Relational
+
+exception Parse_error of { message : string; line : int }
+
+type state = { tokens : (Token.t * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+
+let error st fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { message; line = line st })) fmt
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st "expected %s, found %s" (Token.to_string tok) (Token.to_string (peek st))
+
+(* Non-structural keywords double as identifiers wherever an identifier
+   is expected, so adding statement vocabulary (PLAN, STATS, WIDTH, ...)
+   never breaks schemas that already use those words as attribute or
+   table names. *)
+let soft_keyword = function
+  | Token.Kw_plan -> Some "plan"
+  | Token.Kw_stats -> Some "stats"
+  | Token.Kw_alerts -> Some "alerts"
+  | Token.Kw_audit -> Some "audit"
+  | Token.Kw_clock -> Some "clock"
+  | Token.Kw_buckets -> Some "buckets"
+  | Token.Kw_width -> Some "width"
+  | Token.Kw_start -> Some "start"
+  | Token.Kw_stride -> Some "stride"
+  | Token.Kw_expire -> Some "expire"
+  | Token.Kw_reset -> Some "reset"
+  | Token.Kw_cooldown -> Some "cooldown"
+  | Token.Kw_event -> Some "event"
+  | Token.Kw_tiling -> Some "tiling"
+  | Token.Kw_sliding -> Some "sliding"
+  | Token.Kw_calendar -> Some "calendar"
+  | Token.Kw_windowed -> Some "windowed"
+  | Token.Kw_rule -> Some "rule"
+  | Token.Kw_window -> Some "window"
+  | Token.Kw_full -> Some "full"
+  | Token.Kw_classify -> Some "classify"
+  | Token.Kw_to -> Some "to"
+  | Token.Kw_at -> Some "at"
+  | Token.Kw_within -> Some "within"
+  | Token.Kw_retain -> Some "retain"
+  | Token.Kw_periodic -> Some "periodic"
+  | Token.Kw_repeat -> Some "repeat"
+  | _ -> None
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> (
+      match soft_keyword t with
+      | Some name ->
+          advance st;
+          name
+      | None -> error st "expected an identifier, found %s" (Token.to_string t))
+
+let comma_separated st parse_one =
+  let rec more acc =
+    if peek st = Token.Comma then begin
+      advance st;
+      more (parse_one st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ parse_one st ]
+
+(* ---- conditions ---- *)
+
+let operand st =
+  match peek st with
+  | Token.Ident a ->
+      advance st;
+      Ast.Attr a
+  | t when soft_keyword t <> None ->
+      advance st;
+      Ast.Attr (Option.get (soft_keyword t))
+  | Token.Int_lit i ->
+      advance st;
+      Ast.Lit (Value.Int i)
+  | Token.Float_lit f ->
+      advance st;
+      Ast.Lit (Value.Float f)
+  | Token.Str_lit s ->
+      advance st;
+      Ast.Lit (Value.Str s)
+  | Token.Kw_true ->
+      advance st;
+      Ast.Lit (Value.Bool true)
+  | Token.Kw_false ->
+      advance st;
+      Ast.Lit (Value.Bool false)
+  | t -> error st "expected an attribute or literal, found %s" (Token.to_string t)
+
+let comparison_op st =
+  match peek st with
+  | Token.Op_eq ->
+      advance st;
+      Predicate.Eq
+  | Token.Op_ne ->
+      advance st;
+      Predicate.Ne
+  | Token.Op_le ->
+      advance st;
+      Predicate.Le
+  | Token.Op_lt ->
+      advance st;
+      Predicate.Lt
+  | Token.Op_ge ->
+      advance st;
+      Predicate.Ge
+  | Token.Op_gt ->
+      advance st;
+      Predicate.Gt
+  | t -> error st "expected a comparison operator, found %s" (Token.to_string t)
+
+let rec cond st = or_cond st
+
+and or_cond st =
+  let left = and_cond st in
+  if peek st = Token.Kw_or then begin
+    advance st;
+    Ast.Or (left, or_cond st)
+  end
+  else left
+
+and and_cond st =
+  let left = atom_cond st in
+  if peek st = Token.Kw_and then begin
+    advance st;
+    Ast.And (left, and_cond st)
+  end
+  else left
+
+and atom_cond st =
+  match peek st with
+  | Token.Kw_not ->
+      advance st;
+      Ast.Not (atom_cond st)
+  | Token.Lparen ->
+      advance st;
+      let c = cond st in
+      expect st Token.Rparen;
+      c
+  | _ ->
+      let left = operand st in
+      let op = comparison_op st in
+      let right = operand st in
+      Ast.Cmp { left; op; right }
+
+(* ---- select ---- *)
+
+let select_item st =
+  match peek st with
+  | t when (match t with Token.Ident _ -> false | _ -> soft_keyword t <> None) ->
+      advance st;
+      Ast.Col (Option.get (soft_keyword t))
+  | Token.Ident name -> (
+      (* aggregate call or plain column *)
+      match Aggregate.func_of_name name with
+      | Some func when fst st.tokens.(st.pos + 1) = Token.Lparen ->
+          advance st;
+          advance st;
+          let arg =
+            match peek st with
+            | Token.Star ->
+                advance st;
+                None
+            | _ -> Some (ident st)
+          in
+          expect st Token.Rparen;
+          let alias =
+            if peek st = Token.Kw_as then begin
+              advance st;
+              Some (ident st)
+            end
+            else None
+          in
+          Ast.Agg { func; arg; alias }
+      | _ ->
+          advance st;
+          Ast.Col name)
+  | t -> error st "expected a select item, found %s" (Token.to_string t)
+
+let join_on_pair st =
+  let a = ident st in
+  expect st Token.Op_eq;
+  let b = ident st in
+  (a, b)
+
+let join_tail st =
+  if peek st = Token.Kw_join then begin
+    advance st;
+    let rel = ident st in
+    expect st Token.Kw_on;
+    let first = join_on_pair st in
+    let rec more acc =
+      if peek st = Token.Kw_and then begin
+        advance st;
+        more (join_on_pair st :: acc)
+      end
+      else List.rev acc
+    in
+    Some (rel, more [ first ])
+  end
+  else None
+
+let where_tail st =
+  if peek st = Token.Kw_where then begin
+    advance st;
+    Some (cond st)
+  end
+  else None
+
+let group_by_tail st =
+  if peek st = Token.Kw_group then begin
+    advance st;
+    expect st Token.Kw_by;
+    comma_separated st ident
+  end
+  else []
+
+let select st =
+  expect st Token.Kw_select;
+  let items = comma_separated st select_item in
+  expect st Token.Kw_from;
+  expect st Token.Kw_chronicle;
+  let chronicle = ident st in
+  let join =
+    Option.map (fun (rel, on) -> { Ast.rel; on }) (join_tail st)
+  in
+  let where = where_tail st in
+  let group_by = group_by_tail st in
+  { Ast.items; chronicle; join; where; group_by }
+
+(* ad-hoc query: like [select] but FROM names a view or relation *)
+let query st =
+  expect st Token.Kw_select;
+  let q_items = comma_separated st select_item in
+  expect st Token.Kw_from;
+  let q_from = ident st in
+  let q_join = join_tail st in
+  let q_where = where_tail st in
+  let q_group = group_by_tail st in
+  { Ast.q_items; q_from; q_join; q_where; q_group }
+
+(* ---- statements ---- *)
+
+let value_ty st =
+  let name = ident st in
+  match String.uppercase_ascii name with
+  | "INT" | "INTEGER" -> Value.TInt
+  | "FLOAT" | "REAL" | "DOUBLE" -> Value.TFloat
+  | "STRING" | "TEXT" | "VARCHAR" -> Value.TStr
+  | "BOOL" | "BOOLEAN" -> Value.TBool
+  | other -> error st "unknown type %s" other
+
+let column st =
+  let name = ident st in
+  let ty = value_ty st in
+  (name, ty)
+
+let literal st =
+  match operand st with
+  | Ast.Lit v -> v
+  | Ast.Attr a -> error st "expected a literal, found attribute %s" a
+
+let value_row st =
+  expect st Token.Lparen;
+  let vs = comma_separated st literal in
+  expect st Token.Rparen;
+  vs
+
+let int_lit st =
+  match peek st with
+  | Token.Int_lit n ->
+      advance st;
+      n
+  | t -> error st "expected an integer, found %s" (Token.to_string t)
+
+let calendar_spec st =
+  let shape =
+    match peek st with
+    | Token.Kw_tiling ->
+        advance st;
+        `Tiling
+    | Token.Kw_sliding ->
+        advance st;
+        `Sliding
+    | Token.Kw_periodic ->
+        advance st;
+        `Periodic
+    | t ->
+        error st "expected TILING, SLIDING or PERIODIC, found %s"
+          (Token.to_string t)
+  in
+  expect st Token.Kw_start;
+  let cal_start = int_lit st in
+  expect st Token.Kw_width;
+  let cal_width = int_lit st in
+  let shape =
+    match shape with
+    | `Tiling -> `Tiling
+    | `Sliding -> `Sliding
+    | `Periodic ->
+        expect st Token.Kw_stride;
+        `Stride (int_lit st)
+  in
+  { Ast.shape; cal_start; cal_width }
+
+(* event patterns: THEN binds tightest, then AND, then OR *)
+let rec event_pattern st = ev_or st
+
+and ev_or st =
+  let left = ev_and st in
+  if peek st = Token.Kw_or then begin
+    advance st;
+    Ast.Ev_or (left, ev_or st)
+  end
+  else left
+
+and ev_and st =
+  let left = ev_seq st in
+  if peek st = Token.Kw_and then begin
+    advance st;
+    Ast.Ev_and (left, ev_and st)
+  end
+  else left
+
+and ev_seq st =
+  let left = ev_atom st in
+  if peek st = Token.Kw_then then begin
+    advance st;
+    Ast.Ev_seq (left, ev_seq st)
+  end
+  else left
+
+and ev_atom st =
+  match peek st with
+  | Token.Kw_event ->
+      advance st;
+      let name =
+        match peek st with
+        | Token.Ident n ->
+            advance st;
+            Some n
+        | _ -> None
+      in
+      expect st Token.Lparen;
+      let c = cond st in
+      expect st Token.Rparen;
+      Ast.Ev_atom (name, c)
+  | Token.Kw_repeat -> (
+      advance st;
+      match peek st with
+      | Token.Int_lit n ->
+          advance st;
+          Ast.Ev_repeat (n, ev_atom st)
+      | t -> error st "expected a repeat count, found %s" (Token.to_string t))
+  | Token.Lparen ->
+      advance st;
+      let p = event_pattern st in
+      expect st Token.Rparen;
+      p
+  | t ->
+      error st "expected EVENT, REPEAT or a parenthesized pattern, found %s"
+        (Token.to_string t)
+
+let stmt st =
+  match peek st with
+  | Token.Kw_create -> (
+      advance st;
+      match peek st with
+      | Token.Kw_chronicle ->
+          advance st;
+          let name = ident st in
+          expect st Token.Lparen;
+          let columns = comma_separated st column in
+          expect st Token.Rparen;
+          let retain =
+            if peek st = Token.Kw_retain then begin
+              advance st;
+              match peek st with
+              | Token.Kw_full ->
+                  advance st;
+                  Some Ast.Retain_full
+              | Token.Kw_window -> (
+                  advance st;
+                  match peek st with
+                  | Token.Int_lit n ->
+                      advance st;
+                      Some (Ast.Retain_window n)
+                  | t -> error st "expected a window size, found %s" (Token.to_string t))
+              | t -> error st "expected FULL or WINDOW, found %s" (Token.to_string t)
+            end
+            else None
+          in
+          Ast.Create_chronicle { name; columns; retain }
+      | Token.Kw_relation ->
+          advance st;
+          let name = ident st in
+          expect st Token.Lparen;
+          let columns = comma_separated st column in
+          expect st Token.Rparen;
+          expect st Token.Kw_key;
+          expect st Token.Lparen;
+          let key = comma_separated st ident in
+          expect st Token.Rparen;
+          Ast.Create_relation { name; columns; key }
+      | t -> error st "expected CHRONICLE or RELATION, found %s" (Token.to_string t))
+  | Token.Kw_define -> (
+      advance st;
+      match peek st with
+      | Token.Kw_view ->
+          advance st;
+          let name = ident st in
+          expect st Token.Kw_as;
+          let s = select st in
+          Ast.Define_view { name; select = s }
+      | Token.Kw_periodic ->
+          advance st;
+          expect st Token.Kw_view;
+          let name = ident st in
+          expect st Token.Kw_as;
+          let s = select st in
+          expect st Token.Kw_calendar;
+          let calendar = calendar_spec st in
+          let expire =
+            if peek st = Token.Kw_expire then begin
+              advance st;
+              Some (int_lit st)
+            end
+            else None
+          in
+          Ast.Define_periodic { name; select = s; calendar; expire }
+      | Token.Kw_windowed ->
+          advance st;
+          expect st Token.Kw_view;
+          let name = ident st in
+          expect st Token.Kw_buckets;
+          let buckets = int_lit st in
+          let bucket_width =
+            if peek st = Token.Kw_width then begin
+              advance st;
+              int_lit st
+            end
+            else 1
+          in
+          expect st Token.Kw_as;
+          let s = select st in
+          Ast.Define_windowed { name; select = s; buckets; bucket_width }
+      | Token.Kw_rule ->
+          advance st;
+          let name = ident st in
+          expect st Token.Kw_on;
+          let chronicle = ident st in
+          expect st Token.Kw_key;
+          expect st Token.Lparen;
+          let key = comma_separated st ident in
+          expect st Token.Rparen;
+          let within =
+            if peek st = Token.Kw_within then begin
+              advance st;
+              Some (int_lit st)
+            end
+            else None
+          in
+          let cooldown =
+            if peek st = Token.Kw_cooldown then begin
+              advance st;
+              Some (int_lit st)
+            end
+            else None
+          in
+          let reset_on_match =
+            if peek st = Token.Kw_reset then begin
+              advance st;
+              true
+            end
+            else false
+          in
+          expect st Token.Kw_when;
+          let pattern = event_pattern st in
+          Ast.Define_rule
+            { name; chronicle; key; within; cooldown; reset_on_match; pattern }
+      | t ->
+          error st
+            "expected VIEW, PERIODIC VIEW, WINDOWED VIEW or RULE, found %s"
+            (Token.to_string t))
+  | Token.Kw_drop ->
+      advance st;
+      expect st Token.Kw_view;
+      Ast.Drop_view (ident st)
+  | Token.Kw_load ->
+      advance st;
+      expect st Token.Kw_into;
+      let target = ident st in
+      expect st Token.Kw_from;
+      let path =
+        match peek st with
+        | Token.Str_lit p ->
+            advance st;
+            p
+        | t -> error st "expected a quoted file path, found %s" (Token.to_string t)
+      in
+      Ast.Load_csv { target; path }
+  | Token.Kw_advance ->
+      advance st;
+      expect st Token.Kw_clock;
+      expect st Token.Kw_to;
+      Ast.Advance_clock (int_lit st)
+  | Token.Kw_select -> Ast.Query (query st)
+  | Token.Kw_append ->
+      advance st;
+      expect st Token.Kw_into;
+      let chronicle = ident st in
+      expect st Token.Kw_values;
+      let rows = comma_separated st value_row in
+      Ast.Append_into { chronicle; rows }
+  | Token.Kw_insert ->
+      advance st;
+      expect st Token.Kw_into;
+      let relation = ident st in
+      expect st Token.Kw_values;
+      let rows = comma_separated st value_row in
+      Ast.Insert_into { relation; rows }
+  | Token.Kw_show -> (
+      advance st;
+      match peek st with
+      | Token.Kw_view ->
+          advance st;
+          Ast.Show_view (ident st)
+      | Token.Kw_classify ->
+          advance st;
+          Ast.Show_classify (ident st)
+      | Token.Kw_periodic ->
+          advance st;
+          let name = ident st in
+          let index =
+            if peek st = Token.Kw_at then begin
+              advance st;
+              Some (int_lit st)
+            end
+            else None
+          in
+          Ast.Show_periodic { name; index }
+      | Token.Kw_windowed ->
+          advance st;
+          Ast.Show_windowed (ident st)
+      | Token.Kw_alerts ->
+          advance st;
+          Ast.Show_alerts
+      | Token.Kw_audit ->
+          advance st;
+          Ast.Show_audit
+      | Token.Kw_plan ->
+          advance st;
+          Ast.Show_plan (ident st)
+      | Token.Kw_stats ->
+          advance st;
+          Ast.Show_stats
+      | t ->
+          error st
+            "expected VIEW, CLASSIFY, PLAN, PERIODIC, WINDOWED, ALERTS, AUDIT or STATS, found %s"
+            (Token.to_string t))
+  | t -> error st "expected a statement, found %s" (Token.to_string t)
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let rec loop acc =
+    if peek st = Token.Eof then List.rev acc
+    else begin
+      let s = stmt st in
+      expect st Token.Semicolon;
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let parse_select src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let s = select st in
+  (match peek st with
+  | Token.Eof | Token.Semicolon -> ()
+  | t -> error st "trailing input: %s" (Token.to_string t));
+  s

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the view-definition language. *)
+
+exception Parse_error of { message : string; line : int }
+
+val parse : string -> Ast.stmt list
+(** Parse a script: a sequence of semicolon-terminated statements. *)
+
+val parse_select : string -> Ast.select
+(** Parse a bare SELECT (testing convenience). *)

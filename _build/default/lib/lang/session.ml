@@ -1,0 +1,56 @@
+open Chronicle_core
+open Chronicle_temporal
+open Chronicle_events
+
+type t = {
+  db : Db.t;
+  periodics : (string, Periodic.t) Hashtbl.t;
+  windows : (string, Windowed_view.t) Hashtbl.t;
+  detectors : (string, Detector.t) Hashtbl.t; (* by chronicle name *)
+}
+
+let of_db db =
+  {
+    db;
+    periodics = Hashtbl.create 8;
+    windows = Hashtbl.create 8;
+    detectors = Hashtbl.create 8;
+  }
+
+let create () = of_db (Db.create ())
+
+let db t = t.db
+
+let add_periodic t name family =
+  if Hashtbl.mem t.periodics name then
+    invalid_arg (Printf.sprintf "Session: periodic view %s already exists" name);
+  Hashtbl.add t.periodics name family
+
+let periodic t name = Hashtbl.find_opt t.periodics name
+
+let add_windowed t name wv =
+  if Hashtbl.mem t.windows name then
+    invalid_arg (Printf.sprintf "Session: windowed view %s already exists" name);
+  Hashtbl.add t.windows name wv
+
+let windowed t name = Hashtbl.find_opt t.windows name
+
+let detector t chron =
+  let cname = Chron.name chron in
+  match Hashtbl.find_opt t.detectors cname with
+  | Some det -> det
+  | None ->
+      let det = Detector.create chron in
+      Detector.attach t.db det;
+      Hashtbl.add t.detectors cname det;
+      det
+
+let detectors t = Hashtbl.fold (fun _ d acc -> d :: acc) t.detectors []
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let periodics t = sorted_bindings t.periodics
+let windowed_views t = sorted_bindings t.windows
+let named_detectors t = sorted_bindings t.detectors

@@ -1,0 +1,38 @@
+open Chronicle_core
+open Chronicle_temporal
+open Chronicle_events
+
+(** A language session: a chronicle database plus the periodic-view
+    families and derived windowed views defined through the surface
+    language (the database itself only knows plain persistent views;
+    the temporal extensions live one layer up). *)
+
+type t
+
+val create : unit -> t
+
+val of_db : Db.t -> t
+(** Wrap an existing database (e.g. one restored from a snapshot). *)
+
+val db : t -> Db.t
+
+val add_periodic : t -> string -> Periodic.t -> unit
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val periodic : t -> string -> Periodic.t option
+
+val add_windowed : t -> string -> Windowed_view.t -> unit
+val windowed : t -> string -> Windowed_view.t option
+
+val detector : t -> Chron.t -> Detector.t
+(** The (unique, lazily created and database-attached) event detector
+    of a chronicle. *)
+
+val detectors : t -> Detector.t list
+
+(** {2 Enumeration} (sorted by name; session snapshots and tooling) *)
+
+val periodics : t -> (string * Periodic.t) list
+val windowed_views : t -> (string * Windowed_view.t) list
+val named_detectors : t -> (string * Detector.t) list
+(** Keyed by chronicle name. *)

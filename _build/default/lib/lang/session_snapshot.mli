@@ -1,0 +1,25 @@
+(** Whole-session snapshots.
+
+    {!Chronicle_core.Snapshot} captures the database (catalog, group
+    watermarks/clocks, relations, retained windows, persistent-view
+    materializations).  A language session additionally owns periodic
+    view families, derived windowed views and event detectors; this
+    module serializes all of it, so `chronicle-cli run --save/--load`
+    restores a session exactly — partial event-pattern instances, open
+    billing periods, cyclic window buffers and all.
+
+    Still not captured: pending future-effective relation updates
+    (their update functions are code; saving refuses while any are
+    queued) and [on_match]/[on_batch] callbacks (re-register after
+    load). *)
+
+exception Session_snapshot_error of string
+
+val save : Session.t -> string
+val load : string -> Session.t
+(** Raises {!Session_snapshot_error},
+    [Chronicle_core.Snapshot.Snapshot_error] or [Relational.Sexp.Parse_error]
+    on malformed input. *)
+
+val save_file : Session.t -> string -> unit
+val load_file : string -> Session.t

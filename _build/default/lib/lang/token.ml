@@ -1,0 +1,211 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw_create
+  | Kw_define
+  | Kw_chronicle
+  | Kw_relation
+  | Kw_view
+  | Kw_as
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_group
+  | Kw_by
+  | Kw_join
+  | Kw_on
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_key
+  | Kw_append
+  | Kw_insert
+  | Kw_into
+  | Kw_values
+  | Kw_show
+  | Kw_classify
+  | Kw_true
+  | Kw_false
+  | Kw_retain
+  | Kw_window
+  | Kw_full
+  | Kw_periodic
+  | Kw_calendar
+  | Kw_tiling
+  | Kw_sliding
+  | Kw_stride
+  | Kw_width
+  | Kw_start
+  | Kw_expire
+  | Kw_windowed
+  | Kw_buckets
+  | Kw_advance
+  | Kw_clock
+  | Kw_to
+  | Kw_at
+  | Kw_rule
+  | Kw_when
+  | Kw_then
+  | Kw_repeat
+  | Kw_event
+  | Kw_alerts
+  | Kw_within
+  | Kw_load
+  | Kw_cooldown
+  | Kw_reset
+  | Kw_audit
+  | Kw_stats
+  | Kw_drop
+  | Kw_plan
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Dot
+  | Op_eq
+  | Op_ne
+  | Op_le
+  | Op_lt
+  | Op_ge
+  | Op_gt
+  | Eof
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "CREATE" -> Some Kw_create
+  | "DEFINE" -> Some Kw_define
+  | "CHRONICLE" -> Some Kw_chronicle
+  | "RELATION" -> Some Kw_relation
+  | "VIEW" -> Some Kw_view
+  | "AS" -> Some Kw_as
+  | "SELECT" -> Some Kw_select
+  | "FROM" -> Some Kw_from
+  | "WHERE" -> Some Kw_where
+  | "GROUP" -> Some Kw_group
+  | "BY" -> Some Kw_by
+  | "JOIN" -> Some Kw_join
+  | "ON" -> Some Kw_on
+  | "AND" -> Some Kw_and
+  | "OR" -> Some Kw_or
+  | "NOT" -> Some Kw_not
+  | "KEY" -> Some Kw_key
+  | "APPEND" -> Some Kw_append
+  | "INSERT" -> Some Kw_insert
+  | "INTO" -> Some Kw_into
+  | "VALUES" -> Some Kw_values
+  | "SHOW" -> Some Kw_show
+  | "CLASSIFY" -> Some Kw_classify
+  | "TRUE" -> Some Kw_true
+  | "FALSE" -> Some Kw_false
+  | "RETAIN" -> Some Kw_retain
+  | "WINDOW" -> Some Kw_window
+  | "FULL" -> Some Kw_full
+  | "PERIODIC" -> Some Kw_periodic
+  | "CALENDAR" -> Some Kw_calendar
+  | "TILING" -> Some Kw_tiling
+  | "SLIDING" -> Some Kw_sliding
+  | "STRIDE" -> Some Kw_stride
+  | "WIDTH" -> Some Kw_width
+  | "START" -> Some Kw_start
+  | "EXPIRE" -> Some Kw_expire
+  | "WINDOWED" -> Some Kw_windowed
+  | "BUCKETS" -> Some Kw_buckets
+  | "ADVANCE" -> Some Kw_advance
+  | "CLOCK" -> Some Kw_clock
+  | "TO" -> Some Kw_to
+  | "AT" -> Some Kw_at
+  | "RULE" -> Some Kw_rule
+  | "WHEN" -> Some Kw_when
+  | "THEN" -> Some Kw_then
+  | "REPEAT" -> Some Kw_repeat
+  | "EVENT" -> Some Kw_event
+  | "ALERTS" -> Some Kw_alerts
+  | "WITHIN" -> Some Kw_within
+  | "LOAD" -> Some Kw_load
+  | "COOLDOWN" -> Some Kw_cooldown
+  | "RESET" -> Some Kw_reset
+  | "AUDIT" -> Some Kw_audit
+  | "STATS" -> Some Kw_stats
+  | "DROP" -> Some Kw_drop
+  | "PLAN" -> Some Kw_plan
+  | _ -> None
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Kw_create -> "CREATE"
+  | Kw_define -> "DEFINE"
+  | Kw_chronicle -> "CHRONICLE"
+  | Kw_relation -> "RELATION"
+  | Kw_view -> "VIEW"
+  | Kw_as -> "AS"
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_group -> "GROUP"
+  | Kw_by -> "BY"
+  | Kw_join -> "JOIN"
+  | Kw_on -> "ON"
+  | Kw_and -> "AND"
+  | Kw_or -> "OR"
+  | Kw_not -> "NOT"
+  | Kw_key -> "KEY"
+  | Kw_append -> "APPEND"
+  | Kw_insert -> "INSERT"
+  | Kw_into -> "INTO"
+  | Kw_values -> "VALUES"
+  | Kw_show -> "SHOW"
+  | Kw_classify -> "CLASSIFY"
+  | Kw_true -> "TRUE"
+  | Kw_false -> "FALSE"
+  | Kw_retain -> "RETAIN"
+  | Kw_window -> "WINDOW"
+  | Kw_full -> "FULL"
+  | Kw_periodic -> "PERIODIC"
+  | Kw_calendar -> "CALENDAR"
+  | Kw_tiling -> "TILING"
+  | Kw_sliding -> "SLIDING"
+  | Kw_stride -> "STRIDE"
+  | Kw_width -> "WIDTH"
+  | Kw_start -> "START"
+  | Kw_expire -> "EXPIRE"
+  | Kw_windowed -> "WINDOWED"
+  | Kw_buckets -> "BUCKETS"
+  | Kw_advance -> "ADVANCE"
+  | Kw_clock -> "CLOCK"
+  | Kw_to -> "TO"
+  | Kw_at -> "AT"
+  | Kw_rule -> "RULE"
+  | Kw_when -> "WHEN"
+  | Kw_then -> "THEN"
+  | Kw_repeat -> "REPEAT"
+  | Kw_event -> "EVENT"
+  | Kw_alerts -> "ALERTS"
+  | Kw_within -> "WITHIN"
+  | Kw_load -> "LOAD"
+  | Kw_cooldown -> "COOLDOWN"
+  | Kw_reset -> "RESET"
+  | Kw_audit -> "AUDIT"
+  | Kw_stats -> "STATS"
+  | Kw_drop -> "DROP"
+  | Kw_plan -> "PLAN"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Star -> "*"
+  | Dot -> "."
+  | Op_eq -> "="
+  | Op_ne -> "<>"
+  | Op_le -> "<="
+  | Op_lt -> "<"
+  | Op_ge -> ">="
+  | Op_gt -> ">"
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

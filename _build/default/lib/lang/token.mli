@@ -1,0 +1,85 @@
+(** Tokens of the view-definition language ℒ. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  (* keywords *)
+  | Kw_create
+  | Kw_define
+  | Kw_chronicle
+  | Kw_relation
+  | Kw_view
+  | Kw_as
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_group
+  | Kw_by
+  | Kw_join
+  | Kw_on
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_key
+  | Kw_append
+  | Kw_insert
+  | Kw_into
+  | Kw_values
+  | Kw_show
+  | Kw_classify
+  | Kw_true
+  | Kw_false
+  | Kw_retain
+  | Kw_window
+  | Kw_full
+  | Kw_periodic
+  | Kw_calendar
+  | Kw_tiling
+  | Kw_sliding
+  | Kw_stride
+  | Kw_width
+  | Kw_start
+  | Kw_expire
+  | Kw_windowed
+  | Kw_buckets
+  | Kw_advance
+  | Kw_clock
+  | Kw_to
+  | Kw_at
+  | Kw_rule
+  | Kw_when
+  | Kw_then
+  | Kw_repeat
+  | Kw_event
+  | Kw_alerts
+  | Kw_within
+  | Kw_load
+  | Kw_cooldown
+  | Kw_reset
+  | Kw_audit
+  | Kw_stats
+  | Kw_drop
+  | Kw_plan
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Dot
+  (* operators *)
+  | Op_eq
+  | Op_ne
+  | Op_le
+  | Op_lt
+  | Op_ge
+  | Op_gt
+  | Eof
+
+val keyword_of_string : string -> t option
+(** Case-insensitive keyword recognition. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Float Format List Option Printf Schema Sexp Stats String Value

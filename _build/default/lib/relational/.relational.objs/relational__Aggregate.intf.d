@@ -1,0 +1,1 @@
+lib/relational/aggregate.mli: Format Schema Sexp Value

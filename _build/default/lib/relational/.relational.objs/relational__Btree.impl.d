@@ -1,0 +1,1 @@
+lib/relational/btree.ml: Array Format Int List Option Stats

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Buffer Format Fun List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/groupby.ml: Aggregate Array Hashtbl List Option Relation Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/groupby.mli: Aggregate Relation Schema Tuple Value

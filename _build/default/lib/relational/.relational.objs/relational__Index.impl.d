@@ -1,0 +1,1 @@
+lib/relational/index.ml: Btree Hashtbl List Option Stats Value

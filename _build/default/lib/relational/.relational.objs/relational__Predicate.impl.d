@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Array Format List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/ra.ml: Aggregate Array Format Groupby Hashtbl List Option Predicate Relation Schema Stats String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/ra.mli: Aggregate Format Predicate Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format Index List Option Predicate Schema Stats String Tuple Value Vec

@@ -1,0 +1,172 @@
+type func = Count | Sum | Min | Max | Avg | Var | Stddev
+
+type call = { func : func; arg : string option; alias : string }
+
+let count_star alias = { func = Count; arg = None; alias }
+let count arg alias = { func = Count; arg = Some arg; alias }
+let sum arg alias = { func = Sum; arg = Some arg; alias }
+let min_ arg alias = { func = Min; arg = Some arg; alias }
+let max_ arg alias = { func = Max; arg = Some arg; alias }
+let avg arg alias = { func = Avg; arg = Some arg; alias }
+let var_ arg alias = { func = Var; arg = Some arg; alias }
+let stddev arg alias = { func = Stddev; arg = Some arg; alias }
+
+type state =
+  | Count_st of int
+  | Sum_st of Value.t option (* None = empty group *)
+  | Minmax_st of Value.t option
+  | Avg_st of float * int (* running sum, count of non-null *)
+  | Moments_st of { n : int; sum : float; sumsq : float }
+
+let init = function
+  | Count -> Count_st 0
+  | Sum -> Sum_st None
+  | Min | Max -> Minmax_st None
+  | Avg -> Avg_st (0., 0)
+  | Var | Stddev -> Moments_st { n = 0; sum = 0.; sumsq = 0. }
+
+let step func st v =
+  Stats.incr Stats.Agg_step;
+  match func, st with
+  | Count, Count_st n -> Count_st (if Value.is_null v then n else n + 1)
+  | Sum, Sum_st acc ->
+      if Value.is_null v then st
+      else Sum_st (Some (match acc with None -> v | Some a -> Value.add a v))
+  | Min, Minmax_st acc ->
+      if Value.is_null v then st
+      else
+        Minmax_st
+          (Some
+             (match acc with
+             | None -> v
+             | Some a -> if Value.compare v a < 0 then v else a))
+  | Max, Minmax_st acc ->
+      if Value.is_null v then st
+      else
+        Minmax_st
+          (Some
+             (match acc with
+             | None -> v
+             | Some a -> if Value.compare v a > 0 then v else a))
+  | Avg, Avg_st (s, n) ->
+      if Value.is_null v then st else Avg_st (s +. Value.to_float v, n + 1)
+  | (Var | Stddev), Moments_st { n; sum; sumsq } ->
+      if Value.is_null v then st
+      else
+        let x = Value.to_float v in
+        Moments_st { n = n + 1; sum = sum +. x; sumsq = sumsq +. (x *. x) }
+  | (Count | Sum | Min | Max | Avg | Var | Stddev), _ ->
+      invalid_arg "Aggregate.step: state does not match function"
+
+let merge func a b =
+  match func, a, b with
+  | Count, Count_st x, Count_st y -> Count_st (x + y)
+  | Sum, Sum_st x, Sum_st y -> (
+      match x, y with
+      | None, s | s, None -> Sum_st s
+      | Some x, Some y -> Sum_st (Some (Value.add x y)))
+  | Min, Minmax_st x, Minmax_st y -> (
+      match x, y with
+      | None, s | s, None -> Minmax_st s
+      | Some x, Some y -> Minmax_st (Some (if Value.compare x y <= 0 then x else y)))
+  | Max, Minmax_st x, Minmax_st y -> (
+      match x, y with
+      | None, s | s, None -> Minmax_st s
+      | Some x, Some y -> Minmax_st (Some (if Value.compare x y >= 0 then x else y)))
+  | Avg, Avg_st (s1, n1), Avg_st (s2, n2) -> Avg_st (s1 +. s2, n1 + n2)
+  | (Var | Stddev), Moments_st a, Moments_st b ->
+      Moments_st
+        { n = a.n + b.n; sum = a.sum +. b.sum; sumsq = a.sumsq +. b.sumsq }
+  | (Count | Sum | Min | Max | Avg | Var | Stddev), _, _ ->
+      invalid_arg "Aggregate.merge: state does not match function"
+
+let final func st =
+  match func, st with
+  | Count, Count_st n -> Value.Int n
+  | Sum, Sum_st None -> Value.Null
+  | Sum, Sum_st (Some v) -> v
+  | (Min | Max), Minmax_st acc -> (
+      match acc with None -> Value.Null | Some v -> v)
+  | Avg, Avg_st (_, 0) -> Value.Null
+  | Avg, Avg_st (s, n) -> Value.Float (s /. float_of_int n)
+  | (Var | Stddev), Moments_st { n = 0; _ } -> Value.Null
+  | (Var | Stddev), Moments_st { n; sum; sumsq } ->
+      let nf = float_of_int n in
+      let mean = sum /. nf in
+      (* population variance, clamped against rounding *)
+      let var = Float.max 0. ((sumsq /. nf) -. (mean *. mean)) in
+      Value.Float (match func with Stddev -> sqrt var | _ -> var)
+  | (Count | Sum | Min | Max | Avg | Var | Stddev), _ ->
+      invalid_arg "Aggregate.final: state does not match function"
+
+let batch func values =
+  final func (List.fold_left (step func) (init func) values)
+
+let func_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+  | Var -> "VAR"
+  | Stddev -> "STDDEV"
+
+let func_of_name s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | "VAR" | "VARIANCE" -> Some Var
+  | "STDDEV" -> Some Stddev
+  | _ -> None
+
+let output_ty func arg_ty =
+  match func, arg_ty with
+  | Count, _ -> Value.TInt
+  | (Avg | Var | Stddev), _ -> Value.TFloat
+  | (Sum | Min | Max), Some ty -> ty
+  | (Sum | Min | Max), None ->
+      invalid_arg "Aggregate.output_ty: SUM/MIN/MAX need an argument"
+
+let result_schema schema group_attrs calls =
+  let group_part =
+    List.map (fun a -> (a, Schema.ty schema a)) group_attrs
+  in
+  let agg_part =
+    List.map
+      (fun c ->
+        let arg_ty = Option.map (Schema.ty schema) c.arg in
+        (c.alias, output_ty c.func arg_ty))
+      calls
+  in
+  Schema.make (group_part @ agg_part)
+
+let pp_call ppf c =
+  match c.arg with
+  | None -> Format.fprintf ppf "%s(*) AS %s" (func_name c.func) c.alias
+  | Some a -> Format.fprintf ppf "%s(%s) AS %s" (func_name c.func) a c.alias
+
+let sexp_of_state = function
+  | Count_st n -> Sexp.List [ Sexp.Atom "count"; Sexp.int n ]
+  | Sum_st None -> Sexp.List [ Sexp.Atom "sum" ]
+  | Sum_st (Some v) -> Sexp.List [ Sexp.Atom "sum"; Value.to_sexp v ]
+  | Minmax_st None -> Sexp.List [ Sexp.Atom "minmax" ]
+  | Minmax_st (Some v) -> Sexp.List [ Sexp.Atom "minmax"; Value.to_sexp v ]
+  | Avg_st (s, n) -> Sexp.List [ Sexp.Atom "avg"; Sexp.float s; Sexp.int n ]
+  | Moments_st { n; sum; sumsq } ->
+      Sexp.List [ Sexp.Atom "moments"; Sexp.int n; Sexp.float sum; Sexp.float sumsq ]
+
+let state_of_sexp = function
+  | Sexp.List [ Sexp.Atom "count"; n ] -> Count_st (Sexp.to_int n)
+  | Sexp.List [ Sexp.Atom "sum" ] -> Sum_st None
+  | Sexp.List [ Sexp.Atom "sum"; v ] -> Sum_st (Some (Value.of_sexp v))
+  | Sexp.List [ Sexp.Atom "minmax" ] -> Minmax_st None
+  | Sexp.List [ Sexp.Atom "minmax"; v ] -> Minmax_st (Some (Value.of_sexp v))
+  | Sexp.List [ Sexp.Atom "avg"; s; n ] -> Avg_st (Sexp.to_float s, Sexp.to_int n)
+  | Sexp.List [ Sexp.Atom "moments"; n; sum; sumsq ] ->
+      Moments_st
+        { n = Sexp.to_int n; sum = Sexp.to_float sum; sumsq = Sexp.to_float sumsq }
+  | sexp ->
+      failwith (Printf.sprintf "Aggregate.state_of_sexp: %s" (Sexp.to_string sexp))

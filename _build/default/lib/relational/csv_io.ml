@@ -1,0 +1,170 @@
+exception Csv_error of { message : string; line : int }
+
+let csv_error line fmt =
+  Format.kasprintf (fun message -> raise (Csv_error { message; line })) fmt
+
+(* ---- low-level record reader ---- *)
+
+(* Split CSV text into records of fields, honouring quotes.  Newlines
+   inside quoted fields are preserved; CRLF is accepted. *)
+let records_of_string text =
+  let n = String.length text in
+  let records = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := (List.rev !fields, !line) :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  let any = ref false in
+  while !i < n do
+    let c = text.[!i] in
+    any := true;
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        if c = '\n' then incr line;
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else
+      match c with
+      | '"' ->
+          in_quotes := true;
+          incr i
+      | ',' ->
+          flush_field ();
+          incr i
+      | '\r' -> incr i
+      | '\n' ->
+          flush_record ();
+          incr line;
+          incr i
+      | _ ->
+          Buffer.add_char buf c;
+          incr i
+  done;
+  if !in_quotes then csv_error !line "unterminated quoted field";
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  ignore !any;
+  List.rev !records
+
+(* ---- typed conversion ---- *)
+
+let parse_value ty s =
+  if String.length s = 0 then Value.Null
+  else
+    match ty with
+    | Value.TInt -> Value.Int (int_of_string (String.trim s))
+    | Value.TFloat -> Value.Float (float_of_string (String.trim s))
+    | Value.TStr -> Value.Str s
+    | Value.TBool -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "true" | "t" | "1" | "yes" -> Value.Bool true
+        | "false" | "f" | "0" | "no" -> Value.Bool false
+        | _ -> failwith (Printf.sprintf "%S is not a boolean" s))
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let format_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.12g" f
+  | Value.Str s -> if needs_quoting s || s = "" then quote s else s
+
+let tuples_of_string ?(header = true) schema text =
+  let records = records_of_string text in
+  let records =
+    match header, records with
+    | false, _ -> records
+    | true, [] -> csv_error 1 "missing header row"
+    | true, (names, line) :: rest ->
+        let expected = Schema.names schema in
+        if not (List.equal String.equal (List.map String.trim names) expected)
+        then
+          csv_error line "header %s does not match schema (%s)"
+            (String.concat "," names)
+            (String.concat "," expected);
+        rest
+  in
+  let attrs = Schema.attrs schema in
+  List.map
+    (fun (fields, line) ->
+      if List.length fields <> Array.length attrs then
+        csv_error line "expected %d fields, found %d" (Array.length attrs)
+          (List.length fields);
+      Tuple.make
+        (List.mapi
+           (fun i field ->
+             let a = attrs.(i) in
+             try parse_value a.Schema.ty field
+             with Failure msg | Invalid_argument msg ->
+               csv_error line "field %s: %s" a.Schema.name msg)
+           fields))
+    records
+
+let string_of_tuples ?(header = true) schema tuples =
+  let buf = Buffer.create 1024 in
+  if header then begin
+    Buffer.add_string buf (String.concat "," (Schema.names schema));
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun tu ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map format_value (Array.to_list (tu : Tuple.t))));
+      Buffer.add_char buf '\n')
+    tuples;
+  Buffer.contents buf
+
+let load_relation rel ?header text =
+  let tuples = tuples_of_string ?header (Relation.schema rel) text in
+  Relation.insert_all rel tuples;
+  List.length tuples
+
+let dump_relation ?header rel =
+  string_of_tuples ?header (Relation.schema rel) (Relation.to_list rel)
+
+let load_file ?header schema path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  tuples_of_string ?header schema text
+
+let save_file ?header schema path tuples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (string_of_tuples ?header schema tuples))

@@ -1,0 +1,30 @@
+(** Schema-driven CSV import/export for relations and tuple streams.
+
+    The dialect is RFC-4180-ish: comma-separated, double-quote quoting
+    with [""] as the embedded-quote escape, and an optional header row.
+    Values parse according to the target schema ([Null] for empty,
+    unquoted fields). *)
+
+exception Csv_error of { message : string; line : int }
+
+val parse_value : Value.ty -> string -> Value.t
+(** Raises {!Csv_error}-free [Failure]…: use {!tuples_of_string} for
+    located errors.  Empty strings parse as [Null]. *)
+
+val format_value : Value.t -> string
+
+val tuples_of_string : ?header:bool -> Schema.t -> string -> Tuple.t list
+(** Parse CSV text into tuples of the schema.  With [header] (default
+    true) the first row is checked against the schema's attribute
+    names.  Raises {!Csv_error} on malformed input, arity mismatches,
+    or unparsable fields. *)
+
+val string_of_tuples : ?header:bool -> Schema.t -> Tuple.t list -> string
+
+val load_relation : Relation.t -> ?header:bool -> string -> int
+(** Insert all rows of the CSV text; returns the count. *)
+
+val dump_relation : ?header:bool -> Relation.t -> string
+
+val load_file : ?header:bool -> Schema.t -> string -> Tuple.t list
+val save_file : ?header:bool -> Schema.t -> string -> Tuple.t list -> unit

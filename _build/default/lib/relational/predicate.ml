@@ -1,0 +1,103 @@
+type op = Eq | Ne | Le | Lt | Gt | Ge
+
+type operand = Attr of string | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of operand * op * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eval_op op a b =
+  match op with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Le -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b <= 0
+  | Lt -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b < 0
+  | Gt -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b > 0
+  | Ge -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b >= 0
+
+let compile schema pred =
+  let operand = function
+    | Attr name ->
+        let i = Schema.pos schema name in
+        fun (t : Tuple.t) -> t.(i)
+    | Const v -> fun _ -> v
+  in
+  let rec go = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Cmp (a, op, b) ->
+        let fa = operand a and fb = operand b in
+        fun t -> eval_op op (fa t) (fb t)
+    | And (p, q) ->
+        let fp = go p and fq = go q in
+        fun t -> fp t && fq t
+    | Or (p, q) ->
+        let fp = go p and fq = go q in
+        fun t -> fp t || fq t
+    | Not p ->
+        let fp = go p in
+        fun t -> not (fp t)
+  in
+  go pred
+
+let eval schema pred t = compile schema pred t
+
+let attrs pred =
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (a, _, b) ->
+        let add acc = function Attr n -> n :: acc | Const _ -> acc in
+        add (add acc a) b
+    | And (p, q) | Or (p, q) -> go (go acc p) q
+    | Not p -> go acc p
+  in
+  List.sort_uniq String.compare (go [] pred)
+
+let is_ca_form pred =
+  let rec disjunct = function
+    | True | False | Cmp _ -> true
+    | Or (p, q) -> disjunct p && disjunct q
+    | And _ | Not _ -> false
+  in
+  disjunct pred
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> False
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let ( =% ) a v = Cmp (Attr a, Eq, Const v)
+let ( <>% ) a v = Cmp (Attr a, Ne, Const v)
+let ( <% ) a v = Cmp (Attr a, Lt, Const v)
+let ( <=% ) a v = Cmp (Attr a, Le, Const v)
+let ( >% ) a v = Cmp (Attr a, Gt, Const v)
+let ( >=% ) a v = Cmp (Attr a, Ge, Const v)
+let attr_eq a b = Cmp (Attr a, Eq, Attr b)
+
+let op_name = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Le -> "<="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_operand ppf = function
+  | Attr a -> Format.pp_print_string ppf a
+  | Const v -> Value.pp ppf v
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (a, op, b) ->
+      Format.fprintf ppf "%a %s %a" pp_operand a (op_name op) pp_operand b
+  | And (p, q) -> Format.fprintf ppf "(%a AND %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a OR %a)" pp p pp q
+  | Not p -> Format.fprintf ppf "NOT (%a)" pp p

@@ -1,0 +1,54 @@
+(** Selection predicates.
+
+    The chronicle algebra of the paper restricts selection conditions to
+    comparisons [A θ B] and [A θ k] with [θ ∈ {=,≠,≤,<,>,≥}] and
+    disjunctions of such terms; the substrate additionally supports
+    conjunction and negation (they do not change per-tuple evaluation
+    cost).  {!is_ca_form} checks the paper's restricted form. *)
+
+type op = Eq | Ne | Le | Lt | Gt | Ge
+
+type operand = Attr of string | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of operand * op * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval_op : op -> Value.t -> Value.t -> bool
+(** Comparisons against [Null] are false (SQL-like), except [Eq]/[Ne]
+    which treat [Null] as an ordinary value. *)
+
+val compile : Schema.t -> t -> Tuple.t -> bool
+(** Resolve attribute names to positions once; the returned closure
+    evaluates in time linear in the predicate size.  Raises
+    [Schema.Unknown_attribute] on unresolved names. *)
+
+val eval : Schema.t -> t -> Tuple.t -> bool
+
+val attrs : t -> string list
+(** All attribute names mentioned, without duplicates. *)
+
+val is_ca_form : t -> bool
+(** True when the predicate is a disjunction of atomic comparisons, the
+    form Definition 4.1 of the paper allows ([True]/[False] are
+    accepted as the empty forms). *)
+
+val conj : t list -> t
+val disj : t list -> t
+
+(** Convenience constructors: [attr = const] etc. *)
+
+val ( =% ) : string -> Value.t -> t
+val ( <>% ) : string -> Value.t -> t
+val ( <% ) : string -> Value.t -> t
+val ( <=% ) : string -> Value.t -> t
+val ( >% ) : string -> Value.t -> t
+val ( >=% ) : string -> Value.t -> t
+val attr_eq : string -> string -> t
+
+val op_name : op -> string
+val pp : Format.formatter -> t -> unit

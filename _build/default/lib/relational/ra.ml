@@ -1,0 +1,201 @@
+type t =
+  | Rel of Relation.t
+  | Const of Schema.t * Tuple.t list
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Product of t * t
+  | EquiJoin of (string * string) list * t * t
+  | ThetaJoin of Predicate.t * t * t
+  | Union of t * t
+  | Diff of t * t
+  | GroupBy of string list * Aggregate.call list * t
+  | Rename of (string * string) list * t
+  | Prefix of string * t
+  | Distinct of t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let join_schema pairs ls rs =
+  (* check the pairs resolve and are type-compatible, then drop the
+     right-side join attributes *)
+  List.iter
+    (fun (a, b) ->
+      match Schema.pos_opt ls a, Schema.pos_opt rs b with
+      | None, _ -> type_error "join attribute %s not in left operand" a
+      | _, None -> type_error "join attribute %s not in right operand" b
+      | Some _, Some _ ->
+          if Schema.ty ls a <> Schema.ty rs b then
+            type_error "join attributes %s and %s have different types" a b)
+    pairs;
+  let dropped = List.map snd pairs in
+  let keep = List.filter (fun n -> not (List.mem n dropped)) (Schema.names rs) in
+  Schema.concat ls (Schema.project rs keep)
+
+let rec schema_of = function
+  | Rel r -> Relation.schema r
+  | Const (s, _) -> s
+  | Select (p, e) ->
+      let s = schema_of e in
+      List.iter
+        (fun a ->
+          if not (Schema.mem s a) then
+            type_error "selection mentions unknown attribute %s" a)
+        (Predicate.attrs p);
+      s
+  | Project (attrs, e) -> (
+      let s = schema_of e in
+      try Schema.project s attrs
+      with Schema.Unknown_attribute a ->
+        type_error "projection on unknown attribute %s" a)
+  | Product (l, r) -> (
+      try Schema.concat (schema_of l) (schema_of r)
+      with Schema.Duplicate_attribute a ->
+        type_error "product operands share attribute %s" a)
+  | EquiJoin (pairs, l, r) -> join_schema pairs (schema_of l) (schema_of r)
+  | ThetaJoin (p, l, r) ->
+      let s =
+        try Schema.concat (schema_of l) (schema_of r)
+        with Schema.Duplicate_attribute a ->
+          type_error "join operands share attribute %s" a
+      in
+      List.iter
+        (fun a ->
+          if not (Schema.mem s a) then
+            type_error "join predicate mentions unknown attribute %s" a)
+        (Predicate.attrs p);
+      s
+  | Union (l, r) | Diff (l, r) ->
+      let ls = schema_of l and rs = schema_of r in
+      if not (Schema.union_compatible ls rs) then
+        type_error "union/difference operands are not compatible: %a vs %a"
+          Schema.pp ls Schema.pp rs;
+      ls
+  | GroupBy (gl, al, e) ->
+      let s = schema_of e in
+      (try Aggregate.result_schema s gl al
+       with Schema.Unknown_attribute a ->
+         type_error "grouping on unknown attribute %s" a)
+  | Rename (mapping, e) -> (
+      try Schema.rename (schema_of e) mapping
+      with Schema.Duplicate_attribute a -> type_error "rename clashes on %s" a)
+  | Prefix (p, e) -> Schema.prefix p (schema_of e)
+  | Distinct e -> schema_of e
+
+let hash_join pairs ls rs left right =
+  let module Tbl = Hashtbl.Make (struct
+    type t = Value.t list
+
+    let equal = Value.equal_list
+    let hash = Value.hash_list
+  end) in
+  let rkey = Tuple.projector rs (List.map snd pairs) in
+  let lkey = Tuple.projector ls (List.map fst pairs) in
+  let dropped = List.map snd pairs in
+  let keep = List.filter (fun n -> not (List.mem n dropped)) (Schema.names rs) in
+  let rproj = Tuple.projector rs keep in
+  let table = Tbl.create 256 in
+  List.iter
+    (fun tu ->
+      let k = Array.to_list (rkey tu) in
+      Tbl.replace table k (tu :: Option.value ~default:[] (Tbl.find_opt table k)))
+    right;
+  List.concat_map
+    (fun ltu ->
+      let k = Array.to_list (lkey ltu) in
+      Stats.incr Stats.Index_probe;
+      match Tbl.find_opt table k with
+      | None -> []
+      | Some matches ->
+          List.rev_map (fun rtu -> Tuple.concat ltu (rproj rtu)) matches)
+    left
+
+let rec eval expr =
+  match expr with
+  | Rel r -> Relation.to_list r
+  | Const (_, tuples) -> tuples
+  | Select (p, e) ->
+      let s = schema_of e in
+      let keep = Predicate.compile s p in
+      List.filter
+        (fun tu ->
+          Stats.incr Stats.Tuple_read;
+          keep tu)
+        (eval e)
+  | Project (attrs, e) ->
+      let s = schema_of e in
+      let proj = Tuple.projector s attrs in
+      List.map proj (eval e)
+  | Product (l, r) ->
+      let lt = eval l and rt = eval r in
+      List.concat_map
+        (fun ltu ->
+          List.map
+            (fun rtu ->
+              Stats.incr Stats.Tuple_read;
+              Tuple.concat ltu rtu)
+            rt)
+        lt
+  | EquiJoin (pairs, l, r) ->
+      ignore (schema_of expr);
+      hash_join pairs (schema_of l) (schema_of r) (eval l) (eval r)
+  | ThetaJoin (p, l, r) ->
+      let s = schema_of expr in
+      let keep = Predicate.compile s p in
+      let lt = eval l and rt = eval r in
+      List.concat_map
+        (fun ltu ->
+          List.filter_map
+            (fun rtu ->
+              Stats.incr Stats.Tuple_read;
+              let tu = Tuple.concat ltu rtu in
+              if keep tu then Some tu else None)
+            rt)
+        lt
+  | Union (l, r) ->
+      ignore (schema_of expr);
+      Tuple.dedup (eval l @ eval r)
+  | Diff (l, r) ->
+      ignore (schema_of expr);
+      Tuple.diff (eval l) (eval r)
+  | GroupBy (gl, al, e) ->
+      let s = schema_of e in
+      snd (Groupby.run s (eval e) ~group_by:gl ~aggs:al)
+  | Rename (_, e) | Prefix (_, e) -> eval e
+  | Distinct e -> Tuple.dedup (eval e)
+
+let eval_rel ~name expr =
+  let schema = schema_of expr in
+  let rel = Relation.create ~name ~schema () in
+  List.iter (fun tu -> ignore (Relation.insert rel tu)) (eval expr);
+  rel
+
+let rec pp ppf = function
+  | Rel r -> Format.pp_print_string ppf (Relation.name r)
+  | Const (_, tuples) -> Format.fprintf ppf "{%d tuples}" (List.length tuples)
+  | Select (p, e) -> Format.fprintf ppf "@[σ[%a](%a)@]" Predicate.pp p pp e
+  | Project (attrs, e) ->
+      Format.fprintf ppf "@[π[%s](%a)@]" (String.concat "," attrs) pp e
+  | Product (l, r) -> Format.fprintf ppf "@[(%a × %a)@]" pp l pp r
+  | EquiJoin (pairs, l, r) ->
+      let pp_pair ppf (a, b) = Format.fprintf ppf "%s=%s" a b in
+      Format.fprintf ppf "@[(%a ⋈[%a] %a)@]" pp l
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_pair)
+        pairs pp r
+  | ThetaJoin (p, l, r) ->
+      Format.fprintf ppf "@[(%a ⋈θ[%a] %a)@]" pp l Predicate.pp p pp r
+  | Union (l, r) -> Format.fprintf ppf "@[(%a ∪ %a)@]" pp l pp r
+  | Diff (l, r) -> Format.fprintf ppf "@[(%a − %a)@]" pp l pp r
+  | GroupBy (gl, al, e) ->
+      Format.fprintf ppf "@[γ[%s; %a](%a)@]" (String.concat "," gl)
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Aggregate.pp_call)
+        al pp e
+  | Rename (mapping, e) ->
+      let pp_one ppf (a, b) = Format.fprintf ppf "%s→%s" a b in
+      Format.fprintf ppf "@[ρ[%a](%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_one)
+        mapping pp e
+  | Prefix (p, e) -> Format.fprintf ppf "@[ρ[%s.*](%a)@]" p pp e
+  | Distinct e -> Format.fprintf ppf "@[δ(%a)@]" pp e

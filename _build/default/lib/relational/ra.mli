@@ -1,0 +1,47 @@
+(** Relational algebra over relations, extended with grouping and
+    aggregation.
+
+    This is the substrate query language: Proposition 3.1's "obvious
+    candidate" for the view-definition language ℒ (shown by the paper to
+    be only IM-Cᵏ), the engine behind the recomputation baselines, and
+    the language for ad-hoc queries over persistent views.
+
+    Semantics: [Select]/[Project]/[Product]/[Join]/[GroupBy] are
+    evaluated with bag semantics; [Union], [Diff] and [Distinct] apply
+    set semantics (union "discards tuples common to E₁ and E₂", as in
+    the paper's Δ-rules). *)
+
+type t =
+  | Rel of Relation.t
+  | Const of Schema.t * Tuple.t list  (** inline literal collection *)
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Product of t * t
+      (** Cartesian product; operand attribute names must be disjoint
+          (use [Rename]/[Prefix]). *)
+  | EquiJoin of (string * string) list * t * t
+      (** [(a, b)] pairs equate left attribute [a] with right attribute
+          [b]; the right join attributes are dropped from the result. *)
+  | ThetaJoin of Predicate.t * t * t
+      (** General join: product filtered by a predicate over the
+          concatenated schema. *)
+  | Union of t * t
+  | Diff of t * t
+  | GroupBy of string list * Aggregate.call list * t
+  | Rename of (string * string) list * t
+  | Prefix of string * t  (** qualify every attribute as ["p.a"] *)
+  | Distinct of t
+
+exception Type_error of string
+
+val schema_of : t -> Schema.t
+(** Static schema; raises {!Type_error} on ill-formed expressions
+    (unknown attributes, union-incompatible operands, name clashes). *)
+
+val eval : t -> Tuple.t list
+(** Evaluate to a tuple list (bumps the usual tuple counters). *)
+
+val eval_rel : name:string -> t -> Relation.t
+(** Evaluate and materialize into a fresh relation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type attr = { name : string; ty : Value.ty }
+
+type t = { attrs : attr array; positions : (string, int) Hashtbl.t }
+
+exception Unknown_attribute of string
+exception Duplicate_attribute of string
+
+let of_attrs attrs =
+  let positions = Hashtbl.create (Array.length attrs * 2) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem positions a.name then raise (Duplicate_attribute a.name);
+      Hashtbl.add positions a.name i)
+    attrs;
+  { attrs; positions }
+
+let make l =
+  of_attrs (Array.of_list (List.map (fun (name, ty) -> { name; ty }) l))
+
+let attrs t = t.attrs
+let arity t = Array.length t.attrs
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+let mem t name = Hashtbl.mem t.positions name
+
+let pos t name =
+  match Hashtbl.find_opt t.positions name with
+  | Some i -> i
+  | None -> raise (Unknown_attribute name)
+
+let pos_opt t name = Hashtbl.find_opt t.positions name
+let ty t name = t.attrs.(pos t name).ty
+
+let project t names =
+  of_attrs (Array.of_list (List.map (fun n -> t.attrs.(pos t n)) names))
+
+let concat a b = of_attrs (Array.append a.attrs b.attrs)
+
+let remove t name =
+  let i = pos t name in
+  of_attrs (Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list t.attrs)))
+
+let rename t mapping =
+  let rename_one a =
+    match List.assoc_opt a.name mapping with
+    | Some name' -> { a with name = name' }
+    | None -> a
+  in
+  of_attrs (Array.map rename_one t.attrs)
+
+let prefix p t =
+  of_attrs (Array.map (fun a -> { a with name = p ^ "." ^ a.name }) t.attrs)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.ty = y.ty) a.attrs b.attrs
+
+let union_compatible a b =
+  arity a = arity b && Array.for_all2 (fun x y -> x.ty = y.ty) a.attrs b.attrs
+
+let pp ppf t =
+  let pp_attr ppf a = Format.fprintf ppf "%s:%s" a.name (Value.ty_name a.ty) in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_attr)
+    (Array.to_seq t.attrs)

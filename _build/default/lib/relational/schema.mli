@@ -1,0 +1,45 @@
+(** Relation and chronicle schemas: ordered lists of typed, named
+    attributes with O(1) position lookup. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t
+
+exception Unknown_attribute of string
+exception Duplicate_attribute of string
+
+val make : (string * Value.ty) list -> t
+(** Raises {!Duplicate_attribute} if a name repeats. *)
+
+val attrs : t -> attr array
+val arity : t -> int
+val names : t -> string list
+
+val mem : t -> string -> bool
+val pos : t -> string -> int
+(** Position of an attribute; raises {!Unknown_attribute}. *)
+
+val pos_opt : t -> string -> int option
+val ty : t -> string -> Value.ty
+
+val project : t -> string list -> t
+(** Schema restricted to the given attributes, in the given order. *)
+
+val concat : t -> t -> t
+(** Schema of a product/join result. Raises {!Duplicate_attribute} when
+    the operand schemas share a name; disambiguate with {!rename} or
+    {!prefix} first. *)
+
+val remove : t -> string -> t
+val rename : t -> (string * string) list -> t
+val prefix : string -> t -> t
+(** [prefix "c" s] renames every attribute [a] to ["c.a"]. *)
+
+val equal : t -> t -> bool
+(** Same names and types in the same order. *)
+
+val union_compatible : t -> t -> bool
+(** Same types in the same order (names may differ), as required by the
+    algebra's union and difference. *)
+
+val pp : Format.formatter -> t -> unit

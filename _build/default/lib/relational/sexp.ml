@@ -1,0 +1,221 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of { message : string; pos : int }
+
+let parse_error pos fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { message; pos })) fmt
+
+(* ---- printing ---- *)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' || c = ')'
+         || c = '"' || c = '\\' || c = ';')
+       s
+
+let quote_atom s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_to_string s = if needs_quoting s then quote_atom s else s
+
+let rec to_string = function
+  | Atom s -> atom_to_string s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let to_string_pretty sexp =
+  let buf = Buffer.create 1024 in
+  let rec go indent sexp =
+    match sexp with
+    | Atom s -> Buffer.add_string buf (atom_to_string s)
+    | List items when List.for_all (function Atom _ -> true | List _ -> false) items
+      ->
+        Buffer.add_string buf (to_string sexp)
+    | List items ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make (indent + 1) ' ')
+            end;
+            go (indent + 1) item)
+          items;
+        Buffer.add_char buf ')'
+  in
+  go 0 sexp;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek_char c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let rec skip_ws c =
+  match peek_char c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      skip_ws c
+  | Some ';' ->
+      (* comment to end of line *)
+      while peek_char c <> None && peek_char c <> Some '\n' do
+        c.pos <- c.pos + 1
+      done;
+      skip_ws c
+  | _ -> ()
+
+let parse_quoted c =
+  let buf = Buffer.create 16 in
+  c.pos <- c.pos + 1;
+  let rec go () =
+    match peek_char c with
+    | None -> parse_error c.pos "unterminated quoted atom"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek_char c with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char buf c.text.[c.pos];
+            c.pos <- c.pos + 1;
+            go ()
+        | Some ch -> parse_error c.pos "bad escape \\%c" ch
+        | None -> parse_error c.pos "unterminated escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_bare c =
+  let start = c.pos in
+  let is_end = function
+    | None -> true
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') -> true
+    | Some _ -> false
+  in
+  while not (is_end (peek_char c)) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then parse_error c.pos "expected an atom";
+  String.sub c.text start (c.pos - start)
+
+let rec parse_one c =
+  skip_ws c;
+  match peek_char c with
+  | None -> parse_error c.pos "unexpected end of input"
+  | Some '(' ->
+      c.pos <- c.pos + 1;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws c;
+        match peek_char c with
+        | Some ')' -> c.pos <- c.pos + 1
+        | None -> parse_error c.pos "unterminated list"
+        | Some _ ->
+            items := parse_one c :: !items;
+            loop ()
+      in
+      loop ();
+      List (List.rev !items)
+  | Some ')' -> parse_error c.pos "unexpected ')'"
+  | Some '"' -> Atom (parse_quoted c)
+  | Some _ -> Atom (parse_bare c)
+
+let of_string text =
+  let c = { text; pos = 0 } in
+  let sexp = parse_one c in
+  skip_ws c;
+  (match peek_char c with
+  | None -> ()
+  | Some ch -> parse_error c.pos "trailing input starting with %C" ch);
+  sexp
+
+let of_string_many text =
+  let c = { text; pos = 0 } in
+  let items = ref [] in
+  let rec loop () =
+    skip_ws c;
+    if peek_char c <> None then begin
+      items := parse_one c :: !items;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !items
+
+(* ---- helpers ---- *)
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+let float f = Atom (Printf.sprintf "%h" f)
+let bool b = Atom (string_of_bool b)
+
+let shape_error what sexp =
+  failwith (Printf.sprintf "Sexp: expected %s, got %s" what (to_string sexp))
+
+let to_atom = function Atom s -> s | List _ as s -> shape_error "an atom" s
+
+let to_int s =
+  match int_of_string_opt (to_atom s) with
+  | Some i -> i
+  | None -> shape_error "an integer" s
+
+let to_float s =
+  match float_of_string_opt (to_atom s) with
+  | Some f -> f
+  | None -> shape_error "a float" s
+
+let to_bool s =
+  match bool_of_string_opt (to_atom s) with
+  | Some b -> b
+  | None -> shape_error "a boolean" s
+
+let to_list = function List l -> l | Atom _ as s -> shape_error "a list" s
+
+let field_opt sexp name =
+  match sexp with
+  | List items ->
+      List.find_map
+        (function
+          | List [ Atom n; v ] when String.equal n name -> Some v
+          | List (Atom n :: (_ :: _ :: _ as vs)) when String.equal n name ->
+              Some (List vs)
+          | _ -> None)
+        items
+  | Atom _ -> None
+
+let field sexp name =
+  match field_opt sexp name with
+  | Some v -> v
+  | None -> shape_error (Printf.sprintf "a field %S" name) sexp
+
+let record fields = List (List.map (fun (n, v) -> List [ Atom n; v ]) fields)

@@ -1,0 +1,40 @@
+(** Minimal S-expressions: the serialization substrate for snapshots.
+
+    Atoms are quoted when they contain whitespace, parentheses, quotes
+    or are empty; inside quotes, backslash escapes the quote and itself,
+    and the usual n/t/r escapes apply. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of { message : string; pos : int }
+
+val to_string : t -> string
+val to_string_pretty : t -> string
+(** Indented, one nested list per line — diff-friendly snapshots. *)
+
+val of_string : string -> t
+(** Parses exactly one S-expression (surrounding whitespace allowed). *)
+
+val of_string_many : string -> t list
+
+(** {2 Conversion helpers} *)
+
+val atom : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+
+val to_atom : t -> string
+(** Raises {!Parse_error}-style [Failure] when the shape is wrong. *)
+
+val to_int : t -> int
+val to_float : t -> float
+val to_bool : t -> bool
+val to_list : t -> t list
+
+val field : t -> string -> t
+(** [field (List [...; List [Atom name; v]; ...]) name = v]; raises
+    [Failure] if absent. *)
+
+val field_opt : t -> string -> t option
+val record : (string * t) list -> t

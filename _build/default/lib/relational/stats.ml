@@ -1,0 +1,62 @@
+type counter =
+  | Index_probe
+  | Index_node_visit
+  | Tuple_read
+  | Tuple_write
+  | Agg_step
+  | Group_lookup
+  | Chronicle_scan
+
+let all =
+  [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
+    Group_lookup; Chronicle_scan ]
+
+let slot = function
+  | Index_probe -> 0
+  | Index_node_visit -> 1
+  | Tuple_read -> 2
+  | Tuple_write -> 3
+  | Agg_step -> 4
+  | Group_lookup -> 5
+  | Chronicle_scan -> 6
+
+let counter_name = function
+  | Index_probe -> "index_probe"
+  | Index_node_visit -> "index_node_visit"
+  | Tuple_read -> "tuple_read"
+  | Tuple_write -> "tuple_write"
+  | Agg_step -> "agg_step"
+  | Group_lookup -> "group_lookup"
+  | Chronicle_scan -> "chronicle_scan"
+
+let counts = Array.make 7 0
+
+let incr c =
+  let i = slot c in
+  counts.(i) <- counts.(i) + 1
+
+let add c n =
+  let i = slot c in
+  counts.(i) <- counts.(i) + n
+
+let get c = counts.(slot c)
+
+type snapshot = int array
+
+let snapshot () = Array.copy counts
+let reset () = Array.fill counts 0 (Array.length counts) 0
+
+let diff before after =
+  List.filter_map
+    (fun c ->
+      let d = after.(slot c) - before.(slot c) in
+      if d = 0 then None else Some (c, d))
+    all
+
+let diff_get before after c = after.(slot c) - before.(slot c)
+
+let pp_diff ppf d =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    (fun ppf (c, n) -> Format.fprintf ppf "%s=%d" (counter_name c) n)
+    ppf d

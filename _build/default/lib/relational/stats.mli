@@ -1,0 +1,35 @@
+(** Global operation counters.
+
+    The complexity claims of the chronicle paper are stated "modulo index
+    lookups" and in terms of tuples touched, not wall-clock time.  Every
+    hot path in the engine bumps one of these counters so that tests and
+    benchmarks can verify a complexity *shape* (e.g. "zero chronicle
+    tuples scanned per append", "O(log |R|) index probes") independently
+    of machine noise. *)
+
+type counter =
+  | Index_probe      (** one key lookup in a hash or B+-tree index *)
+  | Index_node_visit (** one B+-tree node traversed (log-factor witness) *)
+  | Tuple_read       (** one tuple materialized or inspected *)
+  | Tuple_write      (** one tuple inserted/updated in a relation or view *)
+  | Agg_step         (** one incremental aggregate-state transition *)
+  | Group_lookup     (** one group-key localization in a persistent view *)
+  | Chronicle_scan   (** one *stored* chronicle tuple read back (should be
+                         0 during incremental maintenance) *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+
+(** A snapshot of all counters, for before/after differencing. *)
+type snapshot
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+(** [diff before after] = counts accumulated between the two snapshots. *)
+val diff : snapshot -> snapshot -> (counter * int) list
+
+val diff_get : snapshot -> snapshot -> counter -> int
+val pp_diff : Format.formatter -> (counter * int) list -> unit
+val counter_name : counter -> string

@@ -1,0 +1,66 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  ignore capacity;
+  { data = [||]; len = 0 }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let data' = Array.make cap' x in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let of_list l =
+  let t = create () in
+  List.iter (fun x -> ignore (push t x)) l;
+  t
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let iter_range f t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Vec.iter_range: out of bounds";
+  for i = pos to pos + len - 1 do
+    f t.data.(i)
+  done

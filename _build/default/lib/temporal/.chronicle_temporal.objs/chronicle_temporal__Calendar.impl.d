@@ -1,0 +1,1 @@
+lib/temporal/calendar.ml: Array Chronicle_core Format Interval List Seqnum

@@ -1,0 +1,1 @@
+lib/temporal/calendar.mli: Chronicle_core Format Interval Seqnum

@@ -1,0 +1,1 @@
+lib/temporal/gregorian.ml: Calendar Format Interval List Printf

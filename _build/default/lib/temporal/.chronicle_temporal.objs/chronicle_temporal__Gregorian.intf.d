@@ -1,0 +1,1 @@
+lib/temporal/gregorian.mli: Calendar Chronicle_core Format Seqnum

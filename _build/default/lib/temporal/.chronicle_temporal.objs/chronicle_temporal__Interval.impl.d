@@ -1,0 +1,1 @@
+lib/temporal/interval.ml: Chronicle_core Format Int Printf Seqnum

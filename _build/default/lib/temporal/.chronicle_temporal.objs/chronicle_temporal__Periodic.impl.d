@@ -1,0 +1,1 @@
+lib/temporal/periodic.ml: Ca Calendar Chronicle_core Db Delta Group Hashtbl Index Int Interval List Option Relational Sca View

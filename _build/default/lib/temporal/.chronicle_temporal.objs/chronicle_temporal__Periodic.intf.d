@@ -1,0 +1,1 @@
+lib/temporal/periodic.mli: Calendar Chronicle_core Db Delta Index Interval Relational Sca Seqnum View

@@ -1,0 +1,1 @@
+lib/temporal/window.ml: Aggregate Array Chronicle_core List Printf Relational Seqnum Value

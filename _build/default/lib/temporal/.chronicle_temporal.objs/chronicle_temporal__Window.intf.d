@@ -1,0 +1,1 @@
+lib/temporal/window.mli: Aggregate Chronicle_core Relational Seqnum Value

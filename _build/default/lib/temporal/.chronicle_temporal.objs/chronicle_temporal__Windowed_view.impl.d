@@ -1,0 +1,1 @@
+lib/temporal/windowed_view.ml: Aggregate Array Ca Chronicle_core Db Delta Group Hashtbl List Option Printf Relational Sca Schema Seqnum Stats Tuple Value Window

@@ -1,0 +1,1 @@
+lib/temporal/windowed_view.mli: Chronicle_core Db Delta Relational Sca Seqnum Tuple Value Window

@@ -1,0 +1,75 @@
+
+type date = { year : int; month : int; day : int }
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year year then 29 else 28
+  | _ -> invalid_arg (Printf.sprintf "Gregorian: month %d" month)
+
+(* Hinnant's days_from_civil: days since 1970-01-01. *)
+let to_days { year; month; day } =
+  if month < 1 || month > 12 then
+    invalid_arg (Printf.sprintf "Gregorian.to_days: month %d" month);
+  if day < 1 || day > days_in_month ~year ~month then
+    invalid_arg (Printf.sprintf "Gregorian.to_days: day %d of %d-%02d" day year month);
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+(* Hinnant's civil_from_days. *)
+let of_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  { year; month; day }
+
+let day_of_week days = ((days mod 7) + 11) mod 7
+(* 1970-01-01 was a Thursday (4): (0 + 11) mod 7 = 4 ✓ *)
+
+let month_start ~year ~month = to_days { year; month; day = 1 }
+
+let advance_month year month k =
+  let m0 = (year * 12) + (month - 1) + k in
+  let year = if m0 >= 0 then m0 / 12 else (m0 - 11) / 12 in
+  (year, m0 - (year * 12) + 1)
+
+let months ~from_year ~from_month ~count =
+  if count <= 0 then invalid_arg "Gregorian.months: count must be positive";
+  Calendar.finite
+    (List.init count (fun i ->
+         let y, m = advance_month from_year from_month i in
+         let y', m' = advance_month from_year from_month (i + 1) in
+         Interval.make ~start:(month_start ~year:y ~month:m)
+           ~stop:(month_start ~year:y' ~month:m')))
+
+let billing_months ~from_year ~from_month ~count ~anchor_day =
+  if anchor_day < 1 || anchor_day > 31 then
+    invalid_arg "Gregorian.billing_months: anchor_day must be in 1..31";
+  if count <= 0 then invalid_arg "Gregorian.billing_months: count must be positive";
+  let anchor y m =
+    let day = min anchor_day (days_in_month ~year:y ~month:m) in
+    to_days { year = y; month = m; day }
+  in
+  Calendar.finite
+    (List.init count (fun i ->
+         let y, m = advance_month from_year from_month i in
+         let y', m' = advance_month from_year from_month (i + 1) in
+         Interval.make ~start:(anchor y m) ~stop:(anchor y' m')))
+
+let pp_date ppf { year; month; day } =
+  Format.fprintf ppf "%04d-%02d-%02d" year month day

@@ -1,0 +1,108 @@
+open Relational
+open Chronicle_core
+
+type t = {
+  func : Aggregate.func;
+  width : int; (* bucket width in chronons *)
+  states : Aggregate.state array; (* cyclic: slot = bucket_index mod n *)
+  mutable head : int; (* absolute index of the newest (open) bucket *)
+  mutable clock : Seqnum.chronon;
+  mutable start : Seqnum.chronon;
+  mutable closed_merge : Aggregate.state; (* merge of all non-head buckets *)
+  mutable rolls : int;
+}
+
+let create ~func ~buckets ~bucket_width ~start =
+  if buckets <= 0 || bucket_width <= 0 then
+    invalid_arg "Window.create: buckets and bucket_width must be positive";
+  {
+    func;
+    width = bucket_width;
+    states = Array.init buckets (fun _ -> Aggregate.init func);
+    head = 0;
+    clock = start;
+    start;
+    closed_merge = Aggregate.init func;
+    rolls = 0;
+  }
+
+let func t = t.func
+let buckets t = Array.length t.states
+let bucket_width t = t.width
+let now t = t.clock
+let rolls t = t.rolls
+
+let slot t abs_index = abs_index mod Array.length t.states
+
+let bucket_of t chronon = (chronon - t.start) / t.width
+
+(* Recompute the cached merge of every bucket except the open head:
+   O(buckets), paid once per rollover. *)
+let recompute_closed_merge t =
+  let n = Array.length t.states in
+  let acc = ref (Aggregate.init t.func) in
+  for i = 0 to n - 1 do
+    if i <> slot t t.head then acc := Aggregate.merge t.func !acc t.states.(i)
+  done;
+  t.closed_merge <- !acc
+
+let advance t chronon =
+  if chronon < t.clock then
+    invalid_arg
+      (Printf.sprintf "Window.advance: chronon %d is before the clock %d"
+         chronon t.clock);
+  t.clock <- chronon;
+  let target = bucket_of t chronon in
+  if target > t.head then begin
+    let n = Array.length t.states in
+    (* clear every bucket skipped over (slots are reused: this is the
+       space reuse that expiration dates enable in §5.1) *)
+    let first_new = t.head + 1 in
+    let clear_from = max first_new (target - n + 1) in
+    for abs = clear_from to target do
+      t.states.(slot t abs) <- Aggregate.init t.func;
+      t.rolls <- t.rolls + 1
+    done;
+    t.head <- target;
+    recompute_closed_merge t
+  end
+
+let add t chronon v =
+  advance t chronon;
+  let s = slot t t.head in
+  t.states.(s) <- Aggregate.step t.func t.states.(s) v
+
+let total t =
+  Aggregate.final t.func
+    (Aggregate.merge t.func t.closed_merge t.states.(slot t t.head))
+
+let bucket_totals t =
+  let n = Array.length t.states in
+  List.init n (fun k ->
+      let abs = t.head - (n - 1) + k in
+      if abs < 0 then Value.Null
+      else Aggregate.final t.func t.states.(slot t abs))
+
+type dump = {
+  d_start : Seqnum.chronon;
+  d_head : int;
+  d_clock : Seqnum.chronon;
+  d_states : Aggregate.state list;
+}
+
+let dump t =
+  {
+    d_start = t.start;
+    d_head = t.head;
+    d_clock = t.clock;
+    d_states = Array.to_list t.states;
+  }
+
+let load t { d_start; d_head; d_clock; d_states } =
+  if List.length d_states <> Array.length t.states then
+    invalid_arg "Window.load: bucket count mismatch";
+  List.iteri (fun i st -> t.states.(i) <- st) d_states;
+  t.start <- d_start;
+  t.head <- d_head;
+  t.clock <- d_clock;
+  recompute_closed_merge t

@@ -1,0 +1,62 @@
+open Relational
+open Chronicle_core
+
+(** The cyclic-buffer moving-window optimization of §5.1.
+
+    "Keep the total number of shares sold for each of the last 30 days
+    separately, and derive the view as the sum of these 30 numbers.
+    Moving from one periodic view to the next involves shifting a
+    cyclic buffer of these 30 numbers" — and, with an expiration date,
+    the buffer slot of an expired interval is reused.
+
+    The window keeps [buckets] per-bucket aggregate states of width
+    [bucket_width] chronons each; per added value the cost is one
+    aggregate step, and per bucket rollover one O(buckets) recombination
+    (amortized O(1) per chronon).  Reading {!total} is O(1): the merge
+    of all closed buckets is cached and combined with the open bucket. *)
+
+type t
+
+val create :
+  func:Aggregate.func ->
+  buckets:int ->
+  bucket_width:int ->
+  start:Seqnum.chronon ->
+  t
+
+val func : t -> Aggregate.func
+val buckets : t -> int
+val bucket_width : t -> int
+
+val add : t -> Seqnum.chronon -> Value.t -> unit
+(** Fold a value observed at the given chronon.  Chronons must be
+    non-decreasing; raises [Invalid_argument] otherwise.  Rolls the
+    cyclic buffer if the chronon belongs to a later bucket, retiring
+    buckets that fall out of the window (their slots are reused). *)
+
+val advance : t -> Seqnum.chronon -> unit
+(** Roll the window to the given chronon without adding a value. *)
+
+val now : t -> Seqnum.chronon
+val total : t -> Value.t
+(** Aggregate over the window's current [buckets] buckets. *)
+
+val bucket_totals : t -> Value.t list
+(** Per-bucket current values, oldest first (for inspection/tests). *)
+
+val rolls : t -> int
+(** Number of bucket rollovers so far (cost accounting for E5). *)
+
+(** {2 Snapshots} *)
+
+type dump = {
+  d_start : Seqnum.chronon;  (** the bucket-numbering origin *)
+  d_head : int;
+  d_clock : Seqnum.chronon;
+  d_states : Aggregate.state list;  (** in slot order *)
+}
+
+val dump : t -> dump
+val load : t -> dump -> unit
+(** Restore into a freshly created window of the same shape; raises
+    [Invalid_argument] on a bucket-count mismatch. *)

@@ -1,0 +1,1 @@
+lib/workload/banking.ml: List Printf Relational Rng Schema Tuple Value Zipf

@@ -1,0 +1,1 @@
+lib/workload/banking.mli: Relational Rng Schema Tuple Zipf

@@ -1,0 +1,1 @@
+lib/workload/flyer.mli: Relational Rng Schema Tuple Zipf

@@ -1,0 +1,1 @@
+lib/workload/stock.ml: Relational Rng Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/stock.mli: Relational Rng Schema Tuple

@@ -1,0 +1,1 @@
+lib/workload/telecom.ml: List Printf Relational Rng Schema Tuple Value Zipf

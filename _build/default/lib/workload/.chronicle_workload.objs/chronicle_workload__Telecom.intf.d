@@ -1,0 +1,1 @@
+lib/workload/telecom.mli: Relational Rng Schema Tuple Zipf

@@ -1,0 +1,38 @@
+open Relational
+
+let customer_schema =
+  Schema.make
+    [ ("acct", Value.TInt); ("name", Value.TStr); ("state", Value.TStr) ]
+
+let mileage_schema =
+  Schema.make
+    [
+      ("acct", Value.TInt);
+      ("flight", Value.TStr);
+      ("miles", Value.TInt);
+      ("fare", Value.TFloat);
+    ]
+
+let states = [| "NJ"; "NY"; "CA"; "TX"; "IL"; "WA"; "FL"; "MA" |]
+
+let customers rng ~n =
+  List.init n (fun i ->
+      let acct = i + 1 in
+      let state = if Rng.int rng 4 = 0 then "NJ" else Rng.pick rng states in
+      Tuple.make
+        [ Value.Int acct; Value.Str (Printf.sprintf "cust-%04d" acct); Value.Str state ])
+
+let airports = [| "EWR"; "JFK"; "SFO"; "ORD"; "LAX"; "SEA"; "BOS"; "DFW" |]
+
+let mileage_event rng zipf =
+  let acct = Zipf.sample zipf rng in
+  let from_ap = Rng.pick rng airports and to_ap = Rng.pick rng airports in
+  let miles = Rng.int_range rng 120 3000 in
+  let fare = float_of_int miles *. (0.08 +. Rng.float rng 0.3) in
+  Tuple.make
+    [
+      Value.Int acct;
+      Value.Str (Printf.sprintf "%s-%s" from_ap to_ap);
+      Value.Int miles;
+      Value.Float fare;
+    ]

@@ -1,0 +1,24 @@
+open Relational
+
+(** Frequent-flyer workload (Examples 2.1/2.2 of the paper).
+
+    One chronicle of mileage transactions; a customers relation keyed
+    by account number carrying name and state of residence (New Jersey
+    residents earn a 500-mile bonus per flight — the temporal-join
+    example); persistent views for mileage balance, miles actually
+    flown, and premier status. *)
+
+val customer_schema : Schema.t
+(** (acct:int, name:string, state:string) — key acct. *)
+
+val mileage_schema : Schema.t
+(** User schema of the mileage chronicle:
+    (acct:int, flight:string, miles:int, fare:float). *)
+
+val customers : Rng.t -> n:int -> Tuple.t list
+(** [n] customers with accounts 1..n; ~25% in "NJ". *)
+
+val mileage_event : Rng.t -> Zipf.t -> Tuple.t
+(** One mileage posting; the account is Zipf-popular. *)
+
+val states : string array

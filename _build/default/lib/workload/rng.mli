@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Benchmarks and property tests need reproducible streams that do not
+    depend on OCaml's global [Random] state; every generator takes an
+    explicit seeded state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] ∈ [0, bound); raises [Invalid_argument] unless
+    [bound > 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] ∈ [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] ∈ [0, bound). *)
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+val split : t -> t
+(** An independent generator derived from this one. *)

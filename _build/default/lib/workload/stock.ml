@@ -1,0 +1,14 @@
+open Relational
+
+let trade_schema =
+  Schema.make
+    [ ("symbol", Value.TStr); ("shares", Value.TInt); ("price", Value.TFloat) ]
+
+let symbols = [| "T"; "IBM"; "GE"; "XON"; "MO"; "KO"; "MRK"; "GM" |]
+
+let trade_for rng symbol =
+  let shares = 100 * Rng.int_range rng 1 50 in
+  let price = 10. +. Rng.float rng 140. in
+  Tuple.make [ Value.Str symbol; Value.Int shares; Value.Float price ]
+
+let trade rng = trade_for rng (Rng.pick rng symbols)

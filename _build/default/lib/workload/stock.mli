@@ -1,0 +1,13 @@
+open Relational
+
+(** Stock-trading workload (§5.1's moving-window example: "a periodic
+    view for every day that computes the total number of shares of a
+    stock sold during the 30 days preceding that day"). *)
+
+val trade_schema : Schema.t
+(** User schema of the trades chronicle:
+    (symbol:string, shares:int, price:float). *)
+
+val symbols : string array
+val trade : Rng.t -> Tuple.t
+val trade_for : Rng.t -> string -> Tuple.t

@@ -1,0 +1,34 @@
+open Relational
+
+let customer_schema =
+  Schema.make
+    [ ("number", Value.TInt); ("name", Value.TStr); ("plan", Value.TStr) ]
+
+let call_schema =
+  Schema.make
+    [
+      ("number", Value.TInt);
+      ("callee", Value.TInt);
+      ("minutes", Value.TInt);
+      ("cost", Value.TFloat);
+    ]
+
+let plans = [| "basic"; "evening"; "unlimited-weekend"; "business" |]
+
+let customers rng ~n =
+  List.init n (fun i ->
+      let number = i + 1 in
+      Tuple.make
+        [
+          Value.Int number;
+          Value.Str (Printf.sprintf "subscriber-%05d" number);
+          Value.Str (Rng.pick rng plans);
+        ])
+
+let call rng zipf =
+  let number = Zipf.sample zipf rng in
+  let callee = Rng.int_range rng 1 (Zipf.n zipf) in
+  let minutes = 1 + Rng.int rng 60 in
+  let cost = float_of_int minutes *. 0.11 in
+  Tuple.make
+    [ Value.Int number; Value.Int callee; Value.Int minutes; Value.Float cost ]

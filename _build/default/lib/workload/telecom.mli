@@ -1,0 +1,16 @@
+open Relational
+
+(** Cellular-telephony workload (§1's motivating example: total minutes
+    this billing month displayed at phone power-on; §5.3's tiered
+    discount plan). *)
+
+val customer_schema : Schema.t
+(** (number:int, name:string, plan:string) — key number. *)
+
+val call_schema : Schema.t
+(** User schema of the calls chronicle:
+    (number:int, callee:int, minutes:int, cost:float). *)
+
+val customers : Rng.t -> n:int -> Tuple.t list
+val call : Rng.t -> Zipf.t -> Tuple.t
+val plans : string array

@@ -1,0 +1,26 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for rank = 1 to n do
+    acc := !acc +. (1. /. (float_of_int rank ** s));
+    cdf.(rank - 1) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun i x -> cdf.(i) <- x /. total) cdf;
+  { n; cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let n t = t.n

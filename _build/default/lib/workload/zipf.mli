@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over \{1, …, n\}.
+
+    Transactional streams are heavily skewed (a few customers make most
+    of the calls/trades); the benchmarks use Zipf(s) key popularity to
+    exercise view group tables realistically. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Raises [Invalid_argument] unless [n > 0] and [s >= 0].  [s = 0]
+    degenerates to uniform. *)
+
+val sample : t -> Rng.t -> int
+(** A rank in [1, n]; rank 1 is the most popular. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+test/fixtures.ml: Aggregate Ca Chron Chronicle_core Group Predicate Relation Relational Sca Schema Util Value

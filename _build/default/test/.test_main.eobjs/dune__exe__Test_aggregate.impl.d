@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate List Printf QCheck Relational Schema Util Value

@@ -1,0 +1,1 @@
+test/test_analyze.ml: Alcotest Analyze Ca Chronicle_core Chronicle_lang Classify Db List Parser Predicate Registry Relational Sca Session Util

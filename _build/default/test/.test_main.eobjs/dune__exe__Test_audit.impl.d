@@ -1,0 +1,1 @@
+test/test_audit.ml: Aggregate Alcotest Audit Ca Chron Chronicle_core Db Delta Fixtures List Relational Sca Util View

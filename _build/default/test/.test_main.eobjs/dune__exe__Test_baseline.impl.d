@@ -1,0 +1,1 @@
+test/test_baseline.ml: Aggregate Ca Chron Chronicle_baseline Chronicle_core Delta Delta_ra Fixtures Group List Naive Relational Sca Schema Stats Summary_fields Tuple Util Value View

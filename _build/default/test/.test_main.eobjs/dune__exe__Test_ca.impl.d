@@ -1,0 +1,1 @@
+test/test_ca.ml: Aggregate Alcotest Ca Chron Chronicle_core Fixtures Group List Predicate Relational Schema Seqnum Util

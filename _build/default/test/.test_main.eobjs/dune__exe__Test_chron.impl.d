@@ -1,0 +1,1 @@
+test/test_chron.ml: Alcotest Chron Chronicle_core Gen Group List QCheck Relational Schema Seqnum Stats Util Value

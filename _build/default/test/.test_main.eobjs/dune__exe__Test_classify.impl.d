@@ -1,0 +1,1 @@
+test/test_classify.ml: Ca Chronicle_core Classify Fixtures List Relational Sca String Util

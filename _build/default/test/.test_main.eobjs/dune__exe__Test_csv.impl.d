@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv_io Filename Fun Gen List QCheck Relation Relational Schema String Sys Tuple Util Value

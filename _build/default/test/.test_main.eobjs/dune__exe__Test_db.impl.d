@@ -1,0 +1,1 @@
+test/test_db.ml: Aggregate Ca Chron Chronicle_core Classify Db Fixtures Group List Predicate Relational Sca Seqnum Stats Util Versioned View

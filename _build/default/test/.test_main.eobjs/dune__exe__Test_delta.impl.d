@@ -1,0 +1,1 @@
+test/test_delta.ml: Aggregate Ca Chron Chronicle_core Delta Eval Fixtures Group List Predicate Printf QCheck Random Relation Relational Schema Seqnum Stats Tuple Util

@@ -1,0 +1,1 @@
+test/test_discount.ml: Chron Chronicle_core Delta Discount Float Gen Group List QCheck Relational Sca Schema Util Value View

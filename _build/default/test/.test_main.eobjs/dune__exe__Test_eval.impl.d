@@ -1,0 +1,1 @@
+test/test_eval.ml: Aggregate Ca Chron Chronicle_core Eval Fixtures List Predicate Relational Seqnum Util

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Chronicle_core Chronicle_events Db Detector Gen Hashtbl List Option Pattern Predicate Printf QCheck Relational Schema Stats Tuple Util Value

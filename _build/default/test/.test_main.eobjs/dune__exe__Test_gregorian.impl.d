@@ -1,0 +1,1 @@
+test/test_gregorian.ml: Alcotest Ca Calendar Chronicle_core Chronicle_temporal Db Gregorian Interval Option Periodic QCheck Relational Sca Util View

@@ -1,0 +1,1 @@
+test/test_groupby.ml: Aggregate Alcotest Groupby List QCheck Relational Schema Tuple Util Value

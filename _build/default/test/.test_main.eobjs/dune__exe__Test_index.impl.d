@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Index Int List Relational Stats Util

@@ -1,0 +1,1 @@
+test/test_lang_events.ml: Alcotest Analyze Ast Chronicle_lang List Parser Relational Session Tuple Util

@@ -1,0 +1,1 @@
+test/test_lang_temporal.ml: Alcotest Analyze Ast Chronicle_core Chronicle_lang List Parser Session Util

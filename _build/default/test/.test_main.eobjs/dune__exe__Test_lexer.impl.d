@@ -1,0 +1,1 @@
+test/test_lexer.ml: Array Chronicle_lang Lexer List Token Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Aggregate Alcotest Ast Chronicle_lang Lexer List Parser Relational Util Value

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Aggregate Alcotest Ca Calendar Chronicle_core Chronicle_temporal Db List Periodic Relational Sca Schema Util Value View

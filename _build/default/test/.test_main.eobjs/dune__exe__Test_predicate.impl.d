@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Predicate Relational Schema Util Value

@@ -1,0 +1,1 @@
+test/test_ra.ml: Aggregate List Predicate Ra Relation Relational Schema Util Value

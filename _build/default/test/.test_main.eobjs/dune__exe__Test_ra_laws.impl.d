@@ -1,0 +1,1 @@
+test/test_ra_laws.ml: Aggregate Gen List Predicate QCheck Ra Relational Schema Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_registry.ml: Aggregate Alcotest Ca Chron Chronicle_core Fixtures List Option Predicate Printf Registry Relational Sca Seqnum Util View

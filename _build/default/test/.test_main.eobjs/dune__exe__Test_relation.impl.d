@@ -1,0 +1,1 @@
+test/test_relation.ml: Index Predicate Relation Relational Schema Stats Util Value

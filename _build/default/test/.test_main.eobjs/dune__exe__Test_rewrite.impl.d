@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Aggregate Alcotest Ca Chron Chronicle_core Delta Eval Fixtures List Predicate Printf QCheck Random Registry Relational Rewrite Sca Schema Seqnum Tuple Util View

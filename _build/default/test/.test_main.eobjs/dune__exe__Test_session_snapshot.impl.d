@@ -1,0 +1,1 @@
+test/test_session_snapshot.ml: Alcotest Analyze Chronicle_lang Filename Fun List Session Session_snapshot Sys Util

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Aggregate Float Gen List Printf QCheck Relational Sexp Util Value

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Calendar Chronicle_temporal Fun Interval List QCheck Util

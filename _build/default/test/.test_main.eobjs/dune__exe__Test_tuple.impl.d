@@ -1,0 +1,1 @@
+test/test_tuple.ml: List QCheck Relational Schema Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Gen QCheck Relational Util Value

@@ -1,0 +1,1 @@
+test/test_versioned.ml: Alcotest Chronicle_core Group Predicate Relation Relational Schema Util Value Versioned

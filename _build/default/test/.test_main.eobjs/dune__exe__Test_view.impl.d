@@ -1,0 +1,1 @@
+test/test_view.ml: Aggregate Alcotest Ca Chron Chronicle_core Delta Eval Fixtures Gen Index List QCheck Relation Relational Sca Schema Seqnum Stats Tuple Util Value View

@@ -1,0 +1,1 @@
+test/test_window.ml: Aggregate Alcotest Chronicle_temporal Gen List QCheck Relational Util Value Window

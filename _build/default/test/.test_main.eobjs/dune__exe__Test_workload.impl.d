@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Banking Chronicle_workload Flyer Int List Relational Rng Stock Telecom Tuple Util Value Zipf

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Format List QCheck QCheck_alcotest Relational Tuple Value

@@ -1,0 +1,4 @@
+  $ chronicle-cli demo | tail -n 14
+  $ chronicle-cli run billing.cdl
+  $ chronicle-cli run fraud.cdl
+  $ chronicle-cli run bad.cdl

@@ -1,0 +1,25 @@
+  $ cat > people.csv <<CSV
+  > cust,state
+  > 1,NJ
+  > 2,NY
+  > CSV
+  $ cat > miles.csv <<CSV
+  > acct,miles
+  > 1,100
+  > 2,200
+  > 1,50
+  > CSV
+  $ cat > script.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > CREATE RELATION customers (cust INT, state STRING) KEY (cust);
+  > DEFINE VIEW balance AS SELECT acct, SUM(miles) AS total FROM CHRONICLE mileage GROUP BY acct;
+  > LOAD INTO customers FROM 'people.csv';
+  > LOAD INTO mileage FROM 'miles.csv';
+  > SHOW VIEW balance;
+  > CDL
+  $ chronicle-cli run script.cdl
+  $ cat > loadbad.cdl <<CDL
+  > CREATE CHRONICLE t (a INT);
+  > LOAD INTO t FROM 'nope.csv';
+  > CDL
+  $ chronicle-cli run loadbad.cdl

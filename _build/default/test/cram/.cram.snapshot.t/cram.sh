@@ -1,0 +1,28 @@
+  $ cat > day1.cdl <<CDL
+  > CREATE CHRONICLE txns (card INT, amount FLOAT);
+  > DEFINE VIEW spend AS SELECT card, SUM(amount) AS total, COUNT(*) AS n FROM CHRONICLE txns GROUP BY card;
+  > APPEND INTO txns VALUES (1, 25.0), (2, 10.0);
+  > APPEND INTO txns VALUES (1, 5.5);
+  > CDL
+  $ chronicle-cli run --save state.sexp day1.cdl
+  $ cat > day2.cdl <<CDL
+  > APPEND INTO txns VALUES (2, 4.5);
+  > SHOW VIEW spend;
+  > CDL
+  $ chronicle-cli run --load state.sexp day2.cdl
+  $ cat > day3.cdl <<CDL
+  > DEFINE PERIODIC VIEW monthly AS SELECT card, SUM(amount) AS total FROM CHRONICLE txns GROUP BY card CALENDAR TILING START 0 WIDTH 30;
+  > DEFINE WINDOWED VIEW recent BUCKETS 5 AS SELECT card, SUM(amount) AS total FROM CHRONICLE txns GROUP BY card;
+  > DEFINE RULE pair ON txns KEY (card) WITHIN 4 WHEN REPEAT 2 EVENT e (amount > 3.0);
+  > ADVANCE CLOCK TO 2;
+  > APPEND INTO txns VALUES (1, 9.0);
+  > CDL
+  $ chronicle-cli run --load state.sexp --save state2.sexp day3.cdl
+  $ cat > day4.cdl <<CDL
+  > ADVANCE CLOCK TO 3;
+  > APPEND INTO txns VALUES (1, 8.0);
+  > SHOW ALERTS;
+  > SHOW WINDOWED recent;
+  > SHOW PERIODIC monthly;
+  > CDL
+  $ chronicle-cli run --load state2.sexp day4.cdl

@@ -1,0 +1,16 @@
+  $ cat > status.cdl <<CDL
+  > CREATE CHRONICLE t (a INT, x INT) RETAIN FULL;
+  > DEFINE VIEW sums AS SELECT a, SUM(x) AS s FROM CHRONICLE t GROUP BY a;
+  > APPEND INTO t VALUES (1, 10), (2, 20);
+  > APPEND INTO t VALUES (1, 5);
+  > SHOW STATS;
+  > SHOW AUDIT;
+  > CDL
+  $ chronicle-cli run status.cdl
+  $ cat > plan.cdl <<CDL
+  > CREATE CHRONICLE t (a INT, x INT);
+  > CREATE RELATION r (k INT, seg STRING) KEY (k);
+  > DEFINE VIEW v AS SELECT seg, SUM(x) AS s FROM CHRONICLE t JOIN r ON a = k WHERE x > 0 GROUP BY seg;
+  > SHOW PLAN v;
+  > CDL
+  $ chronicle-cli run plan.cdl

@@ -1,0 +1,47 @@
+The demo subcommand runs a canned frequent-flyer script:
+
+  $ chronicle-cli demo | tail -n 14
+  balance:int,
+  flights:int)
+  (acct=1, balance=5130, flights=2)
+  (acct=2, balance=2475, flights=1)
+  (state:string,
+  total:int)
+  (state="NJ", total=5130)
+  (state="NY", total=2475)
+  tier: CA_join
+  body Δ class: IM-log(R)
+  view class: IM-log(R)
+  u=0 j=1
+  time: O(1^1 log|R|)
+  space: O(1^1)
+
+A billing scenario with periodic, windowed and ad-hoc queries:
+
+  $ chronicle-cli run billing.cdl
+  parse error at line 4: expected an identifier, found PLAN
+  [1]
+
+Event rules fire through the language:
+
+  $ chronicle-cli run fraud.cdl
+  created txns
+  defined rule drain on txns
+  appended 1 row(s) to txns at sn 1
+  clock advanced to 2
+  appended 1 row(s) to txns at sn 2
+  clock advanced to 4
+  appended 1 row(s) to txns at sn 3
+  (rule:string,
+  key:string,
+  started:int,
+  fired:int,
+  sn:int)
+  (rule="drain", key="(7)", started=0, fired=4, sn=3)
+
+Definition errors are reported, not crashed on:
+
+  $ chronicle-cli run bad.cdl
+  created t
+  semantic error: WHERE conjunct (NOT (a = 1)) is not a disjunction of comparisons; the chronicle algebra (Definition 4.1) admits only such selections
+  [1]

@@ -1,0 +1,76 @@
+Persistent views survive restarts without replaying the chronicle:
+
+  $ cat > day1.cdl <<CDL
+  > CREATE CHRONICLE txns (card INT, amount FLOAT);
+  > DEFINE VIEW spend AS SELECT card, SUM(amount) AS total, COUNT(*) AS n FROM CHRONICLE txns GROUP BY card;
+  > APPEND INTO txns VALUES (1, 25.0), (2, 10.0);
+  > APPEND INTO txns VALUES (1, 5.5);
+  > CDL
+  $ chronicle-cli run --save state.sexp day1.cdl
+  created txns
+  defined view spend: CA_1 (IM-Constant)
+  appended 2 row(s) to txns at sn 1
+  appended 1 row(s) to txns at sn 2
+  saved snapshot state.sexp
+
+The chronicle itself was never stored (retention defaults to discard),
+yet the restored views continue exactly where they left off:
+
+  $ cat > day2.cdl <<CDL
+  > APPEND INTO txns VALUES (2, 4.5);
+  > SHOW VIEW spend;
+  > CDL
+  $ chronicle-cli run --load state.sexp day2.cdl
+  restored snapshot state.sexp
+  appended 1 row(s) to txns at sn 3
+  (card:int,
+  total:float,
+  n:int)
+  (card=1, total=30.5, n=2)
+  (card=2, total=14.5, n=2)
+
+Session state — open billing periods, window buffers, partial event
+instances — also survives:
+
+  $ cat > day3.cdl <<CDL
+  > DEFINE PERIODIC VIEW monthly AS SELECT card, SUM(amount) AS total FROM CHRONICLE txns GROUP BY card CALENDAR TILING START 0 WIDTH 30;
+  > DEFINE WINDOWED VIEW recent BUCKETS 5 AS SELECT card, SUM(amount) AS total FROM CHRONICLE txns GROUP BY card;
+  > DEFINE RULE pair ON txns KEY (card) WITHIN 4 WHEN REPEAT 2 EVENT e (amount > 3.0);
+  > ADVANCE CLOCK TO 2;
+  > APPEND INTO txns VALUES (1, 9.0);
+  > CDL
+  $ chronicle-cli run --load state.sexp --save state2.sexp day3.cdl
+  restored snapshot state.sexp
+  defined periodic view monthly (0 interval views live)
+  defined windowed view recent (5 buckets)
+  defined rule pair on txns
+  clock advanced to 2
+  appended 1 row(s) to txns at sn 3
+  saved snapshot state2.sexp
+
+The rule's half-finished pattern instance crosses the restart: one more
+qualifying event completes it.
+
+  $ cat > day4.cdl <<CDL
+  > ADVANCE CLOCK TO 3;
+  > APPEND INTO txns VALUES (1, 8.0);
+  > SHOW ALERTS;
+  > SHOW WINDOWED recent;
+  > SHOW PERIODIC monthly;
+  > CDL
+  $ chronicle-cli run --load state2.sexp day4.cdl
+  restored snapshot state2.sexp
+  clock advanced to 3
+  appended 1 row(s) to txns at sn 4
+  (rule:string,
+  key:string,
+  started:int,
+  fired:int,
+  sn:int)
+  (rule="pair", key="(1)", started=2, fired=3, sn=4)
+  (card:int,
+  total:float)
+  (card=1, total=17)
+  (card:int,
+  total:float)
+  (card=1, total=17)

@@ -1,0 +1,52 @@
+Operational introspection: SHOW STATS and SHOW AUDIT:
+
+  $ cat > status.cdl <<CDL
+  > CREATE CHRONICLE t (a INT, x INT) RETAIN FULL;
+  > DEFINE VIEW sums AS SELECT a, SUM(x) AS s FROM CHRONICLE t GROUP BY a;
+  > APPEND INTO t VALUES (1, 10), (2, 20);
+  > APPEND INTO t VALUES (1, 5);
+  > SHOW STATS;
+  > SHOW AUDIT;
+  > CDL
+  $ chronicle-cli run status.cdl
+  created t
+  defined view sums: CA_1 (IM-Constant)
+  appended 2 row(s) to t at sn 1
+  appended 1 row(s) to t at sn 2
+  (kind:string,
+  name:string,
+  metric:string,
+  value:int)
+  (kind="chronicle", name="t", metric="appended", value=3)
+  (kind="chronicle", name="t", metric="retained", value=3)
+  (kind="view", name="sums", metric="rows", value=2)
+  (kind="view", name="sums", metric="batches", value=2)
+  (kind="registry", name="guards", metric="checked", value=2)
+  (kind="registry", name="guards", metric="skipped", value=0)
+  (view:string,
+  verdict:string)
+  (view="sums", verdict="consistent (2 rows)")
+
+SHOW PLAN renders the algebra, the rewriter's result and the
+classification:
+
+  $ cat > plan.cdl <<CDL
+  > CREATE CHRONICLE t (a INT, x INT);
+  > CREATE RELATION r (k INT, seg STRING) KEY (k);
+  > DEFINE VIEW v AS SELECT seg, SUM(x) AS s FROM CHRONICLE t JOIN r ON a = k WHERE x > 0 GROUP BY seg;
+  > SHOW PLAN v;
+  > CDL
+  $ chronicle-cli run plan.cdl
+  created t
+  created r
+  defined view v: CA_join (IM-log(R))
+  view v
+  body:      (σ[x > 0](t) ⋈key[a=k] r)
+  optimized: (σ[x > 0](t) ⋈key[a=k] r)
+  summarize: group by (seg) computing SUM(x) AS s
+  tier: CA_join
+  body Δ class: IM-log(R)
+  view class: IM-log(R)
+  u=0 j=1
+  time: O(1^1 log|R|)
+  space: O(1^1)

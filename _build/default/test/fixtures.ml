@@ -1,0 +1,54 @@
+(* Shared chronicle-model fixtures: a frequent-flyer style schema with a
+   mileage chronicle and a customers relation. *)
+
+open Relational
+open Chronicle_core
+open Util
+
+let mileage_schema =
+  Schema.make
+    [ ("acct", Value.TInt); ("miles", Value.TInt); ("fare", Value.TFloat) ]
+
+let customer_schema =
+  Schema.make [ ("cust", Value.TInt); ("state", Value.TStr) ]
+
+type fixture = {
+  group : Group.t;
+  mileage : Chron.t;
+  bonus : Chron.t; (* second chronicle in the same group *)
+  customers : Relation.t;
+}
+
+let make ?(retention = Chron.Full) () =
+  let group = Group.create "g" in
+  let mileage = Chron.create ~group ~retention ~name:"mileage" mileage_schema in
+  let bonus = Chron.create ~group ~retention ~name:"bonus" mileage_schema in
+  let customers =
+    Relation.create ~name:"customers" ~schema:customer_schema ~key:[ "cust" ] ()
+  in
+  Relation.insert_all customers
+    [
+      tup [ vi 1; vs "NJ" ];
+      tup [ vi 2; vs "NY" ];
+      tup [ vi 3; vs "NJ" ];
+      tup [ vi 4; vs "CA" ];
+    ];
+  { group; mileage; bonus; customers }
+
+let mile acct miles fare = tup [ vi acct; vi miles; vf fare ]
+
+(* A canonical CA_1 body: NJ-bonus-eligible postings. *)
+let select_body fx = Ca.Select (Predicate.("miles" >% vi 0), Ca.Chronicle fx.mileage)
+
+(* A canonical CA_join body: postings joined with the customer record
+   current at the posting's sequence number. *)
+let keyjoin_body fx =
+  Ca.KeyJoinRel (Ca.Chronicle fx.mileage, fx.customers, [ ("acct", "cust") ])
+
+(* A canonical full-CA body: cross product with the relation. *)
+let product_body fx = Ca.ProductRel (Ca.Chronicle fx.mileage, fx.customers)
+
+(* The balance view of Example 2.1: SUM of miles per account. *)
+let balance_def fx =
+  Sca.define ~name:"balance" ~body:(Ca.Chronicle fx.mileage)
+    (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "balance" ]))

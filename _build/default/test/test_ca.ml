@@ -1,0 +1,134 @@
+open Relational
+open Chronicle_core
+open Util
+open Fixtures
+
+let test_schema_of_base () =
+  let fx = make () in
+  let s = Ca.schema_of (Ca.Chronicle fx.mileage) in
+  check_bool "has sn" true (Schema.mem s Seqnum.attr);
+  check_int "arity" 4 (Schema.arity s)
+
+let test_schema_of_seqjoin () =
+  let fx = make () in
+  let renamed =
+    Ca.Project ([ Seqnum.attr; "acct" ], Ca.Chronicle fx.mileage)
+  in
+  let right =
+    Ca.Project ([ Seqnum.attr; "miles" ], Ca.Chronicle fx.bonus)
+  in
+  let s = Ca.schema_of (Ca.SeqJoin (renamed, right)) in
+  check_int "one sn kept" 3 (Schema.arity s);
+  check_bool "sn" true (Schema.mem s Seqnum.attr);
+  check_bool "acct" true (Schema.mem s "acct");
+  check_bool "miles" true (Schema.mem s "miles")
+
+let test_check_accepts_ca () =
+  let fx = make () in
+  Ca.check (select_body fx);
+  Ca.check (keyjoin_body fx);
+  Ca.check (product_body fx);
+  Ca.check
+    (Ca.GroupBySeq
+       ( [ Seqnum.attr; "acct" ],
+         [ Aggregate.sum "miles" "m" ],
+         Ca.Chronicle fx.mileage ));
+  Ca.check (Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus));
+  Ca.check (Ca.Diff (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus))
+
+let expect_ill_formed name f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Ca.Ill_formed" name
+  | exception Ca.Ill_formed _ -> ()
+
+let test_check_rejects_sn_dropping_project () =
+  let fx = make () in
+  expect_ill_formed "projection without sn" (fun () ->
+      Ca.check (Ca.Project ([ "acct"; "miles" ], Ca.Chronicle fx.mileage)))
+
+let test_check_rejects_sn_less_grouping () =
+  let fx = make () in
+  expect_ill_formed "grouping without sn" (fun () ->
+      Ca.check
+        (Ca.GroupBySeq ([ "acct" ], [ Aggregate.sum "miles" "m" ], Ca.Chronicle fx.mileage)))
+
+let test_check_rejects_chronicle_cross () =
+  let fx = make () in
+  expect_ill_formed "chronicle cross product" (fun () ->
+      Ca.check (Ca.CrossChron (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus)));
+  (* but the benchmark escape hatch admits it structurally *)
+  Ca.check ~allow_non_ca:true
+    (Ca.CrossChron (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus))
+
+let test_check_rejects_theta_join () =
+  let fx = make () in
+  expect_ill_formed "non-equijoin" (fun () ->
+      Ca.check
+        (Ca.ThetaJoinChron
+           ( Predicate.(Cmp (Attr "miles", Lt, Attr "r.miles")),
+             Ca.Chronicle fx.mileage,
+             Ca.Chronicle fx.bonus )))
+
+let test_check_rejects_non_key_join () =
+  let fx = make () in
+  expect_ill_formed "non-key join" (fun () ->
+      Ca.check
+        (Ca.KeyJoinRel (Ca.Chronicle fx.mileage, fx.customers, [ ("acct", "state") ])))
+
+let test_check_rejects_non_ca_predicate () =
+  let fx = make () in
+  expect_ill_formed "conjunction predicate" (fun () ->
+      Ca.check
+        (Ca.Select
+           ( Predicate.(And ("miles" >% vi 0, "acct" =% vi 1)),
+             Ca.Chronicle fx.mileage )))
+
+let test_check_rejects_cross_group () =
+  let fx = make () in
+  let g2 = Group.create "g2" in
+  let foreign = Chron.create ~group:g2 ~name:"foreign" mileage_schema in
+  expect_ill_formed "union across groups" (fun () ->
+      Ca.check (Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle foreign)))
+
+let test_check_rejects_incompatible_union () =
+  let fx = make () in
+  let narrow = Ca.Project ([ Seqnum.attr; "acct" ], Ca.Chronicle fx.bonus) in
+  expect_ill_formed "arity mismatch" (fun () ->
+      Ca.check (Ca.Union (Ca.Chronicle fx.mileage, narrow)))
+
+let test_counters () =
+  let fx = make () in
+  let e =
+    Ca.Union
+      ( Ca.ProductRel (Ca.Chronicle fx.mileage, fx.customers),
+        Ca.ProductRel (Ca.Chronicle fx.bonus, fx.customers) )
+  in
+  check_int "unions" 1 (Ca.unions e);
+  check_int "joins" 2 (Ca.joins e);
+  let e2 = Ca.SeqJoin (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) in
+  check_int "seqjoin counts" 1 (Ca.joins e2)
+
+let test_chronicles_and_group () =
+  let fx = make () in
+  let e = Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) in
+  check_int "two chronicles" 2 (List.length (Ca.chronicles e));
+  check_bool "depends" true (Ca.depends_on e fx.mileage);
+  check_bool "group" true (Group.same (Ca.group_of e) fx.group);
+  check_int "relations" 1 (List.length (Ca.relations (keyjoin_body fx)))
+
+let suite =
+  [
+    test "schema of base chronicle" test_schema_of_base;
+    test "schema of sequence join" test_schema_of_seqjoin;
+    test "check accepts all CA operators" test_check_accepts_ca;
+    test "Thm 4.3: sn-dropping projection rejected" test_check_rejects_sn_dropping_project;
+    test "Thm 4.3: sn-less grouping rejected" test_check_rejects_sn_less_grouping;
+    test "Thm 4.3: chronicle cross product rejected" test_check_rejects_chronicle_cross;
+    test "Thm 4.3: non-equijoin rejected" test_check_rejects_theta_join;
+    test "Def 4.2: non-key relation join rejected" test_check_rejects_non_key_join;
+    test "Def 4.1: predicate form enforced" test_check_rejects_non_ca_predicate;
+    test "chronicle group coherence" test_check_rejects_cross_group;
+    test "union compatibility" test_check_rejects_incompatible_union;
+    test "u and j counters (Thm 4.2)" test_counters;
+    test "chronicles/relations/group accessors" test_chronicles_and_group;
+  ]

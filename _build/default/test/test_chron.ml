@@ -1,0 +1,146 @@
+open Relational
+open Chronicle_core
+open Util
+
+let user_schema = Schema.make [ ("acct", Value.TInt); ("amt", Value.TInt) ]
+
+let test_group_watermark () =
+  let g = Group.create "g" in
+  check_int "initial" Seqnum.zero (Group.watermark g);
+  check_int "first sn" 1 (Group.next_sn g);
+  check_int "second sn" 2 (Group.next_sn g);
+  Group.claim_sn g 10;
+  check_int "sparse claim" 10 (Group.watermark g);
+  Alcotest.check_raises "stale"
+    (Group.Stale_sequence_number { given = 5; watermark = 10 })
+    (fun () -> Group.claim_sn g 5);
+  Alcotest.check_raises "equal is stale too"
+    (Group.Stale_sequence_number { given = 10; watermark = 10 })
+    (fun () -> Group.claim_sn g 10)
+
+let test_group_clock () =
+  let g = Group.create ~clock_start:100 "g" in
+  check_int "start" 100 (Group.now g);
+  Group.advance_clock g 105;
+  check_int "advanced" 105 (Group.now g);
+  check_raises_any "no going back" (fun () -> Group.advance_clock g 99)
+
+let test_chronicle_schema () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~name:"txns" user_schema in
+  check_int "sn first" 0 (Schema.pos (Chron.schema c) Seqnum.attr);
+  check_int "full arity" 3 (Schema.arity (Chron.schema c));
+  check_raises_any "reserved attribute" (fun () ->
+      ignore
+        (Chron.create ~group:g ~name:"bad"
+           (Schema.make [ (Seqnum.attr, Value.TInt) ])))
+
+let test_append_tags () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:Chron.Full ~name:"txns" user_schema in
+  let sn = Chron.append c [ tup [ vi 1; vi 50 ]; tup [ vi 2; vi 70 ] ] in
+  check_int "batch sn" 1 sn;
+  check_int "total" 2 (Chron.total_appended c);
+  check_bool "last_sn" true (Chron.last_sn c = Some 1);
+  check_tuples "stored tagged"
+    [ tup [ vi 1; vi 1; vi 50 ]; tup [ vi 1; vi 2; vi 70 ] ]
+    (Chron.stored c);
+  check_int "sn_of" 1 (Chron.sn_of (List.hd (Chron.stored c)))
+
+let test_append_type_checked () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~name:"txns" user_schema in
+  check_raises_any "wrong tuple" (fun () ->
+      ignore (Chron.append c [ tup [ vs "oops" ] ]))
+
+let test_retention_discard () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~name:"txns" user_schema in
+  ignore (Chron.append c [ tup [ vi 1; vi 50 ] ]);
+  check_int "nothing stored" 0 (Chron.stored_count c);
+  check_int "but counted" 1 (Chron.total_appended c)
+
+let test_retention_window () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:(Chron.Window 3) ~name:"txns" user_schema in
+  for i = 1 to 5 do
+    ignore (Chron.append c [ tup [ vi i; vi (i * 10) ] ])
+  done;
+  check_int "window size" 3 (Chron.stored_count c);
+  check_tuples "latest three, oldest first"
+    [ tup [ vi 3; vi 3; vi 30 ]; tup [ vi 4; vi 4; vi 40 ]; tup [ vi 5; vi 5; vi 50 ] ]
+    (Chron.stored c)
+
+let test_scan_counts () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:Chron.Full ~name:"txns" user_schema in
+  for i = 1 to 4 do
+    ignore (Chron.append c [ tup [ vi i; vi 1 ] ])
+  done;
+  let before = Stats.snapshot () in
+  Chron.scan ignore c;
+  let after = Stats.snapshot () in
+  check_int "chronicle_scan counted" 4
+    (Stats.diff_get before after Stats.Chronicle_scan)
+
+let test_append_sparse () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:Chron.Full ~name:"txns" user_schema in
+  Chron.append_sparse c 100 [ tup [ vi 1; vi 1 ] ];
+  check_int "watermark" 100 (Group.watermark g);
+  check_raises_any "stale sparse" (fun () ->
+      Chron.append_sparse c 50 [ tup [ vi 1; vi 1 ] ])
+
+let test_append_multi () =
+  let g = Group.create "g" in
+  let c1 = Chron.create ~group:g ~retention:Chron.Full ~name:"a" user_schema in
+  let c2 = Chron.create ~group:g ~retention:Chron.Full ~name:"b" user_schema in
+  let sn = Chron.append_multi g [ (c1, [ tup [ vi 1; vi 1 ] ]); (c2, [ tup [ vi 2; vi 2 ] ]) ] in
+  check_int "same sn both" sn (Chron.sn_of (List.hd (Chron.stored c1)));
+  check_int "same sn both 2" sn (Chron.sn_of (List.hd (Chron.stored c2)));
+  let other = Group.create "other" in
+  let c3 = Chron.create ~group:other ~name:"c" user_schema in
+  check_raises_any "cross-group batch rejected" (fun () ->
+      ignore (Chron.append_multi g [ (c3, [ tup [ vi 1; vi 1 ] ]) ]))
+
+let test_subscribers () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~name:"txns" user_schema in
+  let seen = ref [] in
+  Chron.on_append c (fun sn tagged -> seen := (sn, List.length tagged) :: !seen);
+  ignore (Chron.append c [ tup [ vi 1; vi 1 ]; tup [ vi 2; vi 2 ] ]);
+  ignore (Chron.append c [ tup [ vi 3; vi 3 ] ]);
+  check_bool "notified in order" true (List.rev !seen = [ (1, 2); (2, 1) ])
+
+let qcheck_monotone_sns =
+  let gen = QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 3)) in
+  qtest "appended sequence numbers are strictly increasing per batch" gen
+    (fun sizes ->
+      let g = Group.create "g" in
+      let c = Chron.create ~group:g ~retention:Chron.Full ~name:"t" user_schema in
+      List.iter
+        (fun k -> ignore (Chron.append c (List.init (k + 1) (fun i -> tup [ vi i; vi i ]))))
+        sizes;
+      let sns = List.map Chron.sn_of (Chron.stored c) in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing sns
+      && Group.watermark g = List.length sizes)
+
+let suite =
+  [
+    test "group watermark and sparse claims" test_group_watermark;
+    test "group clock" test_group_clock;
+    test "chronicle schema gains sn" test_chronicle_schema;
+    test "append tags tuples with the batch sn" test_append_tags;
+    test "append type-checks tuples" test_append_type_checked;
+    test "retention: discard" test_retention_discard;
+    test "retention: ring window" test_retention_window;
+    test "scans bump the chronicle_scan counter" test_scan_counts;
+    test "sparse sequence numbers" test_append_sparse;
+    test "simultaneous multi-chronicle batch" test_append_multi;
+    test "append subscribers" test_subscribers;
+    qcheck_monotone_sns;
+  ]

@@ -1,0 +1,142 @@
+open Chronicle_core
+open Util
+open Fixtures
+
+let tier r = r.Classify.tier
+let body_im r = r.Classify.body_im
+let view_im r = r.Classify.view_im
+
+let is_not_ca = function Classify.Tier_not_ca _ -> true | _ -> false
+
+let test_ca1 () =
+  let fx = make () in
+  let r = Classify.ca (select_body fx) in
+  check_bool "tier" true (tier r = Classify.Tier_ca1);
+  check_bool "IM-Constant" true (body_im r = Classify.IM_constant);
+  check_int "u" 0 r.Classify.unions;
+  check_int "j" 0 r.Classify.joins
+
+let test_ca_key () =
+  let fx = make () in
+  let r = Classify.ca (keyjoin_body fx) in
+  check_bool "tier" true (tier r = Classify.Tier_ca_key);
+  check_bool "IM-log(R)" true (body_im r = Classify.IM_log_r);
+  check_int "j" 1 r.Classify.joins
+
+let test_ca_full () =
+  let fx = make () in
+  let r = Classify.ca (product_body fx) in
+  check_bool "tier" true (tier r = Classify.Tier_ca);
+  check_bool "IM-R^k" true (body_im r = Classify.IM_poly_r)
+
+let test_non_key_join_demotes () =
+  let fx = make () in
+  let r =
+    Classify.ca
+      (Ca.KeyJoinRel (Ca.Chronicle fx.mileage, fx.customers, [ ("acct", "state") ]))
+  in
+  check_bool "demoted to full CA" true (tier r = Classify.Tier_ca);
+  check_bool "has a note" true (r.Classify.notes <> [])
+
+let test_not_ca_cases () =
+  let fx = make () in
+  let cases =
+    [
+      ("cross product", Ca.CrossChron (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus));
+      ( "theta join",
+        Ca.ThetaJoinChron
+          ( Relational.Predicate.(Cmp (Attr "miles", Lt, Attr "r.miles")),
+            Ca.Chronicle fx.mileage,
+            Ca.Chronicle fx.bonus ) );
+      ("sn-dropping projection", Ca.Project ([ "acct" ], Ca.Chronicle fx.mileage));
+      ( "sn-less grouping",
+        Ca.GroupBySeq
+          ([ "acct" ], [ Relational.Aggregate.sum "miles" "m" ], Ca.Chronicle fx.mileage) );
+    ]
+  in
+  List.iter
+    (fun (name, e) ->
+      let r = Classify.ca e in
+      check_bool (name ^ " is outside CA") true (is_not_ca (tier r));
+      check_bool (name ^ " is IM-C^k") true (body_im r = Classify.IM_poly_c))
+    cases
+
+let test_tier_propagates_up () =
+  let fx = make () in
+  let e = Ca.Select (Relational.Predicate.("miles" >% vi 0), product_body fx) in
+  check_bool "select over product stays CA" true (tier (Classify.ca e) = Classify.Tier_ca);
+  let e2 = Ca.Union (select_body fx, keyjoin_body fx) in
+  (* mixing CA_1 and CA_join: the join dominates *)
+  check_bool "union takes the max tier" true
+    (tier (Classify.ca e2) = Classify.Tier_ca_key)
+  [@warning "-26"]
+
+let test_u_j_counting () =
+  let fx = make () in
+  let e =
+    Ca.Union
+      ( Ca.ProductRel (Ca.Chronicle fx.mileage, fx.customers),
+        Ca.Union
+          ( Ca.ProductRel (Ca.Chronicle fx.bonus, fx.customers),
+            Ca.Chronicle fx.mileage ) )
+  in
+  let r = Classify.ca e in
+  check_int "u = 2" 2 r.Classify.unions;
+  check_int "j = 2" 2 r.Classify.joins;
+  check_bool "formula mentions |R|" true
+    (String.length r.Classify.time_formula > 0)
+
+let test_sca_tiers () =
+  let fx = make () in
+  let mk body =
+    Classify.sca
+      (Sca.define ~name:"v" ~body
+         (Sca.Group_agg ([ "acct" ], [ Relational.Aggregate.sum "miles" "m" ])))
+  in
+  check_bool "SCA_1 -> IM-Constant" true (view_im (mk (Ca.Chronicle fx.mileage)) = Classify.IM_constant);
+  check_bool "SCA_join -> IM-log(R)" true (view_im (mk (keyjoin_body fx)) = Classify.IM_log_r);
+  let full =
+    Classify.sca
+      (Sca.define ~name:"v2" ~body:(product_body fx)
+         (Sca.Group_agg ([ "state" ], [ Relational.Aggregate.count_star "n" ])))
+  in
+  check_bool "SCA -> IM-R^k" true (view_im full = Classify.IM_poly_r)
+
+let test_avg_decomposition_note () =
+  let fx = make () in
+  let r =
+    Classify.sca
+      (Sca.define ~name:"v" ~body:(Ca.Chronicle fx.mileage)
+         (Sca.Group_agg ([ "acct" ], [ Relational.Aggregate.avg "fare" "avg_fare" ])))
+  in
+  check_bool "AVG note present" true
+    (List.exists (fun n -> String.length n > 0 && String.contains n 'S') r.Classify.notes)
+
+let test_im_order () =
+  let open Classify in
+  check_bool "const < log" true (im_subseteq IM_constant IM_log_r);
+  check_bool "log < poly_r" true (im_subseteq IM_log_r IM_poly_r);
+  check_bool "poly_r < poly_c" true (im_subseteq IM_poly_r IM_poly_c);
+  check_bool "not backwards" false (im_subseteq IM_poly_c IM_constant);
+  check_bool "reflexive" true (im_subseteq IM_log_r IM_log_r)
+
+let test_names () =
+  check_string "IM-Constant" "IM-Constant" (Classify.im_class_name Classify.IM_constant);
+  check_string "IM-log(R)" "IM-log(R)" (Classify.im_class_name Classify.IM_log_r);
+  check_string "IM-R^k" "IM-R^k" (Classify.im_class_name Classify.IM_poly_r);
+  check_string "IM-C^k" "IM-C^k" (Classify.im_class_name Classify.IM_poly_c)
+
+let suite =
+  [
+    test "CA_1 classification" test_ca1;
+    test "CA_join classification" test_ca_key;
+    test "full CA classification" test_ca_full;
+    test "non-key join demotes to CA" test_non_key_join_demotes;
+    test "Theorem 4.3 violations are IM-C^k" test_not_ca_cases;
+    test "tier propagates through operators" test_tier_propagates_up;
+    test "u/j counting and formulas (Thm 4.2)" test_u_j_counting;
+    test "Theorem 4.5: SCA tier mapping" test_sca_tiers;
+    test "AVG decomposition note" test_avg_decomposition_note;
+    test "IM class containment order" test_im_order;
+    test "class names" test_names;
+  ]

@@ -1,0 +1,99 @@
+open Relational
+open Util
+
+let schema =
+  Schema.make
+    [ ("id", Value.TInt); ("name", Value.TStr); ("score", Value.TFloat);
+      ("active", Value.TBool) ]
+
+let test_roundtrip () =
+  let tuples =
+    [
+      tup [ vi 1; vs "plain"; vf 2.5; vb true ];
+      tup [ vi 2; vs "with,comma"; vf (-1.); vb false ];
+      tup [ vi 3; vs "with \"quotes\""; Value.Null; vb true ];
+      tup [ vi 4; vs "multi\nline"; vf 0.125; vb false ];
+    ]
+  in
+  let text = Csv_io.string_of_tuples schema tuples in
+  check_tuples "roundtrip" tuples (Csv_io.tuples_of_string schema text)
+
+let test_header_checked () =
+  check_raises_any "wrong header" (fun () ->
+      ignore (Csv_io.tuples_of_string schema "a,b,c,d\n1,x,2.0,true\n"));
+  (* headerless mode *)
+  let tuples = Csv_io.tuples_of_string ~header:false schema "1,x,2.0,true\n" in
+  check_int "headerless" 1 (List.length tuples)
+
+let test_value_parsing () =
+  check_value "int" (vi 42) (Csv_io.parse_value Value.TInt " 42 ");
+  check_value "float" (vf 2.5) (Csv_io.parse_value Value.TFloat "2.5");
+  check_value "bool yes" (vb true) (Csv_io.parse_value Value.TBool "YES");
+  check_value "empty is null" Value.Null (Csv_io.parse_value Value.TInt "");
+  check_raises_any "bad int" (fun () -> ignore (Csv_io.parse_value Value.TInt "zap"))
+
+let test_errors_located () =
+  (match Csv_io.tuples_of_string schema "id,name,score,active\n1,x,2.0\n" with
+  | _ -> Alcotest.fail "arity error expected"
+  | exception Csv_io.Csv_error { line; _ } -> check_int "line" 2 line);
+  (match Csv_io.tuples_of_string schema "id,name,score,active\n1,x,zap,true\n" with
+  | _ -> Alcotest.fail "type error expected"
+  | exception Csv_io.Csv_error { message; _ } ->
+      check_bool "mentions field" true
+        (String.length message > 0 && String.sub message 0 5 = "field"));
+  match Csv_io.tuples_of_string schema "id,name,score,active\n1,\"x,2.0,true\n" with
+  | _ -> Alcotest.fail "quote error expected"
+  | exception Csv_io.Csv_error _ -> ()
+
+let test_relation_io () =
+  let rel = Relation.create ~name:"r" ~schema ~key:[ "id" ] () in
+  let n =
+    Csv_io.load_relation rel
+      "id,name,score,active\n1,ann,3.5,true\n2,bob,1.0,false\n"
+  in
+  check_int "loaded" 2 n;
+  check_int "cardinality" 2 (Relation.cardinality rel);
+  let dumped = Csv_io.dump_relation rel in
+  let rel2 = Relation.create ~name:"r2" ~schema () in
+  ignore (Csv_io.load_relation rel2 dumped);
+  check_tuples "dump/load" (Relation.to_list rel) (Relation.to_list rel2)
+
+let test_file_io () =
+  let path = Filename.temp_file "chronicle_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let tuples = [ tup [ vi 1; vs "a"; vf 1.; vb true ] ] in
+      Csv_io.save_file schema path tuples;
+      check_tuples "file roundtrip" tuples (Csv_io.load_file schema path))
+
+let qcheck_random_roundtrip =
+  let gen =
+    QCheck.(
+      list_of_size (Gen.int_bound 20)
+        (pair small_signed_int (string_gen (Gen.char_range ' ' '~'))))
+  in
+  qtest "random printable rows roundtrip" gen (fun rows ->
+      let s2 = Schema.make [ ("n", Value.TInt); ("s", Value.TStr) ] in
+      let tuples = List.map (fun (n, str) -> tup [ vi n; vs str ]) rows in
+      let text = Csv_io.string_of_tuples s2 tuples in
+      (* empty strings decode as NULL: normalize both sides *)
+      let norm =
+        List.map (fun (tu : Tuple.t) ->
+            match Tuple.get tu 1 with
+            | Value.Str "" -> tup [ Tuple.get tu 0; Value.Null ]
+            | _ -> tu)
+      in
+      List.equal Tuple.equal (norm tuples)
+        (norm (Csv_io.tuples_of_string s2 text)))
+
+let suite =
+  [
+    test "quoting roundtrip" test_roundtrip;
+    qcheck_random_roundtrip;
+    test "header validation" test_header_checked;
+    test "typed value parsing" test_value_parsing;
+    test "errors carry line numbers" test_errors_located;
+    test "relation load/dump" test_relation_io;
+    test "file save/load" test_file_io;
+  ]

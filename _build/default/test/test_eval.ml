@@ -1,0 +1,67 @@
+open Relational
+open Chronicle_core
+open Util
+open Fixtures
+
+let test_chronicle_tuples_retention () =
+  let fx = make ~retention:Chron.Full () in
+  ignore (Chron.append fx.mileage [ mile 1 10 1. ]);
+  check_int "full retention readable" 1
+    (List.length (Eval.chronicle_tuples fx.mileage));
+  let fx2 = make ~retention:Chron.Discard () in
+  check_int "empty discard is fine" 0
+    (List.length (Eval.chronicle_tuples fx2.mileage));
+  ignore (Chron.append fx2.mileage [ mile 1 10 1. ]);
+  check_raises_any "non-empty discard is not" (fun () ->
+      ignore (Eval.chronicle_tuples fx2.mileage))
+
+let test_window_partial_history () =
+  let fx = make ~retention:(Chron.Window 2) () in
+  ignore (Chron.append fx.mileage [ mile 1 10 1. ]);
+  ignore (Chron.append fx.mileage [ mile 2 20 1. ]);
+  check_int "window still complete" 2
+    (List.length (Eval.chronicle_tuples fx.mileage));
+  ignore (Chron.append fx.mileage [ mile 3 30 1. ]);
+  check_raises_any "window lost history" (fun () ->
+      ignore (Eval.chronicle_tuples fx.mileage))
+
+let test_eval_matches_manual () =
+  let fx = make () in
+  ignore (Chron.append fx.mileage [ mile 1 100 10. ]);
+  ignore (Chron.append fx.mileage [ mile 2 200 20. ]);
+  let e = Ca.Select (Predicate.("miles" >% vi 150), Ca.Chronicle fx.mileage) in
+  check_tuples "filtered eval"
+    [ tup [ vi 2; vi 2; vi 200; vf 20. ] ]
+    (Eval.eval e)
+
+let test_eval_before_excludes_recent () =
+  let fx = make () in
+  let sn1 = Chron.append fx.mileage [ mile 1 100 10. ] in
+  let sn2 = Chron.append fx.mileage [ mile 2 200 20. ] in
+  let e = Ca.Chronicle fx.mileage in
+  check_int "before sn1: nothing" 0 (List.length (Eval.eval_before e sn1));
+  check_int "before sn2: one" 1 (List.length (Eval.eval_before e sn2));
+  check_int "before sn2+1: both" 2 (List.length (Eval.eval_before e (sn2 + 1)));
+  (* composite expressions restrict every base *)
+  let u = Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) in
+  check_int "union before" 1 (List.length (Eval.eval_before u sn2))
+
+let test_eval_groupby_and_join () =
+  let fx = make () in
+  ignore (Chron.append fx.mileage [ mile 1 100 10.; mile 1 50 5. ]);
+  let grouped =
+    Ca.GroupBySeq
+      ([ Seqnum.attr; "acct" ], [ Aggregate.sum "miles" "m" ], Ca.Chronicle fx.mileage)
+  in
+  check_tuples "grouped eval" [ tup [ vi 1; vi 1; vi 150 ] ] (Eval.eval grouped);
+  let joined = keyjoin_body fx in
+  check_int "join eval" 2 (List.length (Eval.eval joined))
+
+let suite =
+  [
+    test "retention gates full evaluation" test_chronicle_tuples_retention;
+    test "ring windows lose auditability when they wrap" test_window_partial_history;
+    test "eval matches manual expectation" test_eval_matches_manual;
+    test "eval_before excludes the newest batch" test_eval_before_excludes_recent;
+    test "eval of grouping and joins" test_eval_groupby_and_join;
+  ]

@@ -1,0 +1,80 @@
+open Relational
+open Util
+
+let schema =
+  Schema.make
+    [ ("dept", Value.TStr); ("who", Value.TStr); ("pay", Value.TInt) ]
+
+let rows =
+  [
+    tup [ vs "eng"; vs "a"; vi 100 ];
+    tup [ vs "eng"; vs "b"; vi 200 ];
+    tup [ vs "ops"; vs "c"; vi 50 ];
+    tup [ vs "eng"; vs "d"; vi 300 ];
+  ]
+
+let test_batch_groupby () =
+  let out_schema, out =
+    Groupby.run schema rows ~group_by:[ "dept" ]
+      ~aggs:[ Aggregate.sum "pay" "total"; Aggregate.count_star "n"; Aggregate.max_ "pay" "top" ]
+  in
+  check_int "schema arity" 4 (Schema.arity out_schema);
+  check_tuples "grouped"
+    [ tup [ vs "eng"; vi 600; vi 3; vi 300 ]; tup [ vs "ops"; vi 50; vi 1; vi 50 ] ]
+    out
+
+let test_group_order_first_appearance () =
+  let _, out =
+    Groupby.run schema rows ~group_by:[ "dept" ] ~aggs:[ Aggregate.count_star "n" ]
+  in
+  Alcotest.check (Alcotest.list Alcotest.string) "order"
+    [ "eng"; "ops" ]
+    (List.map (fun t -> match Tuple.get t 0 with Value.Str s -> s | _ -> "?") out)
+
+let test_empty_input () =
+  let _, out = Groupby.run schema [] ~group_by:[ "dept" ] ~aggs:[ Aggregate.count_star "n" ] in
+  check_tuples "no groups" [] out
+
+let test_no_group_attrs () =
+  (* grouping on [] = one global group *)
+  let _, out = Groupby.run schema rows ~group_by:[] ~aggs:[ Aggregate.sum "pay" "total" ] in
+  check_tuples "global aggregate" [ tup [ vi 650 ] ] out
+
+let test_incremental_table () =
+  let t = Groupby.create schema ~group_by:[ "dept" ] ~aggs:[ Aggregate.sum "pay" "s" ] in
+  List.iter (Groupby.step t) rows;
+  check_int "groups" 2 (Groupby.group_count t);
+  check_bool "current eng" true
+    (Groupby.current t [ vs "eng" ] = Some (tup [ vs "eng"; vi 600 ]));
+  check_bool "current missing" true (Groupby.current t [ vs "hr" ] = None);
+  Groupby.step t (tup [ vs "hr"; vs "z"; vi 10 ]);
+  check_int "new group" 3 (Groupby.group_count t);
+  check_tuples "result matches batch"
+    (snd (Groupby.run schema (rows @ [ tup [ vs "hr"; vs "z"; vi 10 ] ])
+            ~group_by:[ "dept" ] ~aggs:[ Aggregate.sum "pay" "s" ]))
+    (Groupby.result t)
+
+let qcheck_incremental_equals_batch =
+  let gen =
+    QCheck.(list (pair (int_bound 4) (int_bound 100)))
+  in
+  qtest "incremental table = batch GROUPBY on random streams" gen (fun pairs ->
+      let s2 = Schema.make [ ("g", Value.TInt); ("x", Value.TInt) ] in
+      let tuples = List.map (fun (g, x) -> tup [ vi g; vi x ]) pairs in
+      let aggs =
+        [ Aggregate.sum "x" "s"; Aggregate.min_ "x" "lo"; Aggregate.avg "x" "m" ]
+      in
+      let t = Groupby.create s2 ~group_by:[ "g" ] ~aggs in
+      List.iter (Groupby.step t) tuples;
+      let _, batch = Groupby.run s2 tuples ~group_by:[ "g" ] ~aggs in
+      List.equal Tuple.equal (sorted_tuples (Groupby.result t)) (sorted_tuples batch))
+
+let suite =
+  [
+    test "batch GROUPBY(R, GL, AL)" test_batch_groupby;
+    test "group order is first appearance" test_group_order_first_appearance;
+    test "empty input" test_empty_input;
+    test "grouping on no attributes" test_no_group_attrs;
+    test "incremental group table" test_incremental_table;
+    qcheck_incremental_equals_batch;
+  ]

@@ -1,0 +1,126 @@
+(* Event rules in the surface language (§6's event algebra as ℒ). *)
+
+open Relational
+open Chronicle_lang
+open Util
+
+let setup () =
+  let session = Session.create () in
+  ignore
+    (Analyze.run_script session
+       "CREATE CHRONICLE txns (acct INT, kind STRING, amount FLOAT);");
+  session
+
+let test_parse_rule () =
+  match
+    Parser.parse
+      "DEFINE RULE drain ON txns KEY (acct) WITHIN 10 WHEN EVENT d (kind = \
+       'deposit' AND amount > 800.0) THEN REPEAT 2 EVENT w (kind = \
+       'withdrawal');"
+  with
+  | [ Ast.Define_rule { name = "drain"; chronicle = "txns"; key = [ "acct" ];
+        within = Some 10;
+        pattern = Ast.Ev_seq (Ast.Ev_atom (Some "d", _), Ast.Ev_repeat (2, _)); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "rule parse mismatch"
+
+let test_pattern_precedence () =
+  (* THEN binds tighter than AND, AND tighter than OR *)
+  match
+    Parser.parse
+      "DEFINE RULE r ON txns KEY (acct) WHEN EVENT (kind = 'a') THEN EVENT \
+       (kind = 'b') OR EVENT (kind = 'c') AND EVENT (kind = 'd');"
+  with
+  | [ Ast.Define_rule
+        { pattern = Ast.Ev_or (Ast.Ev_seq _, Ast.Ev_and _); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "precedence mismatch"
+
+let test_rule_end_to_end () =
+  let session = setup () in
+  let results =
+    Analyze.run_script session
+      "DEFINE RULE drain ON txns KEY (acct) WITHIN 10 WHEN EVENT d (kind = \
+       'deposit' AND amount > 800.0) THEN EVENT w (kind = 'withdrawal' AND \
+       amount < -300.0);\n\
+       APPEND INTO txns VALUES (7, 'deposit', 900.0);\n\
+       ADVANCE CLOCK TO 2;\n\
+       APPEND INTO txns VALUES (7, 'withdrawal', -400.0);\n\
+       APPEND INTO txns VALUES (8, 'withdrawal', -400.0);\n\
+       SHOW ALERTS;"
+  in
+  (match List.hd results with
+  | Analyze.Defined_rule { rule = "drain"; chronicle = "txns" } -> ()
+  | _ -> Alcotest.fail "expected Defined_rule");
+  match List.rev results with
+  | Analyze.Rows (_, rows) :: _ -> (
+      check_int "one alert" 1 (List.length rows);
+      match rows with
+      | [ row ] ->
+          check_value "rule name" (vs "drain") (Tuple.get row 0);
+          check_value "fired chronon" (vi 2) (Tuple.get row 3)
+      | _ -> assert false)
+  | _ -> Alcotest.fail "expected alert rows"
+
+let test_within_expires_via_language () =
+  let session = setup () in
+  let results =
+    Analyze.run_script session
+      "DEFINE RULE fast ON txns KEY (acct) WITHIN 1 WHEN REPEAT 2 EVENT w \
+       (kind = 'withdrawal');\n\
+       APPEND INTO txns VALUES (1, 'withdrawal', -10.0);\n\
+       ADVANCE CLOCK TO 5;\n\
+       APPEND INTO txns VALUES (1, 'withdrawal', -10.0);\n\
+       SHOW ALERTS;"
+  in
+  match List.rev results with
+  | Analyze.Rows (_, rows) :: _ -> check_int "expired, no alert" 0 (List.length rows)
+  | _ -> Alcotest.fail "expected rows"
+
+let test_rule_errors () =
+  let session = setup () in
+  let expect src =
+    match Analyze.run_script session src with
+    | _ -> Alcotest.failf "expected error on %S" src
+    | exception Analyze.Semantic_error _ -> ()
+  in
+  expect "DEFINE RULE r ON nope KEY (acct) WHEN EVENT (kind = 'x');";
+  expect "DEFINE RULE r ON txns KEY (missing) WHEN EVENT (kind = 'x');";
+  let ok = "DEFINE RULE r ON txns KEY (acct) WHEN EVENT (kind = 'x');" in
+  ignore (Analyze.run_script session ok);
+  expect ok (* duplicate rule name *)
+
+
+let test_cooldown_reset_syntax () =
+  (match
+     Parser.parse
+       "DEFINE RULE r ON txns KEY (acct) WITHIN 5 COOLDOWN 30 RESET WHEN \
+        EVENT (kind = 'x');"
+   with
+  | [ Ast.Define_rule { within = Some 5; cooldown = Some 30; reset_on_match = true; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "cooldown/reset parse mismatch");
+  (* and it behaves: cooldown suppresses repeat alerts *)
+  let session = setup () in
+  let results =
+    Analyze.run_script session
+      "DEFINE RULE w ON txns KEY (acct) COOLDOWN 10 WHEN EVENT (kind = \
+       'withdrawal');\n\
+       APPEND INTO txns VALUES (1, 'withdrawal', -10.0);\n\
+       ADVANCE CLOCK TO 2;\n\
+       APPEND INTO txns VALUES (1, 'withdrawal', -10.0);\n\
+       SHOW ALERTS;"
+  in
+  match List.rev results with
+  | Analyze.Rows (_, rows) :: _ -> check_int "one alert, one suppressed" 1 (List.length rows)
+  | _ -> Alcotest.fail "expected rows"
+
+let suite =
+  [
+    test "parse DEFINE RULE" test_parse_rule;
+    test "pattern operator precedence" test_pattern_precedence;
+    test "rules fire through the language" test_rule_end_to_end;
+    test "WITHIN deadlines via the language" test_within_expires_via_language;
+    test "rule errors" test_rule_errors;
+    test "COOLDOWN and RESET syntax" test_cooldown_reset_syntax;
+  ]

@@ -1,0 +1,61 @@
+open Chronicle_lang
+open Util
+
+let toks src = Array.to_list (Array.map fst (Lexer.tokenize src))
+
+let test_keywords_case_insensitive () =
+  check_bool "upper" true (toks "SELECT" = [ Token.Kw_select; Token.Eof ]);
+  check_bool "lower" true (toks "select" = [ Token.Kw_select; Token.Eof ]);
+  check_bool "mixed" true (toks "SeLeCt" = [ Token.Kw_select; Token.Eof ])
+
+let test_identifiers_lowercased () =
+  check_bool "ident" true (toks "Mileage" = [ Token.Ident "mileage"; Token.Eof ]);
+  check_bool "underscore" true
+    (toks "total_expenses" = [ Token.Ident "total_expenses"; Token.Eof ])
+
+let test_numbers () =
+  check_bool "int" true (toks "42" = [ Token.Int_lit 42; Token.Eof ]);
+  check_bool "negative" true (toks "-7" = [ Token.Int_lit (-7); Token.Eof ]);
+  check_bool "float" true (toks "2.5" = [ Token.Float_lit 2.5; Token.Eof ]);
+  check_bool "negative float" true (toks "-0.5" = [ Token.Float_lit (-0.5); Token.Eof ])
+
+let test_strings () =
+  check_bool "simple" true (toks "'NJ'" = [ Token.Str_lit "NJ"; Token.Eof ]);
+  check_bool "escaped quote" true
+    (toks "'it''s'" = [ Token.Str_lit "it's"; Token.Eof ]);
+  check_raises_any "unterminated" (fun () -> ignore (toks "'oops"))
+
+let test_operators () =
+  check_bool "ops" true
+    (toks "= <> <= < >= > != *"
+    = [
+        Token.Op_eq; Token.Op_ne; Token.Op_le; Token.Op_lt; Token.Op_ge;
+        Token.Op_gt; Token.Op_ne; Token.Star; Token.Eof;
+      ])
+
+let test_comments_and_lines () =
+  let lexed = Lexer.tokenize "select -- a comment\nfrom" in
+  check_bool "comment skipped" true
+    (Array.to_list (Array.map fst lexed) = [ Token.Kw_select; Token.Kw_from; Token.Eof ]);
+  check_int "line tracking" 2 (snd lexed.(1))
+
+let test_bad_char () =
+  check_raises_any "unexpected char" (fun () -> ignore (toks "@"))
+
+let test_full_statement () =
+  let got =
+    toks "DEFINE VIEW v AS SELECT acct, SUM(miles) AS m FROM CHRONICLE t;"
+  in
+  check_int "token count" 18 (List.length got)
+
+let suite =
+  [
+    test "keywords are case-insensitive" test_keywords_case_insensitive;
+    test "identifiers normalize to lowercase" test_identifiers_lowercased;
+    test "integer and float literals" test_numbers;
+    test "string literals with '' escape" test_strings;
+    test "operators" test_operators;
+    test "comments and line numbers" test_comments_and_lines;
+    test "unexpected characters rejected" test_bad_char;
+    test "full statement tokenizes" test_full_statement;
+  ]

@@ -1,0 +1,148 @@
+open Relational
+open Chronicle_lang
+open Util
+
+let test_simple_view () =
+  let s =
+    Parser.parse_select
+      "SELECT acct, SUM(miles) AS balance FROM CHRONICLE mileage GROUP BY acct"
+  in
+  check_string "chronicle" "mileage" s.Ast.chronicle;
+  check_bool "no join" true (s.Ast.join = None);
+  check_bool "no where" true (s.Ast.where = None);
+  Alcotest.check (Alcotest.list Alcotest.string) "group" [ "acct" ] s.Ast.group_by;
+  check_int "items" 2 (List.length s.Ast.items);
+  match s.Ast.items with
+  | [ Ast.Col "acct"; Ast.Agg { func = Aggregate.Sum; arg = Some "miles"; alias = Some "balance" } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected items"
+
+let test_count_star_and_default_alias () =
+  let s = Parser.parse_select "SELECT COUNT(*) FROM CHRONICLE c" in
+  (match s.Ast.items with
+  | [ Ast.Agg { func = Aggregate.Count; arg = None; alias = None } ] -> ()
+  | _ -> Alcotest.fail "expected COUNT(*)");
+  check_bool "no grouping" true (s.Ast.group_by = [])
+
+let test_join_clause () =
+  let s =
+    Parser.parse_select
+      "SELECT state FROM CHRONICLE m JOIN customers ON acct = cust AND plan = tier"
+  in
+  match s.Ast.join with
+  | Some { Ast.rel = "customers"; on = [ ("acct", "cust"); ("plan", "tier") ] } -> ()
+  | _ -> Alcotest.fail "join clause mismatch"
+
+let test_where_precedence () =
+  let s =
+    Parser.parse_select
+      "SELECT acct FROM CHRONICLE c WHERE a = 1 AND b = 2 OR x > 3"
+  in
+  (* OR binds looser than AND: (a AND b) OR x... our grammar: or(and, rest) *)
+  match s.Ast.where with
+  | Some (Ast.Or (Ast.And _, Ast.Cmp _)) -> ()
+  | _ -> Alcotest.fail "precedence mismatch"
+
+let test_where_parens_and_not () =
+  let s =
+    Parser.parse_select
+      "SELECT acct FROM CHRONICLE c WHERE NOT (a = 1 OR b = 'x')"
+  in
+  match s.Ast.where with
+  | Some (Ast.Not (Ast.Or _)) -> ()
+  | _ -> Alcotest.fail "parenthesized NOT mismatch"
+
+let test_conjunct_split () =
+  let s =
+    Parser.parse_select
+      "SELECT acct FROM CHRONICLE c WHERE a = 1 AND (b = 2 OR z < 3) AND d <> 4"
+  in
+  match s.Ast.where with
+  | Some cond -> check_int "three conjuncts" 3 (List.length (Ast.conjuncts cond))
+  | None -> Alcotest.fail "where expected"
+
+let test_create_chronicle () =
+  match Parser.parse "CREATE CHRONICLE calls (number INT, cost FLOAT) RETAIN WINDOW 100;" with
+  | [ Ast.Create_chronicle { name = "calls"; columns; retain = Some (Ast.Retain_window 100) } ] ->
+      check_bool "columns" true
+        (columns = [ ("number", Value.TInt); ("cost", Value.TFloat) ])
+  | _ -> Alcotest.fail "create chronicle mismatch"
+
+let test_create_relation () =
+  match
+    Parser.parse "CREATE RELATION customers (cust INT, state STRING) KEY (cust);"
+  with
+  | [ Ast.Create_relation { name = "customers"; key = [ "cust" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "create relation mismatch"
+
+let test_append_insert () =
+  match
+    Parser.parse
+      "APPEND INTO calls VALUES (1, 2.5), (2, 0.5); INSERT INTO customers VALUES (1, 'NJ');"
+  with
+  | [
+   Ast.Append_into { chronicle = "calls"; rows = [ [ Value.Int 1; Value.Float 2.5 ]; [ Value.Int 2; Value.Float 0.5 ] ] };
+   Ast.Insert_into { relation = "customers"; rows = [ [ Value.Int 1; Value.Str "NJ" ] ] };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "append/insert mismatch"
+
+let test_show () =
+  match Parser.parse "SHOW VIEW balance; SHOW CLASSIFY balance;" with
+  | [ Ast.Show_view "balance"; Ast.Show_classify "balance" ] -> ()
+  | _ -> Alcotest.fail "show mismatch"
+
+let test_multi_statement_script () =
+  let script =
+    "CREATE CHRONICLE t (a INT); -- comment\n\
+     DEFINE VIEW v AS SELECT a, COUNT(*) AS n FROM CHRONICLE t GROUP BY a;\n\
+     APPEND INTO t VALUES (1);"
+  in
+  check_int "three statements" 3 (List.length (Parser.parse script))
+
+let expect_parse_error src =
+  match Parser.parse src with
+  | _ -> Alcotest.failf "expected parse error on %S" src
+  | exception Parser.Parse_error _ -> ()
+  | exception Lexer.Lex_error _ -> ()
+
+let test_errors () =
+  expect_parse_error "SELECT FROM CHRONICLE t;";
+  expect_parse_error "DEFINE VIEW v AS SELECT a FROM t;";
+  (* missing CHRONICLE keyword *)
+  expect_parse_error "CREATE CHRONICLE t (a BOGUSTYPE);";
+  expect_parse_error "APPEND INTO t VALUES (a);";
+  (* attribute where literal expected *)
+  expect_parse_error "CREATE CHRONICLE t (a INT)" (* missing semicolon *)
+
+let test_soft_keywords_as_identifiers () =
+  (* statement vocabulary stays usable as schema names *)
+  let s =
+    Parser.parse_select
+      "SELECT plan, SUM(width) AS start FROM CHRONICLE stats WHERE clock > 5 \
+       GROUP BY plan"
+  in
+  check_string "chronicle named stats" "stats" s.Ast.chronicle;
+  (match s.Ast.items with
+  | [ Ast.Col "plan"; Ast.Agg { arg = Some "width"; alias = Some "start"; _ } ] -> ()
+  | _ -> Alcotest.fail "soft keyword items mismatch");
+  match s.Ast.where with
+  | Some (Ast.Cmp { left = Ast.Attr "clock"; _ }) -> ()
+  | _ -> Alcotest.fail "soft keyword in WHERE mismatch"
+
+let suite =
+  [
+    test "simple grouped view" test_simple_view;
+    test "soft keywords usable as identifiers" test_soft_keywords_as_identifiers;
+    test "COUNT(*) without alias" test_count_star_and_default_alias;
+    test "join with multiple ON pairs" test_join_clause;
+    test "AND binds tighter than OR" test_where_precedence;
+    test "parentheses and NOT" test_where_parens_and_not;
+    test "conjunct splitting" test_conjunct_split;
+    test "CREATE CHRONICLE with retention" test_create_chronicle;
+    test "CREATE RELATION with key" test_create_relation;
+    test "APPEND/INSERT rows" test_append_insert;
+    test "SHOW statements" test_show;
+    test "multi-statement script" test_multi_statement_script;
+    test "parse errors" test_errors;
+  ]

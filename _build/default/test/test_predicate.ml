@@ -1,0 +1,70 @@
+open Relational
+open Util
+open Predicate
+
+let s = Schema.make [ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TFloat) ]
+let t = tup [ vi 5; vs "hello"; vf 2.5 ]
+
+let holds p = Predicate.eval s p t
+
+let test_atoms () =
+  check_bool "eq" true (holds ("a" =% vi 5));
+  check_bool "ne" true (holds ("a" <>% vi 6));
+  check_bool "lt" true (holds ("c" <% vf 3.));
+  check_bool "le" true (holds ("a" <=% vi 5));
+  check_bool "gt" false (holds ("a" >% vi 5));
+  check_bool "ge" true (holds ("a" >=% vi 5));
+  check_bool "string cmp" true (holds ("b" =% vs "hello"))
+
+let test_attr_attr () =
+  let s2 = Schema.make [ ("x", Value.TInt); ("y", Value.TInt) ] in
+  check_bool "x < y" true (Predicate.eval s2 (Cmp (Attr "x", Lt, Attr "y")) (tup [ vi 1; vi 2 ]));
+  check_bool "x = y" false (Predicate.eval s2 (attr_eq "x" "y") (tup [ vi 1; vi 2 ]))
+
+let test_boolean_connectives () =
+  check_bool "and" true (holds (And ("a" =% vi 5, "b" =% vs "hello")));
+  check_bool "and false" false (holds (And ("a" =% vi 5, "b" =% vs "nope")));
+  check_bool "or" true (holds (Or ("a" =% vi 9, "c" >% vf 2.)));
+  check_bool "not" true (holds (Not ("a" =% vi 9)));
+  check_bool "true" true (holds True);
+  check_bool "false" false (holds False)
+
+let test_null_semantics () =
+  let tn = tup [ Value.Null; vs "h"; vf 1. ] in
+  check_bool "null < k is false" false (Predicate.eval s ("a" <% vi 10) tn);
+  check_bool "null > k is false" false (Predicate.eval s ("a" >% vi 0) tn);
+  check_bool "null = null" true (Predicate.eval s ("a" =% Value.Null) tn);
+  check_bool "null <> k" true (Predicate.eval s ("a" <>% vi 3) tn)
+
+let test_ca_form () =
+  check_bool "atom" true (is_ca_form ("a" =% vi 1));
+  check_bool "disjunction" true (is_ca_form (Or ("a" =% vi 1, "a" =% vi 2)));
+  check_bool "nested disjunction" true
+    (is_ca_form (Or (Or ("a" =% vi 1, "a" =% vi 2), "a" >% vi 10)));
+  check_bool "conjunction is not Def 4.1 form" false
+    (is_ca_form (And ("a" =% vi 1, "a" =% vi 2)));
+  check_bool "negation is not" false (is_ca_form (Not ("a" =% vi 1)));
+  check_bool "and under or is not" false
+    (is_ca_form (Or ("a" =% vi 1, And ("a" =% vi 2, "b" =% vs "x"))))
+
+let test_attrs_and_compile_errors () =
+  Alcotest.check (Alcotest.list Alcotest.string) "attrs" [ "a"; "c" ]
+    (attrs (Or ("c" >% vf 0., And ("a" =% vi 1, "a" <% vi 9))));
+  check_raises_any "unknown attr" (fun () -> Predicate.compile s ("zz" =% vi 0))
+
+let test_conj_disj () =
+  check_bool "conj []" true (holds (conj []));
+  check_bool "disj []" false (holds (disj []));
+  check_bool "conj list" true (holds (conj [ "a" =% vi 5; "c" >% vf 1. ]));
+  check_bool "disj list" true (holds (disj [ "a" =% vi 0; "c" >% vf 1. ]))
+
+let suite =
+  [
+    test "atomic comparisons" test_atoms;
+    test "attribute-attribute comparison" test_attr_attr;
+    test "boolean connectives" test_boolean_connectives;
+    test "null comparison semantics" test_null_semantics;
+    test "Definition 4.1 predicate form" test_ca_form;
+    test "attrs and compile errors" test_attrs_and_compile_errors;
+    test "conj/disj builders" test_conj_disj;
+  ]

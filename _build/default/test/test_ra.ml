@@ -1,0 +1,139 @@
+open Relational
+open Util
+
+let emp_schema =
+  Schema.make [ ("eid", Value.TInt); ("dept", Value.TStr); ("pay", Value.TInt) ]
+
+let dept_schema = Schema.make [ ("dname", Value.TStr); ("floor", Value.TInt) ]
+
+let emps () =
+  let r = Relation.create ~name:"emps" ~schema:emp_schema ~key:[ "eid" ] () in
+  Relation.insert_all r
+    [
+      tup [ vi 1; vs "eng"; vi 100 ];
+      tup [ vi 2; vs "eng"; vi 200 ];
+      tup [ vi 3; vs "ops"; vi 150 ];
+    ];
+  r
+
+let depts () =
+  let r = Relation.create ~name:"depts" ~schema:dept_schema ~key:[ "dname" ] () in
+  Relation.insert_all r [ tup [ vs "eng"; vi 4 ]; tup [ vs "ops"; vi 2 ] ];
+  r
+
+let test_select () =
+  check_tuples "select"
+    [ tup [ vi 2; vs "eng"; vi 200 ]; tup [ vi 3; vs "ops"; vi 150 ] ]
+    (Ra.eval (Ra.Select (Predicate.("pay" >% vi 100), Ra.Rel (emps ()))))
+
+let test_project () =
+  check_tuples "project keeps bag"
+    [ tup [ vs "eng" ]; tup [ vs "eng" ]; tup [ vs "ops" ] ]
+    (Ra.eval (Ra.Project ([ "dept" ], Ra.Rel (emps ()))));
+  check_tuples "distinct dedups"
+    [ tup [ vs "eng" ]; tup [ vs "ops" ] ]
+    (Ra.eval (Ra.Distinct (Ra.Project ([ "dept" ], Ra.Rel (emps ())))))
+
+let test_product_and_clash () =
+  let e = emps () and d = depts () in
+  check_int "product size" 6 (List.length (Ra.eval (Ra.Product (Ra.Rel e, Ra.Rel d))));
+  check_raises_any "self product clashes" (fun () ->
+      Ra.schema_of (Ra.Product (Ra.Rel e, Ra.Rel e)));
+  (* prefix disambiguates *)
+  let sp = Ra.schema_of (Ra.Product (Ra.Rel e, Ra.Prefix ("o", Ra.Rel e))) in
+  check_bool "prefixed" true (Schema.mem sp "o.eid")
+
+let test_equijoin () =
+  let out =
+    Ra.eval (Ra.EquiJoin ([ ("dept", "dname") ], Ra.Rel (emps ()), Ra.Rel (depts ())))
+  in
+  check_tuples "join"
+    [
+      tup [ vi 1; vs "eng"; vi 100; vi 4 ];
+      tup [ vi 2; vs "eng"; vi 200; vi 4 ];
+      tup [ vi 3; vs "ops"; vi 150; vi 2 ];
+    ]
+    out;
+  let s = Ra.schema_of (Ra.EquiJoin ([ ("dept", "dname") ], Ra.Rel (emps ()), Ra.Rel (depts ()))) in
+  check_bool "right join attr dropped" false (Schema.mem s "dname")
+
+let test_theta_join () =
+  let out =
+    Ra.eval
+      (Ra.ThetaJoin
+         ( Predicate.(Cmp (Attr "pay", Gt, Attr "o.pay")),
+           Ra.Rel (emps ()),
+           Ra.Prefix ("o", Ra.Rel (emps ())) ))
+  in
+  check_int "pairs with strictly greater pay" 3 (List.length out)
+
+let test_union_diff () =
+  let a = Ra.Const (dept_schema, [ tup [ vs "eng"; vi 4 ]; tup [ vs "hr"; vi 9 ] ]) in
+  let b = Ra.Rel (depts ()) in
+  check_tuples "union dedups"
+    [ tup [ vs "eng"; vi 4 ]; tup [ vs "hr"; vi 9 ]; tup [ vs "ops"; vi 2 ] ]
+    (Ra.eval (Ra.Union (a, b)));
+  check_tuples "difference"
+    [ tup [ vs "hr"; vi 9 ] ]
+    (Ra.eval (Ra.Diff (a, b)))
+
+let test_union_incompatible () =
+  check_raises_any "incompatible union" (fun () ->
+      Ra.schema_of (Ra.Union (Ra.Rel (emps ()), Ra.Rel (depts ()))))
+
+let test_groupby () =
+  check_tuples "groupby"
+    [ tup [ vs "eng"; vi 300; vi 2 ]; tup [ vs "ops"; vi 150; vi 1 ] ]
+    (Ra.eval
+       (Ra.GroupBy
+          ( [ "dept" ],
+            [ Aggregate.sum "pay" "total"; Aggregate.count_star "n" ],
+            Ra.Rel (emps ()) )))
+
+let test_rename () =
+  let s = Ra.schema_of (Ra.Rename ([ ("pay", "salary") ], Ra.Rel (emps ()))) in
+  check_bool "renamed" true (Schema.mem s "salary");
+  check_bool "old gone" false (Schema.mem s "pay")
+
+let test_type_errors () =
+  check_raises_any "bad selection attr" (fun () ->
+      Ra.schema_of (Ra.Select (Predicate.("nope" =% vi 1), Ra.Rel (emps ()))));
+  check_raises_any "bad projection" (fun () ->
+      Ra.schema_of (Ra.Project ([ "nope" ], Ra.Rel (emps ()))));
+  check_raises_any "bad join attr" (fun () ->
+      Ra.schema_of (Ra.EquiJoin ([ ("nope", "dname") ], Ra.Rel (emps ()), Ra.Rel (depts ()))));
+  check_raises_any "join type mismatch" (fun () ->
+      Ra.schema_of (Ra.EquiJoin ([ ("pay", "dname") ], Ra.Rel (emps ()), Ra.Rel (depts ()))))
+
+let test_eval_rel () =
+  let rel = Ra.eval_rel ~name:"eng" (Ra.Select (Predicate.("dept" =% vs "eng"), Ra.Rel (emps ()))) in
+  check_int "materialized" 2 (Relation.cardinality rel);
+  check_string "named" "eng" (Relation.name rel)
+
+let test_composed_query () =
+  (* employees on floor 4 earning over 150, per dept count *)
+  let q =
+    Ra.GroupBy
+      ( [ "dept" ],
+        [ Aggregate.count_star "n" ],
+        Ra.Select
+          ( Predicate.(And ("floor" =% vi 4, "pay" >% vi 150)),
+            Ra.EquiJoin ([ ("dept", "dname") ], Ra.Rel (emps ()), Ra.Rel (depts ())) ) )
+  in
+  check_tuples "composed" [ tup [ vs "eng"; vi 1 ] ] (Ra.eval q)
+
+let suite =
+  [
+    test "selection" test_select;
+    test "projection (bag) and distinct" test_project;
+    test "product and name clash" test_product_and_clash;
+    test "equijoin drops right key" test_equijoin;
+    test "theta join" test_theta_join;
+    test "union dedups, difference" test_union_diff;
+    test "union incompatibility" test_union_incompatible;
+    test "group by with aggregates" test_groupby;
+    test "rename" test_rename;
+    test "static type errors" test_type_errors;
+    test "materialize to relation" test_eval_rel;
+    test "composed query" test_composed_query;
+  ]

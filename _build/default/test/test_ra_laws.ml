@@ -1,0 +1,102 @@
+(* Algebraic laws of the relational substrate, checked on random data:
+   these underpin both the rewriter's rewrites and the chronicle
+   algebra's Δ-rules. *)
+
+open Relational
+open Util
+
+let schema = Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ]
+
+let gen_rows = QCheck.(list_of_size (Gen.int_bound 25) (pair (int_bound 6) (int_bound 50)))
+
+let const rows =
+  Ra.Const (schema, List.map (fun (a, b) -> tup [ vi a; vi b ]) rows)
+
+let eq_bags e1 e2 =
+  List.equal Tuple.equal (sorted_tuples (Ra.eval e1)) (sorted_tuples (Ra.eval e2))
+
+let p1 = Predicate.("a" >% vi 2)
+let p2 = Predicate.("b" <% vi 25)
+
+let law_select_commute =
+  qtest "σp(σq(R)) = σq(σp(R))" gen_rows (fun rows ->
+      let r = const rows in
+      eq_bags (Ra.Select (p1, Ra.Select (p2, r))) (Ra.Select (p2, Ra.Select (p1, r))))
+
+let law_select_split =
+  qtest "σ(p∧q)(R) = σp(σq(R))" gen_rows (fun rows ->
+      let r = const rows in
+      eq_bags
+        (Ra.Select (Predicate.And (p1, p2), r))
+        (Ra.Select (p1, Ra.Select (p2, r))))
+
+let law_select_union =
+  qtest "σp(R ∪ S) = σp(R) ∪ σp(S)" (QCheck.pair gen_rows gen_rows)
+    (fun (r1, r2) ->
+      eq_bags
+        (Ra.Select (p1, Ra.Union (const r1, const r2)))
+        (Ra.Union (Ra.Select (p1, const r1), Ra.Select (p1, const r2))))
+
+let law_select_diff =
+  qtest "σp(R − S) = σp(R) − S" (QCheck.pair gen_rows gen_rows)
+    (fun (r1, r2) ->
+      eq_bags
+        (Ra.Select (p1, Ra.Diff (const r1, const r2)))
+        (Ra.Diff (Ra.Select (p1, const r1), const r2)))
+
+let law_union_commutes_as_set =
+  qtest "R ∪ S = S ∪ R (set semantics)" (QCheck.pair gen_rows gen_rows)
+    (fun (r1, r2) ->
+      eq_bags (Ra.Union (const r1, const r2)) (Ra.Union (const r2, const r1)))
+
+let law_union_idempotent =
+  qtest "R ∪ R = δ(R)" gen_rows (fun rows ->
+      let r = const rows in
+      eq_bags (Ra.Union (r, r)) (Ra.Distinct r))
+
+let law_diff_self_empty =
+  qtest "R − R = ∅" gen_rows (fun rows ->
+      Ra.eval (Ra.Diff (const rows, const rows)) = [])
+
+let law_join_is_filtered_product =
+  qtest "R ⋈ S = π(σ(R × S))" (QCheck.pair gen_rows gen_rows) (fun (r1, r2) ->
+      let right rows =
+        Ra.Const
+          ( Schema.make [ ("c", Value.TInt); ("d", Value.TInt) ],
+            List.map (fun (a, b) -> tup [ vi a; vi b ]) rows )
+      in
+      eq_bags
+        (Ra.EquiJoin ([ ("a", "c") ], const r1, right r2))
+        (Ra.Project
+           ( [ "a"; "b"; "d" ],
+             Ra.Select (Predicate.attr_eq "a" "c", Ra.Product (const r1, right r2)) )))
+
+let law_groupby_order_insensitive =
+  qtest "GROUPBY ignores input order" gen_rows (fun rows ->
+      let aggs = [ Aggregate.sum "b" "s"; Aggregate.count_star "n"; Aggregate.min_ "b" "lo" ] in
+      let run rows =
+        sorted_tuples
+          (Ra.eval (Ra.GroupBy ([ "a" ], aggs, const rows)))
+      in
+      List.equal Tuple.equal (run rows) (run (List.rev rows)))
+
+let law_project_select_commute =
+  qtest "πX(σp(R)) = σp(πX(R)) when attrs(p) ⊆ X" gen_rows (fun rows ->
+      let r = const rows in
+      eq_bags
+        (Ra.Project ([ "a" ], Ra.Select (p1, r)))
+        (Ra.Select (p1, Ra.Project ([ "a" ], r))))
+
+let suite =
+  [
+    law_select_commute;
+    law_select_split;
+    law_select_union;
+    law_select_diff;
+    law_union_commutes_as_set;
+    law_union_idempotent;
+    law_diff_self_empty;
+    law_join_is_filtered_product;
+    law_groupby_order_insensitive;
+    law_project_select_commute;
+  ]

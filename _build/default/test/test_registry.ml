@@ -1,0 +1,126 @@
+open Relational
+open Chronicle_core
+open Util
+open Fixtures
+
+let acct_view fx name acct =
+  Sca.define ~name
+    ~body:(Ca.Select (Predicate.("acct" =% vi acct), Ca.Chronicle fx.mileage))
+    (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ]))
+
+let tagged fx sn tuples = ignore fx; List.map (Chron.tag sn) tuples
+
+let test_register_find () =
+  let fx = make () in
+  let reg = Registry.create () in
+  let v = View.create (balance_def fx) in
+  Registry.register reg v;
+  check_bool "found" true
+    (match Registry.find reg "balance" with Some v' -> v' == v | None -> false);
+  check_bool "missing" true (Option.is_none (Registry.find reg "nope"));
+  check_int "views" 1 (List.length (Registry.views reg));
+  check_raises_any "duplicate name" (fun () -> Registry.register reg v);
+  Registry.unregister reg "balance";
+  check_bool "gone" true (Option.is_none (Registry.find reg "balance"))
+
+let test_dependents () =
+  let fx = make () in
+  let reg = Registry.create () in
+  let v1 = View.create (balance_def fx) in
+  let v2 =
+    View.create
+      (Sca.define ~name:"bonus_total" ~body:(Ca.Chronicle fx.bonus)
+         (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ])))
+  in
+  Registry.register reg v1;
+  Registry.register reg v2;
+  check_int "mileage dependents" 1 (List.length (Registry.dependents reg fx.mileage));
+  check_int "bonus dependents" 1 (List.length (Registry.dependents reg fx.bonus))
+
+let test_guard_filtering () =
+  let fx = make () in
+  let reg = Registry.create () in
+  List.iter
+    (fun acct -> Registry.register reg (View.create (acct_view fx (Printf.sprintf "v%d" acct) acct)))
+    [ 1; 2; 3; 4; 5 ];
+  let batch = tagged fx 1 [ mile 2 100 10. ] in
+  let affected = Registry.affected reg fx.mileage batch in
+  check_int "only the matching view" 1 (List.length affected);
+  check_string "the right one" "v2" (View.name (List.hd affected));
+  check_bool "skips counted" true (Registry.skipped reg >= 4);
+  check_bool "checks counted" true (Registry.checked reg >= 5)
+
+let test_guard_through_projection () =
+  let fx = make () in
+  let reg = Registry.create () in
+  let def =
+    Sca.define ~name:"proj"
+      ~body:
+        (Ca.Select
+           ( Predicate.("acct" =% vi 7),
+             Ca.Project ([ Seqnum.attr; "acct"; "miles" ], Ca.Chronicle fx.mileage) ))
+      (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ]))
+  in
+  Registry.register reg (View.create def);
+  check_int "filtered out" 0
+    (List.length (Registry.affected reg fx.mileage (tagged fx 1 [ mile 1 5 1. ])));
+  check_int "passes" 1
+    (List.length (Registry.affected reg fx.mileage (tagged fx 2 [ mile 7 5 1. ])))
+
+let test_union_guard () =
+  let fx = make () in
+  let reg = Registry.create () in
+  let def =
+    Sca.define ~name:"u"
+      ~body:
+        (Ca.Union
+           ( Ca.Select (Predicate.("acct" =% vi 1), Ca.Chronicle fx.mileage),
+             Ca.Select (Predicate.("acct" =% vi 2), Ca.Chronicle fx.mileage) ))
+      (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ]))
+  in
+  Registry.register reg (View.create def);
+  check_int "acct 1 hits" 1
+    (List.length (Registry.affected reg fx.mileage (tagged fx 1 [ mile 1 5 1. ])));
+  check_int "acct 2 hits" 1
+    (List.length (Registry.affected reg fx.mileage (tagged fx 2 [ mile 2 5 1. ])));
+  check_int "acct 3 filtered" 0
+    (List.length (Registry.affected reg fx.mileage (tagged fx 3 [ mile 3 5 1. ])))
+
+let test_join_shape_always_maintained () =
+  let fx = make () in
+  let reg = Registry.create () in
+  let def =
+    Sca.define ~name:"joined" ~body:(keyjoin_body fx)
+      (Sca.Group_agg ([ "state" ], [ Aggregate.count_star "n" ]))
+  in
+  Registry.register reg (View.create def);
+  (* no guard extractable: every append to the chronicle maintains it *)
+  check_int "always affected" 1
+    (List.length (Registry.affected reg fx.mileage (tagged fx 1 [ mile 1 5 1. ])))
+
+let test_unrelated_chronicle_not_affected () =
+  let fx = make () in
+  let reg = Registry.create () in
+  Registry.register reg (View.create (balance_def fx));
+  check_int "bonus append does not touch mileage view" 0
+    (List.length (Registry.affected reg fx.bonus (tagged fx 1 [ mile 1 5 1. ])))
+
+let test_index_advice () =
+  let fx = make () in
+  let reg = Registry.create () in
+  Registry.register reg (View.create (balance_def fx));
+  Alcotest.check
+    Alcotest.(list (pair string (list string)))
+    "advice" [ ("balance", [ "acct" ]) ] (Registry.index_advice reg)
+
+let suite =
+  [
+    test "register/find/unregister" test_register_find;
+    test "dependents by chronicle" test_dependents;
+    test "selective guards filter appends (§5.2)" test_guard_filtering;
+    test "guards extract through projections" test_guard_through_projection;
+    test "union guards take the disjunction" test_union_guard;
+    test "join-shaped bodies always maintained" test_join_shape_always_maintained;
+    test "independent chronicle appends skipped" test_unrelated_chronicle_not_affected;
+    test "index advice" test_index_advice;
+  ]

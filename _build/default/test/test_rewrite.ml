@@ -1,0 +1,215 @@
+open Relational
+open Chronicle_core
+open Util
+open Fixtures
+
+let test_push_below_keyjoin () =
+  let fx = make () in
+  let e = Ca.Select (Predicate.("miles" >% vi 10), keyjoin_body fx) in
+  (match Rewrite.optimize e with
+  | Ca.KeyJoinRel (Ca.Select (_, Ca.Chronicle _), _, _) -> ()
+  | e' -> Alcotest.failf "not pushed: %a" Ca.pp e');
+  (* a predicate on the relation side must stay above the join *)
+  let e2 = Ca.Select (Predicate.("state" =% vs "NJ"), keyjoin_body fx) in
+  match Rewrite.optimize e2 with
+  | Ca.Select (_, Ca.KeyJoinRel (Ca.Chronicle _, _, _)) -> ()
+  | e' -> Alcotest.failf "wrongly pushed: %a" Ca.pp e'
+
+let test_push_below_groupby () =
+  let fx = make () in
+  let grouped =
+    Ca.GroupBySeq
+      ([ Seqnum.attr; "acct" ], [ Aggregate.sum "miles" "m" ], Ca.Chronicle fx.mileage)
+  in
+  (* selection on a grouping attribute commutes *)
+  let e = Ca.Select (Predicate.("acct" =% vi 1), grouped) in
+  (match Rewrite.optimize e with
+  | Ca.GroupBySeq (_, _, Ca.Select (_, Ca.Chronicle _)) -> ()
+  | e' -> Alcotest.failf "not pushed: %a" Ca.pp e');
+  (* selection on the aggregate output cannot *)
+  let e2 = Ca.Select (Predicate.("m" >% vi 100), grouped) in
+  match Rewrite.optimize e2 with
+  | Ca.Select (_, Ca.GroupBySeq (_, _, Ca.Chronicle _)) -> ()
+  | e' -> Alcotest.failf "wrongly pushed: %a" Ca.pp e'
+
+let test_push_through_union_and_projection () =
+  let fx = make () in
+  let e =
+    Ca.Select
+      ( Predicate.("acct" =% vi 1),
+        Ca.Project
+          ( [ Seqnum.attr; "acct" ],
+            Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) ) )
+  in
+  match Rewrite.optimize e with
+  | Ca.Project (_, Ca.Union (Ca.Select _, Ca.Select _)) -> ()
+  | e' -> Alcotest.failf "unexpected shape: %a" Ca.pp e'
+
+let test_projection_fusion () =
+  let fx = make () in
+  let e =
+    Ca.Project
+      ( [ Seqnum.attr; "acct" ],
+        Ca.Project ([ Seqnum.attr; "acct"; "miles" ], Ca.Chronicle fx.mileage) )
+  in
+  (match Rewrite.optimize e with
+  | Ca.Project ([ _; _ ], Ca.Chronicle _) -> ()
+  | e' -> Alcotest.failf "not fused: %a" Ca.pp e');
+  (* identity projection vanishes *)
+  let id =
+    Ca.Project ([ Seqnum.attr; "acct"; "miles"; "fare" ], Ca.Chronicle fx.mileage)
+  in
+  match Rewrite.optimize id with
+  | Ca.Chronicle _ -> ()
+  | e' -> Alcotest.failf "identity kept: %a" Ca.pp e'
+
+let test_sn_pred_pushes_into_seqjoin_left () =
+  let fx = make () in
+  let left = Ca.Project ([ Seqnum.attr; "acct" ], Ca.Chronicle fx.mileage) in
+  let right = Ca.Project ([ Seqnum.attr; "miles" ], Ca.Chronicle fx.bonus) in
+  let e = Ca.Select (Predicate.(Seqnum.attr >% vi 5), Ca.SeqJoin (left, right)) in
+  match Rewrite.optimize e with
+  | Ca.SeqJoin (Ca.Project (_, Ca.Select _), Ca.Project _) -> ()
+  | e' -> Alcotest.failf "unexpected shape: %a" Ca.pp e'
+
+let test_guards_through_joins () =
+  let fx = make () in
+  (* the registry's guard walk descends through key joins, so the
+     selection is usable as a guard whether or not it was pushed down *)
+  let body = Ca.Select (Predicate.("acct" =% vi 7), keyjoin_body fx) in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg)
+    [
+      View.create
+        (Sca.define ~name:"u" ~body
+           (Sca.Group_agg ([ "acct" ], [ Aggregate.count_star "n" ])));
+      View.create
+        (Sca.define ~name:"o" ~body:(Rewrite.optimize body)
+           (Sca.Group_agg ([ "acct" ], [ Aggregate.count_star "n" ])));
+    ];
+  check_int "acct 1: both filtered" 0
+    (List.length (Registry.affected reg fx.mileage [ Chron.tag 1 (mile 1 5 1.) ]));
+  check_int "acct 7: both maintained" 2
+    (List.length (Registry.affected reg fx.mileage [ Chron.tag 2 (mile 7 5 1.) ]))
+
+let test_optimize_helps_guards () =
+  let fx = make () in
+  (* a selection above a union is NOT extractable as a guard (the walk
+     stops at unions); pushing it into the branches makes it one *)
+  let body =
+    Ca.Select
+      ( Predicate.("acct" =% vi 7),
+        Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) )
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg)
+    [
+      View.create
+        (Sca.define ~name:"u" ~body
+           (Sca.Group_agg ([ "acct" ], [ Aggregate.count_star "n" ])));
+      View.create
+        (Sca.define ~name:"o" ~body:(Rewrite.optimize body)
+           (Sca.Group_agg ([ "acct" ], [ Aggregate.count_star "n" ])));
+    ];
+  let affected = Registry.affected reg fx.mileage [ Chron.tag 1 (mile 1 5 1.) ] in
+  (* acct 1 does not match acct=7: the optimized view is filtered out,
+     the unoptimized one is conservatively maintained *)
+  check_int "only the unoptimized view survives" 1 (List.length affected);
+  check_string "it is the unoptimized one" "u" (View.name (List.hd affected))
+
+let test_valid_after_optimize () =
+  let fx = make () in
+  let exprs =
+    [
+      Ca.Select (Predicate.("miles" >% vi 10), keyjoin_body fx);
+      Ca.Select
+        ( Predicate.("acct" =% vi 1),
+          Ca.Union (Ca.Chronicle fx.mileage, Ca.Chronicle fx.bonus) );
+      Ca.Project ([ Seqnum.attr; "acct" ], select_body fx);
+    ]
+  in
+  List.iter
+    (fun e ->
+      let e' = Rewrite.optimize e in
+      Ca.check e';
+      check_bool "schema preserved" true (Schema.equal (Ca.schema_of e) (Ca.schema_of e')))
+    exprs
+
+(* random expressions: reuse the shapes of test_delta but with the
+   operators the rewriter cares about *)
+let gen_expr fx =
+  let open QCheck.Gen in
+  let base = oneofl [ Ca.Chronicle fx.mileage; Ca.Chronicle fx.bonus ] in
+  let pred =
+    oneof
+      [
+        map (fun k -> Predicate.("miles" >% vi k)) (int_bound 300);
+        map (fun k -> Predicate.("acct" =% vi (k + 1))) (int_bound 4);
+        return (Predicate.("fare" <% vf 20.));
+      ]
+  in
+  let rec body n =
+    if n = 0 then base
+    else
+      frequency
+        [
+          (2, base);
+          (4, map2 (fun p e -> Ca.Select (p, e)) pred (body (n - 1)));
+          (2, map2 (fun a b -> Ca.Union (a, b)) (body (n - 1)) (body (n - 1)));
+          (2, map2 (fun a b -> Ca.Diff (a, b)) (body (n - 1)) (body (n - 1)));
+          (1, map (fun e -> Ca.Project ([ Seqnum.attr; "acct"; "miles"; "fare" ], e)) (body (n - 1)));
+        ]
+  in
+  let top e =
+    oneofl
+      [
+        e;
+        Ca.Select
+          (Predicate.("acct" =% vi 2), Ca.KeyJoinRel (e, fx.customers, [ ("acct", "cust") ]));
+        Ca.GroupBySeq ([ Seqnum.attr; "acct" ], [ Aggregate.sum "miles" "m" ], e);
+      ]
+  in
+  body 3 >>= top
+
+let qcheck_optimize_preserves_semantics =
+  let gen =
+    QCheck.make
+      ~print:(fun (seed, n) -> Printf.sprintf "seed=%d batches=%d" seed n)
+      QCheck.Gen.(pair (int_bound 1_000_000) (int_range 1 10))
+  in
+  qtest ~count:150 "optimize preserves value and delta semantics" gen
+    (fun (seed, nbatches) ->
+      let fx = make () in
+      let rand = Random.State.make [| seed |] in
+      let expr = QCheck.Gen.generate1 ~rand (gen_expr fx) in
+      let expr' = Rewrite.optimize expr in
+      Ca.check expr';
+      let deltas = ref [] and deltas' = ref [] in
+      for i = 1 to nbatches do
+        let tuples =
+          [ mile (1 + (i mod 5)) (i * 37 mod 300) (float_of_int (i mod 20)) ]
+        in
+        let chron = if i mod 2 = 0 then fx.mileage else fx.bonus in
+        let sn = Chron.append chron tuples in
+        let batch = [ (chron, List.map (Chron.tag sn) tuples) ] in
+        deltas := !deltas @ Delta.eval expr ~sn ~batch;
+        deltas' := !deltas' @ Delta.eval expr' ~sn ~batch
+      done;
+      let eq a b = List.equal Tuple.equal (sorted_tuples a) (sorted_tuples b) in
+      Schema.equal (Ca.schema_of expr) (Ca.schema_of expr')
+      && eq (Eval.eval expr) (Eval.eval expr')
+      && eq !deltas !deltas'
+      && eq !deltas (Eval.eval expr))
+
+let suite =
+  [
+    test "selection pushes below a key join" test_push_below_keyjoin;
+    test "selection commutes with grouping on group attrs" test_push_below_groupby;
+    test "selection pushes through union and projection" test_push_through_union_and_projection;
+    test "projection fusion and identity removal" test_projection_fusion;
+    test "sn predicates push into sequence joins" test_sn_pred_pushes_into_seqjoin_left;
+    test "guards extract through joins" test_guards_through_joins;
+    test "pushdown enables registry guards" test_optimize_helps_guards;
+    test "optimized expressions stay well-formed" test_valid_after_optimize;
+    qcheck_optimize_preserves_semantics;
+  ]

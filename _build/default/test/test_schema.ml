@@ -1,0 +1,66 @@
+open Relational
+open Util
+
+let s =
+  Schema.make
+    [ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TFloat) ]
+
+let test_basic () =
+  check_int "arity" 3 (Schema.arity s);
+  check_int "pos b" 1 (Schema.pos s "b");
+  check_bool "mem" true (Schema.mem s "c");
+  check_bool "not mem" false (Schema.mem s "z");
+  check_bool "ty" true (Schema.ty s "c" = Value.TFloat);
+  Alcotest.check (Alcotest.list Alcotest.string) "names" [ "a"; "b"; "c" ]
+    (Schema.names s)
+
+let test_duplicate_rejected () =
+  check_raises_any "duplicate" (fun () ->
+      Schema.make [ ("x", Value.TInt); ("x", Value.TStr) ])
+
+let test_unknown_attribute () =
+  check_raises_any "pos of unknown" (fun () -> Schema.pos s "nope");
+  check_bool "pos_opt none" true (Schema.pos_opt s "nope" = None)
+
+let test_project () =
+  let p = Schema.project s [ "c"; "a" ] in
+  check_int "projected arity" 2 (Schema.arity p);
+  check_int "order respected" 0 (Schema.pos p "c");
+  check_int "order respected 2" 1 (Schema.pos p "a")
+
+let test_concat_and_clash () =
+  let t = Schema.make [ ("d", Value.TInt) ] in
+  let u = Schema.concat s t in
+  check_int "concat arity" 4 (Schema.arity u);
+  check_raises_any "clash" (fun () -> Schema.concat s s)
+
+let test_remove_rename_prefix () =
+  let r = Schema.remove s "b" in
+  check_int "removed arity" 2 (Schema.arity r);
+  check_bool "b gone" false (Schema.mem r "b");
+  let rn = Schema.rename s [ ("a", "alpha") ] in
+  check_bool "renamed" true (Schema.mem rn "alpha");
+  check_bool "others kept" true (Schema.mem rn "b");
+  let pf = Schema.prefix "t" s in
+  check_bool "prefixed" true (Schema.mem pf "t.a");
+  check_int "prefix keeps positions" (Schema.pos s "c") (Schema.pos pf "t.c")
+
+let test_equal_and_compat () =
+  let same = Schema.make [ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TFloat) ] in
+  let renamed = Schema.make [ ("x", Value.TInt); ("y", Value.TStr); ("z", Value.TFloat) ] in
+  let retyped = Schema.make [ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TInt) ] in
+  check_bool "equal" true (Schema.equal s same);
+  check_bool "not equal under rename" false (Schema.equal s renamed);
+  check_bool "union compatible under rename" true (Schema.union_compatible s renamed);
+  check_bool "not compatible under retype" false (Schema.union_compatible s retyped)
+
+let suite =
+  [
+    test "make/pos/mem/names" test_basic;
+    test "duplicate attribute rejected" test_duplicate_rejected;
+    test "unknown attribute" test_unknown_attribute;
+    test "project keeps requested order" test_project;
+    test "concat and name clash" test_concat_and_clash;
+    test "remove/rename/prefix" test_remove_rename_prefix;
+    test "equality and union compatibility" test_equal_and_compat;
+  ]

@@ -1,0 +1,82 @@
+open Relational
+open Util
+
+let roundtrip s = Sexp.of_string (Sexp.to_string s)
+
+let test_atoms () =
+  check_string "bare" "abc" (Sexp.to_string (Sexp.Atom "abc"));
+  check_string "quoted space" "\"a b\"" (Sexp.to_string (Sexp.Atom "a b"));
+  check_string "empty" "\"\"" (Sexp.to_string (Sexp.Atom ""));
+  check_bool "quote roundtrip" true
+    (roundtrip (Sexp.Atom "he said \"hi\"\n\\end") = Sexp.Atom "he said \"hi\"\n\\end")
+
+let test_lists () =
+  let s = Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c d" ] ] in
+  check_string "print" "(a (b \"c d\"))" (Sexp.to_string s);
+  check_bool "roundtrip" true (roundtrip s = s);
+  check_bool "pretty roundtrip" true (Sexp.of_string (Sexp.to_string_pretty s) = s)
+
+let test_parse_flexibility () =
+  check_bool "whitespace" true
+    (Sexp.of_string "  ( a\n\tb )  " = Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]);
+  check_bool "comments" true
+    (Sexp.of_string "(a ; comment\n b)" = Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]);
+  check_int "many" 3 (List.length (Sexp.of_string_many "a (b) c"))
+
+let test_parse_errors () =
+  check_raises_any "unterminated list" (fun () -> ignore (Sexp.of_string "(a b"));
+  check_raises_any "stray paren" (fun () -> ignore (Sexp.of_string ")"));
+  check_raises_any "trailing" (fun () -> ignore (Sexp.of_string "(a) b"));
+  check_raises_any "unterminated quote" (fun () -> ignore (Sexp.of_string "\"abc"));
+  check_raises_any "empty input" (fun () -> ignore (Sexp.of_string "  "))
+
+let test_helpers () =
+  check_int "int" 42 (Sexp.to_int (Sexp.int 42));
+  check_float "float exact" 0.1 (Sexp.to_float (Sexp.float 0.1));
+  check_bool "bool" true (Sexp.to_bool (Sexp.bool true));
+  let r = Sexp.record [ ("a", Sexp.int 1); ("b", Sexp.Atom "x") ] in
+  check_int "field" 1 (Sexp.to_int (Sexp.field r "a"));
+  check_bool "field_opt none" true (Sexp.field_opt r "zz" = None);
+  check_raises_any "missing field" (fun () -> ignore (Sexp.field r "zz"))
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v -> check_value "value roundtrip" v (Value.of_sexp (roundtrip (Value.to_sexp v))))
+    [
+      Value.Null; vb true; vi (-42); vf 0.1; vf Float.max_float; vf (-0.0);
+      vs "plain"; vs "with (parens) and \"quotes\""; vs "";
+    ]
+
+let test_state_roundtrip () =
+  List.iter
+    (fun func ->
+      let st =
+        List.fold_left (Aggregate.step func) (Aggregate.init func)
+          [ vi 3; vi 8; vi (-1) ]
+      in
+      let st' = Aggregate.state_of_sexp (roundtrip (Aggregate.sexp_of_state st)) in
+      check_value
+        (Printf.sprintf "state roundtrip %s" (Aggregate.func_name func))
+        (Aggregate.final func st) (Aggregate.final func st');
+      (* empty states too *)
+      let empty = Aggregate.init func in
+      let empty' = Aggregate.state_of_sexp (Aggregate.sexp_of_state empty) in
+      check_value "empty state" (Aggregate.final func empty) (Aggregate.final func empty'))
+    [ Aggregate.Count; Aggregate.Sum; Aggregate.Min; Aggregate.Max; Aggregate.Avg ]
+
+let qcheck_string_atoms_roundtrip =
+  let gen = QCheck.(string_gen (Gen.char_range ' ' '~')) in
+  qtest "arbitrary printable atoms roundtrip" gen (fun s ->
+      roundtrip (Sexp.Atom s) = Sexp.Atom s)
+
+let suite =
+  [
+    test "atom quoting" test_atoms;
+    test "nested lists" test_lists;
+    test "parser flexibility" test_parse_flexibility;
+    test "parse errors" test_parse_errors;
+    test "typed helpers and records" test_helpers;
+    test "value serialization" test_value_roundtrip;
+    test "aggregate state serialization" test_state_roundtrip;
+    qcheck_string_atoms_roundtrip;
+  ]

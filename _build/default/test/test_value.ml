@@ -1,0 +1,76 @@
+open Relational
+open Util
+
+let test_compare_numeric () =
+  check_bool "int/float equal" true (Value.equal (vi 3) (vf 3.));
+  check_bool "int < float" true (Value.compare (vi 3) (vf 3.5) < 0);
+  check_bool "float > int" true (Value.compare (vf 3.5) (vi 3) > 0);
+  check_bool "int = int" true (Value.equal (vi 7) (vi 7));
+  check_bool "int <> int" false (Value.equal (vi 7) (vi 8))
+
+let test_compare_cross_type () =
+  check_bool "null sorts first" true (Value.compare Value.Null (vb false) < 0);
+  check_bool "bool before numeric" true (Value.compare (vb true) (vi 0) < 0);
+  check_bool "numeric before string" true (Value.compare (vi 99) (vs "a") < 0);
+  check_bool "string order" true (Value.compare (vs "abc") (vs "abd") < 0)
+
+let test_hash_consistent_with_equal () =
+  check_int "hash of Int 5 = hash of Float 5." (Value.hash (vi 5))
+    (Value.hash (vf 5.));
+  check_int "hash stable" (Value.hash (vs "xyz")) (Value.hash (vs "xyz"))
+
+let test_arithmetic () =
+  check_value "int add" (vi 7) (Value.add (vi 3) (vi 4));
+  check_value "mixed add is float" (vf 7.5) (Value.add (vi 3) (vf 4.5));
+  check_float "to_float" 4.0 (Value.to_float (vi 4));
+  check_int "to_int truncates" 4 (Value.to_int (vf 4.9));
+  check_raises_any "add strings" (fun () -> Value.add (vs "a") (vs "b"));
+  check_raises_any "to_float null" (fun () -> Value.to_float Value.Null)
+
+let test_ty () =
+  check_bool "ty of null" true (Value.ty_of Value.Null = None);
+  check_bool "ty of int" true (Value.ty_of (vi 1) = Some Value.TInt);
+  check_string "ty name" "string" (Value.ty_name Value.TStr)
+
+let test_list_ops () =
+  check_bool "list equal" true (Value.equal_list [ vi 1; vs "a" ] [ vi 1; vs "a" ]);
+  check_bool "list differ" false (Value.equal_list [ vi 1 ] [ vi 2 ]);
+  check_bool "prefix smaller" true (Value.compare_list [ vi 1 ] [ vi 1; vi 2 ] < 0);
+  check_int "hash_list consistent"
+    (Value.hash_list [ vi 5; vs "x" ])
+    (Value.hash_list [ vf 5.; vs "x" ])
+
+let qcheck_compare_total_order =
+  let gen =
+    QCheck.(
+      let base =
+        oneof
+          [
+            map (fun i -> Value.Int i) small_signed_int;
+            map (fun f -> Value.Float f) (float_bound_exclusive 1000.);
+            map (fun s -> Value.Str s) (string_of_size (Gen.return 3));
+            map (fun b -> Value.Bool b) bool;
+            always Value.Null;
+          ]
+      in
+      triple base base base)
+  in
+  qtest "Value.compare is a total order (antisym + trans on triples)" gen
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      (* antisymmetry *)
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      (* transitivity of <= *)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let suite =
+  [
+    test "compare: numeric coercion" test_compare_numeric;
+    test "compare: cross-type ranks" test_compare_cross_type;
+    test "hash consistent with equal" test_hash_consistent_with_equal;
+    test "arithmetic helpers" test_arithmetic;
+    test "type of value" test_ty;
+    test "composite key operations" test_list_ops;
+    qcheck_compare_total_order;
+  ]

@@ -1,0 +1,48 @@
+open Relational
+open Util
+
+let test_push_get () =
+  let v = Vec.create () in
+  check_int "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    check_int "push returns index" i (Vec.push v (i * 2))
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 84 (Vec.get v 42)
+
+let test_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 99;
+  Alcotest.check Alcotest.(list int) "after set" [ 1; 99; 3 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  check_raises_any "get oob" (fun () -> Vec.get v 1);
+  check_raises_any "get negative" (fun () -> Vec.get v (-1));
+  check_raises_any "set oob" (fun () -> Vec.set v 5 0)
+
+let test_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check_int "iteri count" 4 (List.length !acc);
+  Vec.clear v;
+  check_int "cleared" 0 (Vec.length v)
+
+let test_iter_range () =
+  let v = Vec.of_list [ 0; 1; 2; 3; 4; 5 ] in
+  let acc = ref [] in
+  Vec.iter_range (fun x -> acc := x :: !acc) v ~pos:2 ~len:3;
+  Alcotest.check Alcotest.(list int) "range" [ 2; 3; 4 ] (List.rev !acc);
+  check_raises_any "range oob" (fun () ->
+      Vec.iter_range ignore v ~pos:4 ~len:5)
+
+let suite =
+  [
+    test "push/get across growth" test_push_get;
+    test "set" test_set;
+    test "bounds checking" test_bounds;
+    test "iter/fold/clear" test_iter_fold;
+    test "iter_range" test_iter_range;
+  ]

@@ -1,0 +1,101 @@
+open Relational
+open Chronicle_core
+open Util
+
+let schema = Schema.make [ ("cust", Value.TInt); ("state", Value.TStr) ]
+
+let mk () =
+  let group = Group.create "g" in
+  let v = Versioned.create ~group ~name:"customers" ~schema ~key:[ "cust" ] () in
+  (group, v)
+
+let test_insert_now () =
+  let _, v = mk () in
+  Versioned.insert v (tup [ vi 1; vs "NJ" ]);
+  check_int "inserted" 1 (Relation.cardinality (Versioned.relation v));
+  check_int "logged" 1 (Versioned.log_length v)
+
+let test_retroactive_rejected () =
+  let group, v = mk () in
+  ignore (Group.next_sn group);
+  ignore (Group.next_sn group);
+  (* watermark 2 *)
+  Alcotest.check_raises "retroactive insert"
+    (Versioned.Retroactive_update { effective = 1; watermark = 2 })
+    (fun () -> Versioned.insert v ~effective:1 (tup [ vi 1; vs "NJ" ]));
+  check_int "nothing applied" 0 (Relation.cardinality (Versioned.relation v))
+
+let test_future_effective_queued () =
+  let group, v = mk () in
+  Versioned.insert v (tup [ vi 1; vs "NJ" ]);
+  Versioned.update_where v ~effective:5 Predicate.("cust" =% vi 1) (fun _ ->
+      tup [ vi 1; vs "NY" ]);
+  check_int "queued" 1 (Versioned.pending_count v);
+  check_bool "not yet applied" true
+    (Relation.find_by_key (Versioned.relation v) [ vi 1 ] = Some (tup [ vi 1; vs "NJ" ]));
+  ignore (Group.next_sn group);
+  Versioned.flush_pending v ~upto:4;
+  check_int "still queued" 1 (Versioned.pending_count v);
+  Versioned.flush_pending v ~upto:5;
+  check_int "applied" 0 (Versioned.pending_count v);
+  check_bool "now NY" true
+    (Relation.find_by_key (Versioned.relation v) [ vi 1 ] = Some (tup [ vi 1; vs "NY" ]))
+
+let test_pending_order () =
+  let _, v = mk () in
+  Versioned.insert v ~effective:10 (tup [ vi 3; vs "TX" ]);
+  Versioned.insert v ~effective:5 (tup [ vi 2; vs "CA" ]);
+  Versioned.flush_pending v ~upto:5;
+  check_int "only the earlier applied" 1 (Relation.cardinality (Versioned.relation v));
+  Versioned.flush_pending v ~upto:10;
+  check_int "both applied" 2 (Relation.cardinality (Versioned.relation v))
+
+let test_as_of () =
+  let group, v = mk () in
+  (* watermark 0: insert NJ *)
+  Versioned.insert v (tup [ vi 1; vs "NJ" ]);
+  ignore (Group.next_sn group);
+  ignore (Group.next_sn group);
+  (* watermark 2: move to NY *)
+  Versioned.update_where v Predicate.("cust" =% vi 1) (fun _ -> tup [ vi 1; vs "NY" ]);
+  ignore (Group.next_sn group);
+  (* watermark 3: delete *)
+  Versioned.delete_where v Predicate.("cust" =% vi 1);
+  check_tuples "as of sn 1 (sees watermark-0 insert)"
+    [ tup [ vi 1; vs "NJ" ] ]
+    (Versioned.as_of v 1);
+  check_tuples "as of sn 2 (before the move)"
+    [ tup [ vi 1; vs "NJ" ] ]
+    (Versioned.as_of v 2);
+  check_tuples "as of sn 3 (after the move)"
+    [ tup [ vi 1; vs "NY" ] ]
+    (Versioned.as_of v 3);
+  check_tuples "as of sn 4 (after the delete)" [] (Versioned.as_of v 4)
+
+let test_as_of_disabled () =
+  let group = Group.create "g" in
+  let v =
+    Versioned.create ~group ~name:"r" ~schema ~key:[ "cust" ] ~track_history:false ()
+  in
+  Versioned.insert v (tup [ vi 1; vs "NJ" ]);
+  check_int "no log" 0 (Versioned.log_length v);
+  check_raises_any "as_of raises" (fun () -> ignore (Versioned.as_of v 1))
+
+let test_delete_where_now () =
+  let _, v = mk () in
+  Versioned.insert v (tup [ vi 1; vs "NJ" ]);
+  Versioned.insert v (tup [ vi 2; vs "NJ" ]);
+  Versioned.insert v (tup [ vi 3; vs "CA" ]);
+  Versioned.delete_where v Predicate.("state" =% vs "NJ");
+  check_int "two deleted" 1 (Relation.cardinality (Versioned.relation v))
+
+let suite =
+  [
+    test "insert effective now" test_insert_now;
+    test "retroactive updates rejected (§2.3)" test_retroactive_rejected;
+    test "future-effective updates queued" test_future_effective_queued;
+    test "pending queue applies in effective order" test_pending_order;
+    test "as-of reconstruction" test_as_of;
+    test "history tracking can be disabled" test_as_of_disabled;
+    test "delete_where now" test_delete_where_now;
+  ]

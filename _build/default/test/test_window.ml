@@ -1,0 +1,105 @@
+open Relational
+open Chronicle_temporal
+open Util
+
+(* Reference: brute-force recomputation over the raw (chronon, value)
+   stream for the window [now - buckets*width + 1 bucket alignment]. *)
+let brute_force func ~buckets ~width ~start events now =
+  let head = (now - start) / width in
+  let first_bucket = head - buckets + 1 in
+  let in_window (c, _) =
+    let b = (c - start) / width in
+    b >= first_bucket && b <= head
+  in
+  Aggregate.batch func (List.map snd (List.filter in_window events))
+
+let test_sum_basic () =
+  let w = Window.create ~func:Aggregate.Sum ~buckets:3 ~bucket_width:10 ~start:0 in
+  Window.add w 0 (vi 5);
+  Window.add w 5 (vi 5);
+  check_value "one bucket" (vi 10) (Window.total w);
+  Window.add w 12 (vi 7);
+  check_value "two buckets" (vi 17) (Window.total w);
+  Window.add w 25 (vi 1);
+  check_value "three buckets" (vi 18) (Window.total w);
+  (* bucket 0 (chronons 0..9) retires when bucket 3 opens *)
+  Window.add w 31 (vi 100);
+  check_value "oldest retired" (vi 108) (Window.total w)
+
+let test_time_must_advance () =
+  let w = Window.create ~func:Aggregate.Sum ~buckets:3 ~bucket_width:10 ~start:0 in
+  Window.add w 15 (vi 1);
+  check_raises_any "backwards" (fun () -> Window.add w 5 (vi 1))
+
+let test_skipping_far_ahead_clears () =
+  let w = Window.create ~func:Aggregate.Sum ~buckets:3 ~bucket_width:10 ~start:0 in
+  Window.add w 0 (vi 50);
+  (* jump far past the window: everything retires *)
+  Window.advance w 1000;
+  check_value "empty again" Value.Null (Window.total w);
+  Window.add w 1001 (vi 3);
+  check_value "fresh value" (vi 3) (Window.total w)
+
+let test_min_max_recombination () =
+  let w = Window.create ~func:Aggregate.Max ~buckets:2 ~bucket_width:10 ~start:0 in
+  Window.add w 1 (vi 100);
+  Window.add w 11 (vi 7);
+  check_value "max across buckets" (vi 100) (Window.total w);
+  (* when the 100-bucket retires, the max falls to 7 — this is why
+     MIN/MAX need per-bucket states, not a single running value *)
+  Window.advance w 21;
+  check_value "max after retirement" (vi 7) (Window.total w)
+
+let test_bucket_totals () =
+  let w = Window.create ~func:Aggregate.Count ~buckets:3 ~bucket_width:10 ~start:0 in
+  Window.add w 5 (vi 1);
+  Window.add w 15 (vi 1);
+  Window.add w 16 (vi 1);
+  Alcotest.check (Alcotest.list value_testable) "per-bucket"
+    [ Value.Null; vi 1; vi 2 ]
+    (Window.bucket_totals w);
+  check_int "rolls" 1 (Window.rolls w)
+
+let test_thirty_day_stock_example () =
+  (* §5.1: daily view of shares sold in the preceding 30 days *)
+  let w = Window.create ~func:Aggregate.Sum ~buckets:30 ~bucket_width:1 ~start:0 in
+  for day = 0 to 99 do
+    Window.add w day (vi 100)
+  done;
+  check_value "last 30 days" (vi 3000) (Window.total w)
+
+let qcheck_window_equals_brute_force =
+  let gen =
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (pair (int_bound 5) (int_range 1 100)))
+  in
+  qtest "cyclic buffer = brute-force recomputation (random streams)" gen
+    (fun steps ->
+      List.for_all
+        (fun func ->
+          let w = Window.create ~func ~buckets:4 ~bucket_width:5 ~start:0 in
+          let events = ref [] in
+          let clock = ref 0 in
+          List.for_all
+            (fun (gap, v) ->
+              clock := !clock + gap;
+              Window.add w !clock (vi v);
+              events := (!clock, vi v) :: !events;
+              let expected =
+                brute_force func ~buckets:4 ~width:5 ~start:0 !events !clock
+              in
+              Value.equal (Window.total w) expected)
+            steps)
+        [ Aggregate.Sum; Aggregate.Count; Aggregate.Min; Aggregate.Max; Aggregate.Avg ])
+
+let suite =
+  [
+    test "moving SUM across buckets" test_sum_basic;
+    test "chronons must be non-decreasing" test_time_must_advance;
+    test "skipping far ahead clears all buckets" test_skipping_far_ahead_clears;
+    test "MIN/MAX need per-bucket recombination" test_min_max_recombination;
+    test "per-bucket inspection and roll count" test_bucket_totals;
+    test "the 30-day stock example (§5.1)" test_thirty_day_stock_example;
+    qcheck_window_equals_brute_force;
+  ]

@@ -1,0 +1,102 @@
+open Relational
+open Chronicle_workload
+open Util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.check (Alcotest.list Alcotest.int) "same seed, same stream" xs ys;
+  let c = Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  check_bool "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10)
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.int_range rng 5 8 in
+    check_bool "in closed range" true (x >= 5 && x <= 8)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float rng 2.5 in
+    check_bool "float in range" true (f >= 0. && f < 2.5)
+  done;
+  check_raises_any "bad bound" (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let rng = Rng.create 1 in
+  let forked = Rng.split rng in
+  let xs = List.init 10 (fun _ -> Rng.int rng 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int forked 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_zipf_skew () =
+  let rng = Rng.create 11 in
+  let z = Zipf.create ~n:100 ~s:1.1 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z rng in
+    check_bool "in range" true (r >= 1 && r <= 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  check_bool "rank 1 dominates rank 50" true (counts.(1) > counts.(50) * 3);
+  check_bool "rank 1 is popular" true (counts.(1) > 1000)
+
+let test_zipf_uniform_degenerate () =
+  let rng = Rng.create 11 in
+  let z = Zipf.create ~n:4 ~s:0. in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 8000 do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iteri
+    (fun i c -> if i >= 1 then check_bool "roughly uniform" true (c > 1500 && c < 2500))
+    counts
+
+let test_generators_type_check () =
+  let rng = Rng.create 3 in
+  let z = Zipf.create ~n:50 ~s:1.0 in
+  List.iter
+    (fun tu -> check_bool "flyer customer" true (Tuple.type_check Flyer.customer_schema tu))
+    (Flyer.customers rng ~n:20);
+  for _ = 1 to 50 do
+    check_bool "mileage" true (Tuple.type_check Flyer.mileage_schema (Flyer.mileage_event rng z));
+    check_bool "call" true (Tuple.type_check Telecom.call_schema (Telecom.call rng z));
+    check_bool "txn" true (Tuple.type_check Banking.txn_schema (Banking.txn rng z));
+    check_bool "trade" true (Tuple.type_check Stock.trade_schema (Stock.trade rng))
+  done;
+  List.iter
+    (fun tu -> check_bool "subscriber" true (Tuple.type_check Telecom.customer_schema tu))
+    (Telecom.customers rng ~n:20);
+  List.iter
+    (fun tu -> check_bool "account" true (Tuple.type_check Banking.account_schema tu))
+    (Banking.accounts rng ~n:20)
+
+let test_customers_keyed_and_nj_present () =
+  let rng = Rng.create 5 in
+  let custs = Flyer.customers rng ~n:200 in
+  check_int "n rows" 200 (List.length custs);
+  let accts = List.map (fun tu -> Value.to_int (Tuple.get tu 0)) custs in
+  check_bool "accounts dense 1..n" true
+    (List.sort Int.compare accts = List.init 200 (fun i -> i + 1));
+  let nj =
+    List.length
+      (List.filter (fun tu -> Value.equal (Tuple.get tu 2) (vs "NJ")) custs)
+  in
+  check_bool "NJ fraction plausible" true (nj > 20 && nj < 120)
+
+let suite =
+  [
+    test "rng is deterministic per seed" test_rng_deterministic;
+    test "rng bounds" test_rng_bounds;
+    test "rng split independence" test_rng_split_independent;
+    test "zipf skew" test_zipf_skew;
+    test "zipf s=0 is uniform" test_zipf_uniform_degenerate;
+    test "all generators type-check" test_generators_type_check;
+    test "flyer customers are keyed, NJ present" test_customers_keyed_and_nj_present;
+  ]
