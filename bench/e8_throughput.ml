@@ -41,12 +41,14 @@ let run () =
   let rng0 = Rng.create 17 in
   let zipf = Zipf.create ~n:accounts ~s:1.0 in
   let appends = 20_000 in
+  let runs = 3 in
   let rows = ref [] in
+  let json = ref [] in
   (* procedural baseline *)
   let sf = Summary_fields.create_banking () in
   let rng = Rng.split rng0 in
   let secs =
-    Measure.median_time ~runs:3 (fun () ->
+    Measure.median_time ~runs (fun () ->
         for _ = 1 to appends do
           Summary_fields.process sf (Banking.txn rng zipf)
         done)
@@ -58,6 +60,16 @@ let run () =
       "-";
     ]
     :: !rows;
+  json :=
+    Measure.(
+      J_obj
+        [
+          ("op", J_str "procedural_baseline");
+          ("n", J_int 0);
+          ("appends_per_sec", J_float (float_of_int appends /. secs));
+          ("micros_per_op", J_float (secs /. float_of_int appends *. 1e6));
+        ])
+    :: !json;
   (* declarative engine with k views *)
   List.iter
     (fun k ->
@@ -65,11 +77,22 @@ let run () =
       ignore (Db.add_chronicle db ~name:"txns" Banking.txn_schema);
       List.iter (fun def -> ignore (Db.define_view db def)) (view_defs db k);
       let rng = Rng.split rng0 in
+      (* counters captured across every timed run: per-append deltas
+         witness the steady state (plan_cache_hit = k per append,
+         plan/predicate/projector compiles = 0) *)
+      let before = Stats.snapshot () in
       let secs =
-        Measure.median_time ~runs:3 (fun () ->
+        Measure.median_time ~runs (fun () ->
             for _ = 1 to appends do
               ignore (Db.append db "txns" [ Banking.txn rng zipf ])
             done)
+      in
+      let after = Stats.snapshot () in
+      let per_append =
+        let total = float_of_int (runs * appends) in
+        List.map
+          (fun (c, d) -> (c, float_of_int d /. total))
+          (Stats.diff before after)
       in
       rows :=
         [
@@ -77,8 +100,20 @@ let run () =
           Measure.i (int_of_float (float_of_int appends /. secs));
           Measure.f2 (secs /. float_of_int appends *. 1e6);
         ]
-        :: !rows)
+        :: !rows;
+      json :=
+        Measure.(
+          J_obj
+            [
+              ("op", J_str "chronicle_db_append");
+              ("n", J_int k);
+              ("appends_per_sec", J_float (float_of_int appends /. secs));
+              ("micros_per_op", J_float (secs /. float_of_int appends *. 1e6));
+              ("counters", json_counters per_append);
+            ])
+        :: !json)
     [ 1; 4; 8; 16 ];
   Measure.print_table ~title:"E8  sustained append throughput"
     ~header:[ "configuration"; "appends/sec"; "us/append" ]
-    (List.rev !rows)
+    (List.rev !rows);
+  Measure.write_json ~file:"BENCH_throughput.json" (List.rev !json)

@@ -65,6 +65,87 @@ let f2 v = Printf.sprintf "%.2f" v
 let f3 v = Printf.sprintf "%.3f" v
 let i v = string_of_int v
 
+(* ---- machine-readable evidence ----
+
+   Hand-rolled JSON (no external deps).  Experiments append rows and
+   flush them to a BENCH_*.json file in the working directory; recorded
+   evidence is committed under bench/results/. *)
+
+type json =
+  | J_str of string
+  | J_int of int
+  | J_float of float
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+let rec emit_json buf = function
+  | J_str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | J_int n -> Buffer.add_string buf (string_of_int n)
+  | J_float v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" v)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" v)
+  | J_obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          emit_json buf (J_str k);
+          Buffer.add_string buf ": ";
+          emit_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | J_arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          emit_json buf v)
+        items;
+      Buffer.add_char buf ']'
+
+let json_counters counters =
+  J_obj
+    (List.map (fun (c, v) -> (Stats.counter_name c, J_float v)) counters)
+
+(* One JSON record per measured operating point: the operation name, the
+   swept size [n], wall micro-seconds per op, and per-op counter deltas. *)
+let json_of_per_op ~op ~n r =
+  J_obj
+    [
+      ("op", J_str op);
+      ("n", J_int n);
+      ("micros_per_op", J_float r.micros);
+      ("counters", json_counters r.counters);
+    ]
+
+let write_json ~file rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      emit_json buf row)
+    rows;
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d records)\n%!" file (List.length rows)
+
 let section title doc =
   Printf.printf "\n==== %s ====\n%s\n" title doc;
   flush stdout

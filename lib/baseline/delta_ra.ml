@@ -4,9 +4,7 @@ type t = { view : View.t }
 
 let create ?index def = { view = View.create ?index def }
 
-let on_batch t ~sn ~batch =
-  let delta = Delta.eval (Sca.body (View.def t.view)) ~sn ~batch in
-  View.apply_delta t.view delta
+let on_batch t ~sn ~batch = View.maintain t.view ~sn ~batch
 
 let view t = t.view
 let lookup t key = View.lookup t.view key

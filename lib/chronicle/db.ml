@@ -136,8 +136,9 @@ let maintain t batch sn =
       let name = View.name v in
       if not (Hashtbl.mem seen name) then begin
         Hashtbl.add seen name ();
-        let delta = Delta.eval (Sca.body (View.def v)) ~sn ~batch in
-        View.apply_delta v delta
+        (* per-append work is probe-and-fold only: the body Δ-plan was
+           compiled once at registration and is replayed here *)
+        View.maintain v ~sn ~batch
       end)
     affected;
   List.iter (fun hook -> hook ~sn ~batch) (List.rev t.batch_hooks)

@@ -7,91 +7,124 @@ let delta_of_base batch c =
   | Some (_, tuples) -> tuples
   | None -> []
 
-(* Join each Δ tuple with the matching relation tuples via an index
-   probe on the join attributes (at most a constant number of matches in
-   CA_⋈, by the key guarantee). *)
-let key_join schema rel pairs delta =
-  let left_key = Tuple.projector schema (List.map fst pairs) in
-  let right_attrs = List.map snd pairs in
-  let rschema = Relation.schema rel in
-  let keep =
-    List.filter (fun n -> not (List.mem n right_attrs)) (Schema.names rschema)
-  in
-  let rproj = Tuple.projector rschema keep in
-  List.concat_map
-    (fun tu ->
-      let key = Array.to_list (left_key tu) in
-      List.map
-        (fun rtu -> Tuple.concat tu (rproj rtu))
-        (Relation.lookup rel ~attrs:right_attrs key))
-    delta
+(* A compiled Δ-evaluator.  All expression-dependent work — schema
+   derivation, predicate compilation, projector construction, key-join
+   position resolution — happens once in [compile]; [run] then does only
+   probe-and-fold work per appended batch.  The chronicle layer caches
+   one plan per persistent view ([View.plan]), so steady-state
+   maintenance recompiles nothing. *)
+type plan = { expr : Ca.t; exec : sn:Seqnum.t -> batch:batch -> Tuple.t list }
 
-let rec eval expr ~sn ~batch =
+let rec comp expr : sn:Seqnum.t -> batch:batch -> Tuple.t list =
   match expr with
-  | Ca.Chronicle c -> delta_of_base batch c
+  | Ca.Chronicle c -> fun ~sn:_ ~batch -> delta_of_base batch c
   | Ca.Select (p, e) ->
-      let s = Ca.schema_of e in
-      let keep = Predicate.compile s p in
-      List.filter keep (eval e ~sn ~batch)
+      let keep = Predicate.compile (Ca.schema_of e) p in
+      let child = comp e in
+      fun ~sn ~batch -> List.filter keep (child ~sn ~batch)
   | Ca.Project (attrs, e) ->
-      let s = Ca.schema_of e in
-      let proj = Tuple.projector s attrs in
-      List.map proj (eval e ~sn ~batch)
+      let proj = Tuple.projector (Ca.schema_of e) attrs in
+      let child = comp e in
+      fun ~sn ~batch -> List.map proj (child ~sn ~batch)
   | Ca.SeqJoin (l, r) ->
       (* both deltas carry only the batch's sequence number, so the join
          degenerates to a product of the two deltas (appendix, Thm 4.1) *)
-      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
-      if dl = [] || dr = [] then []
-      else
-        let rs = Ca.schema_of r in
-        let drop_sn = Tuple.remove rs Seqnum.attr in
-        List.concat_map
-          (fun ltu -> List.map (fun rtu -> Tuple.concat ltu (drop_sn rtu)) dr)
-          dl
+      let rs = Ca.schema_of r in
+      let drop_sn =
+        Tuple.projector rs
+          (List.filter
+             (fun n -> not (String.equal n Seqnum.attr))
+             (Schema.names rs))
+      in
+      let cl = comp l and cr = comp r in
+      fun ~sn ~batch ->
+        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+        if dl = [] || dr = [] then []
+        else
+          List.concat_map
+            (fun ltu -> List.map (fun rtu -> Tuple.concat ltu (drop_sn rtu)) dr)
+            dl
   | Ca.Union (l, r) ->
-      Tuple.dedup (eval l ~sn ~batch @ eval r ~sn ~batch)
-  | Ca.Diff (l, r) -> Tuple.diff (eval l ~sn ~batch) (eval r ~sn ~batch)
+      let cl = comp l and cr = comp r in
+      fun ~sn ~batch -> Tuple.dedup (cl ~sn ~batch @ cr ~sn ~batch)
+  | Ca.Diff (l, r) ->
+      let cl = comp l and cr = comp r in
+      fun ~sn ~batch -> Tuple.diff (cl ~sn ~batch) (cr ~sn ~batch)
   | Ca.GroupBySeq (gl, al, e) ->
-      let s = Ca.schema_of e in
-      snd (Groupby.run s (eval e ~sn ~batch) ~group_by:gl ~aggs:al)
+      let grouper = Groupby.compiled (Ca.schema_of e) ~group_by:gl ~aggs:al in
+      let child = comp e in
+      fun ~sn ~batch -> Groupby.run_compiled grouper (child ~sn ~batch)
   | Ca.ProductRel (e, rel) ->
-      let delta = eval e ~sn ~batch in
-      if delta = [] then []
-      else
-        Relation.fold
-          (fun acc rtu ->
-            List.fold_left (fun acc tu -> Tuple.concat tu rtu :: acc) acc delta)
-          [] rel
-        |> List.rev
+      let child = comp e in
+      fun ~sn ~batch ->
+        let delta = child ~sn ~batch in
+        if delta = [] then []
+        else
+          Relation.fold
+            (fun acc rtu ->
+              List.fold_left (fun acc tu -> Tuple.concat tu rtu :: acc) acc delta)
+            [] rel
+          |> List.rev
   | Ca.KeyJoinRel (e, rel, pairs) ->
-      key_join (Ca.schema_of e) rel pairs (eval e ~sn ~batch)
+      (* join each Δ tuple with the matching relation tuples via an
+         index probe on the join attributes (at most a constant number
+         of matches in CA_⋈, by the key guarantee) *)
+      let schema = Ca.schema_of e in
+      let left_key = Tuple.projector schema (List.map fst pairs) in
+      let right_attrs = List.map snd pairs in
+      let rschema = Relation.schema rel in
+      let keep =
+        List.filter (fun n -> not (List.mem n right_attrs)) (Schema.names rschema)
+      in
+      let rproj = Tuple.projector rschema keep in
+      let child = comp e in
+      fun ~sn ~batch ->
+        List.concat_map
+          (fun tu ->
+            let key = Array.to_list (left_key tu) in
+            List.map
+              (fun rtu -> Tuple.concat tu (rproj rtu))
+              (Relation.lookup rel ~attrs:right_attrs key))
+          (child ~sn ~batch)
   | Ca.CrossChron (l, r) ->
       (* Theorem 4.3: requires the old value of the opposite operand,
-         i.e. access to retained history. *)
-      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
-      let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
-      let cross left right =
-        List.concat_map
-          (fun ltu -> List.map (fun rtu -> Tuple.concat ltu rtu) right)
-          left
-      in
-      cross dl old_r @ cross old_l dr @ cross dl dr
+         i.e. access to retained history — necessarily evaluated at run
+         time, no compile-once shortcut exists. *)
+      let cl = comp l and cr = comp r in
+      fun ~sn ~batch ->
+        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+        let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
+        let cross left right =
+          List.concat_map
+            (fun ltu -> List.map (fun rtu -> Tuple.concat ltu rtu) right)
+            left
+        in
+        cross dl old_r @ cross old_l dr @ cross dl dr
   | Ca.ThetaJoinChron (p, l, r) ->
-      let s = Ca.schema_of expr in
-      let keep = Predicate.compile s p in
-      let dl = eval l ~sn ~batch and dr = eval r ~sn ~batch in
-      let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
-      let cross left right =
-        List.concat_map
-          (fun ltu ->
-            List.filter_map
-              (fun rtu ->
-                let tu = Tuple.concat ltu rtu in
-                if keep tu then Some tu else None)
-              right)
-          left
-      in
-      cross dl old_r @ cross old_l dr @ cross dl dr
+      let keep = Predicate.compile (Ca.schema_of expr) p in
+      let cl = comp l and cr = comp r in
+      fun ~sn ~batch ->
+        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+        let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
+        let cross left right =
+          List.concat_map
+            (fun ltu ->
+              List.filter_map
+                (fun rtu ->
+                  let tu = Tuple.concat ltu rtu in
+                  if keep tu then Some tu else None)
+                right)
+            left
+        in
+        cross dl old_r @ cross old_l dr @ cross dl dr
+
+let compile expr =
+  Stats.incr Stats.Plan_compile;
+  { expr; exec = comp expr }
+
+let run plan ~sn ~batch = plan.exec ~sn ~batch
+let expr plan = plan.expr
+let eval expr ~sn ~batch = run (compile expr) ~sn ~batch
 
 let all_fresh schema sn tuples =
   match Schema.pos_opt schema Seqnum.attr with

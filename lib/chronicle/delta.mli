@@ -32,8 +32,26 @@ type batch = (Chron.t * Tuple.t list) list
 (** The tagged tuples appended to each chronicle, all under one
     sequence number. *)
 
+type plan
+(** A compiled Δ-evaluator: schemas resolved, predicates/projectors
+    compiled, key-join positions bound — all once.  Running a plan does
+    only probe-and-fold work, which is what makes per-append maintenance
+    cost a small constant on top of the paper's complexity class. *)
+
+val compile : Ca.t -> plan
+(** One-time analysis (bumps [Stats.Plan_compile]).  Raises the same
+    schema errors [Ca.schema_of] would. *)
+
+val run : plan -> sn:Seqnum.t -> batch:batch -> Tuple.t list
+(** Tuples the batch adds to the expression; zero recompilation. *)
+
+val expr : plan -> Ca.t
+(** The expression the plan was compiled from. *)
+
 val eval : Ca.t -> sn:Seqnum.t -> batch:batch -> Tuple.t list
-(** Tuples added to the expression by the batch. *)
+(** Tuples added to the expression by the batch; [run ∘ compile].
+    One-shot convenience — repeated callers should hold a {!plan}
+    (or use the per-view cache, {!View.plan}). *)
 
 val all_fresh : Schema.t -> Seqnum.t -> Tuple.t list -> bool
 (** Theorem 4.1 check: every tuple's sequencing attribute equals the

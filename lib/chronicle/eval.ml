@@ -36,7 +36,11 @@ let rec to_ra expr =
   | Ca.ThetaJoinChron (p, l, r) ->
       Ra.ThetaJoin (p, to_ra l, Ra.Prefix ("r", to_ra r))
 
-let eval expr = Ra.eval (to_ra expr)
+(* Full evaluation inlines the chronicles' retained history as [Const]
+   collections, so a translation (and its physical plan) is valid only
+   for the chronicle contents at translation time: compile once per
+   call, never cache across appends. *)
+let eval expr = Plan.run (Plan.compile (to_ra expr))
 
 let eval_before expr sn =
   let restrict e =
@@ -66,4 +70,4 @@ let eval_before expr sn =
     | Ca.ThetaJoinChron (p, l, r) ->
         Ra.ThetaJoin (p, go l, Ra.Prefix ("r", go r))
   in
-  Ra.eval (go expr)
+  Plan.run (Plan.compile (go expr))

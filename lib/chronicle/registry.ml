@@ -77,6 +77,11 @@ let register t view =
     invalid_arg (Printf.sprintf "Registry.register: view %s already exists" vname);
   let chronicles = Ca.chronicles (Sca.body (View.def view)) in
   let guards = List.map (fun c -> (c, guard_for view c)) chronicles in
+  (* warm the per-view Δ-plan cache: the one compilation happens at
+     registration ([Stats.Plan_cache_miss] + [Stats.Plan_compile]), so
+     every subsequent append is a pure cache hit.  Redefinition is
+     unregister + register of a fresh view, which recompiles. *)
+  ignore (View.plan view);
   t.entries <- t.entries @ [ { view; guards } ]
 
 let unregister t name =

@@ -18,7 +18,10 @@ val create : unit -> t
 
 val register : t -> View.t -> unit
 (** Raises [Invalid_argument] if a view with the same name is already
-    registered. *)
+    registered.  Warms the view's Δ-plan cache ({!View.plan}) so the
+    transaction path never compiles: registration pays the one
+    [Stats.Plan_compile]; redefinition (unregister + register of a new
+    view) pays it again. *)
 
 val unregister : t -> string -> unit
 val find : t -> string -> View.t option

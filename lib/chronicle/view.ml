@@ -32,6 +32,10 @@ type t = {
   arg_pos : int option array;
   contents : contents;
   mutable batches : int;
+  mutable plan : Delta.plan option;
+      (* compiled body Δ-plan, built on first use and kept for the
+         view's lifetime.  Redefining a view creates a fresh [t], so the
+         cache is invalidated exactly when the definition changes. *)
 }
 
 let make_backing : type v. Index.kind -> v backing = function
@@ -82,11 +86,22 @@ let create ?(index = Index.Hash) def =
     | Sca.Project_out _ -> Rows (make_backing index)
     | Sca.Group_agg _ -> Groups (make_backing index)
   in
-  { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0 }
+  { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0; plan = None }
 
 let def t = t.def
 let name t = Sca.name t.def
 let schema t = Sca.schema t.def
+
+let plan t =
+  match t.plan with
+  | Some p ->
+      Stats.incr Stats.Plan_cache_hit;
+      p
+  | None ->
+      Stats.incr Stats.Plan_cache_miss;
+      let p = Delta.compile (Sca.body t.def) in
+      t.plan <- Some p;
+      p
 
 let index_kind t =
   let kind : type v. v backing -> Index.kind = function
@@ -138,6 +153,8 @@ let apply_delta t delta =
               states.(i) <- Aggregate.step c.func states.(i) arg)
             t.aggs)
         delta
+
+let maintain t ~sn ~batch = apply_delta t (Delta.run (plan t) ~sn ~batch)
 
 let of_initial ?index def initial =
   let t = create ?index def in

@@ -27,8 +27,27 @@ val schema : t -> Schema.t
 val index_kind : t -> Index.kind
 
 val apply_delta : t -> Tuple.t list -> unit
-(** Fold a batch of body-delta tuples (from [Delta.eval]) into the
+(** Fold a batch of body-delta tuples (from [Delta.run]) into the
     materialization. *)
+
+(** {2 Plan cache}
+
+    Each view carries at most one compiled Δ-plan for its body
+    ({!Delta.compile}); the transaction path replays it per batch, so
+    steady-state maintenance performs zero schema derivations,
+    predicate compilations or projector constructions.  The cache is
+    keyed by the view object itself: redefining a view builds a new
+    view, hence a fresh compile ([Stats.Plan_cache_miss] +
+    [Stats.Plan_compile]). *)
+
+val plan : t -> Delta.plan
+(** The cached body plan; compiles on first use
+    ([Stats.Plan_cache_miss]), afterwards bumps
+    [Stats.Plan_cache_hit]. *)
+
+val maintain : t -> sn:Seqnum.t -> batch:Delta.batch -> unit
+(** [apply_delta t (Delta.run (plan t) ~sn ~batch)]: the whole
+    per-batch maintenance step through the plan cache. *)
 
 val lookup : t -> Value.t list -> Tuple.t option
 (** Summary-query point lookup by the view's logical key

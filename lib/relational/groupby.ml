@@ -84,5 +84,64 @@ let run schema tuples ~group_by ~aggs =
   List.iter (step t) tuples;
   (t.out_schema, result t)
 
+(* Compile-once variant: the projector and argument positions are
+   resolved a single time; each [run_compiled] call folds its input into
+   a fresh group table with zero per-call name resolution. *)
+type compiled = {
+  c_aggs : Aggregate.call list;
+  c_key_of : Tuple.t -> Tuple.t;
+  c_arg_pos : int option array;
+  c_out_schema : Schema.t;
+}
+
+let compiled input_schema ~group_by ~aggs =
+  {
+    c_aggs = aggs;
+    c_key_of = Tuple.projector input_schema group_by;
+    c_arg_pos =
+      Array.of_list
+        (List.map
+           (fun (c : Aggregate.call) -> Option.map (Schema.pos input_schema) c.arg)
+           aggs);
+    c_out_schema = Aggregate.result_schema input_schema group_by aggs;
+  }
+
+let compiled_schema c = c.c_out_schema
+
+let run_compiled c tuples =
+  let groups = Key_tbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun tuple ->
+      let key = Array.to_list (c.c_key_of tuple) in
+      Stats.incr Stats.Group_lookup;
+      let states =
+        match Key_tbl.find_opt groups key with
+        | Some states -> states
+        | None ->
+            let states = fresh_states c.c_aggs in
+            Key_tbl.add groups key states;
+            order := key :: !order;
+            states
+      in
+      List.iteri
+        (fun i (call : Aggregate.call) ->
+          let arg =
+            match c.c_arg_pos.(i) with
+            | None -> Value.Int 1 (* COUNT([*]): any non-null value *)
+            | Some p -> tuple.(p)
+          in
+          states.(i) <- Aggregate.step call.func states.(i) arg)
+        c.c_aggs)
+    tuples;
+  let row_of key states =
+    Tuple.make
+      (key
+      @ List.mapi
+          (fun i (call : Aggregate.call) -> Aggregate.final call.func states.(i))
+          c.c_aggs)
+  in
+  List.rev_map (fun key -> row_of key (Key_tbl.find groups key)) !order
+
 let run_rel rel ~group_by ~aggs =
   run (Relation.schema rel) (Relation.to_list rel) ~group_by ~aggs

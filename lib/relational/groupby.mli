@@ -15,6 +15,26 @@ val run :
 val run_rel :
   Relation.t -> group_by:string list -> aggs:Aggregate.call list -> Schema.t * Tuple.t list
 
+(** {2 Compile-once batch grouping}
+
+    {!run} re-resolves the grouping projector and aggregate argument
+    positions on every call; physical plans ({!Plan}, [Delta]) instead
+    resolve once at compile time and replay many batches through the
+    result. *)
+
+type compiled
+
+val compiled :
+  Schema.t -> group_by:string list -> aggs:Aggregate.call list -> compiled
+(** One-time name resolution; raises [Schema.Unknown_attribute] like
+    {!run} would. *)
+
+val run_compiled : compiled -> Tuple.t list -> Tuple.t list
+(** Fold one batch into a fresh group table: same semantics and output
+    order as {!run}, zero per-call compilation. *)
+
+val compiled_schema : compiled -> Schema.t
+
 (** {2 Incremental group table}
 
     A mutable group table supporting per-tuple O(1) (modulo the group

@@ -20,6 +20,7 @@ let eval_op op a b =
   | Ge -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b >= 0
 
 let compile schema pred =
+  Stats.incr Stats.Predicate_compile;
   let operand = function
     | Attr name ->
         let i = Schema.pos schema name in

@@ -111,7 +111,7 @@ let hash_join pairs ls rs left right =
           List.rev_map (fun rtu -> Tuple.concat ltu (rproj rtu)) matches)
     left
 
-let rec eval expr =
+let rec eval_naive expr =
   match expr with
   | Rel r -> Relation.to_list r
   | Const (_, tuples) -> tuples
@@ -122,13 +122,13 @@ let rec eval expr =
         (fun tu ->
           Stats.incr Stats.Tuple_read;
           keep tu)
-        (eval e)
+        (eval_naive e)
   | Project (attrs, e) ->
       let s = schema_of e in
       let proj = Tuple.projector s attrs in
-      List.map proj (eval e)
+      List.map proj (eval_naive e)
   | Product (l, r) ->
-      let lt = eval l and rt = eval r in
+      let lt = eval_naive l and rt = eval_naive r in
       List.concat_map
         (fun ltu ->
           List.map
@@ -139,11 +139,11 @@ let rec eval expr =
         lt
   | EquiJoin (pairs, l, r) ->
       ignore (schema_of expr);
-      hash_join pairs (schema_of l) (schema_of r) (eval l) (eval r)
+      hash_join pairs (schema_of l) (schema_of r) (eval_naive l) (eval_naive r)
   | ThetaJoin (p, l, r) ->
       let s = schema_of expr in
       let keep = Predicate.compile s p in
-      let lt = eval l and rt = eval r in
+      let lt = eval_naive l and rt = eval_naive r in
       List.concat_map
         (fun ltu ->
           List.filter_map
@@ -155,15 +155,27 @@ let rec eval expr =
         lt
   | Union (l, r) ->
       ignore (schema_of expr);
-      Tuple.dedup (eval l @ eval r)
+      Tuple.dedup (eval_naive l @ eval_naive r)
   | Diff (l, r) ->
       ignore (schema_of expr);
-      Tuple.diff (eval l) (eval r)
+      Tuple.diff (eval_naive l) (eval_naive r)
   | GroupBy (gl, al, e) ->
       let s = schema_of e in
-      snd (Groupby.run s (eval e) ~group_by:gl ~aggs:al)
-  | Rename (_, e) | Prefix (_, e) -> eval e
-  | Distinct e -> Tuple.dedup (eval e)
+      snd (Groupby.run s (eval_naive e) ~group_by:gl ~aggs:al)
+  | Rename (_, e) | Prefix (_, e) -> eval_naive e
+  | Distinct e -> Tuple.dedup (eval_naive e)
+
+(* [eval] is run ∘ compile over the physical-plan layer.  [Plan] sits
+   above this module (its plans are built from [t] values), so the
+   compiled pipeline is installed through a forward reference at library
+   initialization; until then (i.e. inside this module only) [eval]
+   falls back to the naive interpreter.  The library is built with
+   [-linkall] so the installation is unconditional for every user, and
+   the plan test-suite asserts (via [Stats.Plan_compile]) that the
+   compiled path is really the one behind [eval]. *)
+let eval_fn = ref eval_naive
+let internal_set_eval f = eval_fn := f
+let eval expr = !eval_fn expr
 
 let eval_rel ~name expr =
   let schema = schema_of expr in

@@ -39,9 +39,28 @@ val schema_of : t -> Schema.t
     (unknown attributes, union-incompatible operands, name clashes). *)
 
 val eval : t -> Tuple.t list
-(** Evaluate to a tuple list (bumps the usual tuple counters). *)
+(** Evaluate to a tuple list (bumps the usual tuple counters).
+    Equivalent to [Plan.run (Plan.compile e)]: one compilation pass
+    (schema resolution, predicate/projector compilation, select
+    pushdown) followed by a zero-recompilation execution.  Callers that
+    evaluate the same expression repeatedly should hold a {!Plan.t}
+    instead. *)
+
+val eval_naive : t -> Tuple.t list
+(** The original tree-walking interpreter, which re-derives schemas and
+    recompiles predicates/projectors at every node on every call.  Kept
+    as the executable reference semantics: the property suite checks
+    [Plan.run (Plan.compile e)] against [eval_naive e]. *)
 
 val eval_rel : name:string -> t -> Relation.t
 (** Evaluate and materialize into a fresh relation. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val internal_set_eval : (t -> Tuple.t list) -> unit
+(** Wired once by {!Plan} at library initialization so that [eval] is
+    the compiled pipeline without a module cycle.  Not for users. *)
+
+(**/**)

@@ -34,6 +34,7 @@ let find_index t attrs =
   List.find_opt (fun ix -> String.equal (index_id (Index.attrs ix)) id) t.indexes
 
 let has_index t attrs = Option.is_some (find_index t attrs)
+let indexed_attrs t = List.map Index.attrs t.indexes
 
 let key_of t attrs tuple =
   List.map (fun a -> Tuple.field t.schema tuple a) attrs

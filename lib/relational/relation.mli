@@ -54,6 +54,11 @@ val create_index : t -> Index.kind -> string list -> unit
 
 val has_index : t -> string list -> bool
 
+val indexed_attrs : t -> string list list
+(** Attribute lists of all maintained indexes (primary-key index
+    included), in probe-preference order.  {!Plan.compile} uses this to
+    push selections down into index scans. *)
+
 val lookup : t -> attrs:string list -> Value.t list -> Tuple.t list
 (** Rows whose [attrs] equal the key.  Uses a matching index when one
     exists, otherwise falls back to a full scan (each scanned row bumps

@@ -6,10 +6,19 @@ type counter =
   | Agg_step
   | Group_lookup
   | Chronicle_scan
+  | Plan_compile
+  | Plan_cache_hit
+  | Plan_cache_miss
+  | Index_scan
+  | Build_reuse
+  | Predicate_compile
+  | Projector_compile
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
-    Group_lookup; Chronicle_scan ]
+    Group_lookup; Chronicle_scan; Plan_compile; Plan_cache_hit;
+    Plan_cache_miss; Index_scan; Build_reuse; Predicate_compile;
+    Projector_compile ]
 
 let slot = function
   | Index_probe -> 0
@@ -19,6 +28,13 @@ let slot = function
   | Agg_step -> 4
   | Group_lookup -> 5
   | Chronicle_scan -> 6
+  | Plan_compile -> 7
+  | Plan_cache_hit -> 8
+  | Plan_cache_miss -> 9
+  | Index_scan -> 10
+  | Build_reuse -> 11
+  | Predicate_compile -> 12
+  | Projector_compile -> 13
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -28,8 +44,15 @@ let counter_name = function
   | Agg_step -> "agg_step"
   | Group_lookup -> "group_lookup"
   | Chronicle_scan -> "chronicle_scan"
+  | Plan_compile -> "plan_compile"
+  | Plan_cache_hit -> "plan_cache_hit"
+  | Plan_cache_miss -> "plan_cache_miss"
+  | Index_scan -> "index_scan"
+  | Build_reuse -> "build_reuse"
+  | Predicate_compile -> "predicate_compile"
+  | Projector_compile -> "projector_compile"
 
-let counts = Array.make 7 0
+let counts = Array.make 14 0
 
 let incr c =
   let i = slot c in

@@ -16,6 +16,18 @@ type counter =
   | Group_lookup     (** one group-key localization in a persistent view *)
   | Chronicle_scan   (** one *stored* chronicle tuple read back (should be
                          0 during incremental maintenance) *)
+  | Plan_compile     (** one physical-plan compilation ({!Plan.compile} or
+                         {!Delta.compile}); steady-state maintenance should
+                         show 0 per batch *)
+  | Plan_cache_hit   (** one per-view plan-cache hit on the maintenance path *)
+  | Plan_cache_miss  (** one plan-cache miss (first use, or recompile after
+                         redefinition) *)
+  | Index_scan       (** one selection answered by an index probe instead of
+                         a full scan + filter (select-pushdown) *)
+  | Build_reuse      (** one hash-join build table reused because the build
+                         side's relation versions were unchanged *)
+  | Predicate_compile  (** one [Predicate.compile] name-resolution pass *)
+  | Projector_compile  (** one [Tuple.projector] position-resolution pass *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit

@@ -6,6 +6,7 @@ let get t i = t.(i)
 let field schema t name = t.(Schema.pos schema name)
 
 let projector schema names =
+  Stats.incr Stats.Projector_compile;
   let positions = Array.of_list (List.map (Schema.pos schema) names) in
   fun t -> Array.map (fun i -> t.(i)) positions
 

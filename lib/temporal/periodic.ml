@@ -5,6 +5,7 @@ type slot = { interval : Interval.t; view : View.t }
 
 type t = {
   def : Sca.t;
+  body_plan : Delta.plan; (* compiled once; shared by every interval view *)
   calendar : Calendar.t;
   group : Group.t;
   index : Index.kind option;
@@ -19,6 +20,7 @@ let create ?index ?expire_after ~def ~calendar () =
   let group = Ca.group_of (Sca.body def) in
   {
     def;
+    body_plan = Delta.compile (Sca.body def);
     calendar;
     group;
     index;
@@ -78,7 +80,7 @@ let note_append t ~sn ~batch =
   expire_views t chronon;
   open_views t chronon;
   if Hashtbl.length t.active > 0 then begin
-    let delta = Delta.eval (Sca.body t.def) ~sn ~batch in
+    let delta = Delta.run t.body_plan ~sn ~batch in
     if delta <> [] then
       Hashtbl.iter (fun _ slot -> View.apply_delta slot.view delta) t.active
   end

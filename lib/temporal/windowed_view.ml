@@ -12,6 +12,7 @@ end)
 
 type t = {
   def : Sca.t;
+  body_plan : Delta.plan; (* compiled once at derivation *)
   group : Group.t;
   buckets : int;
   bucket_width : int;
@@ -41,6 +42,7 @@ let derive ?(bucket_width = 1) ~buckets def =
   let group = Ca.group_of (Sca.body def) in
   {
     def;
+    body_plan = Delta.compile (Sca.body def);
     group;
     buckets;
     bucket_width;
@@ -69,7 +71,7 @@ let fresh_windows t =
 
 let note_append t ~sn ~batch =
   let chronon = Group.now t.group in
-  let delta = Delta.eval (Sca.body t.def) ~sn ~batch in
+  let delta = Delta.run t.body_plan ~sn ~batch in
   List.iter
     (fun tu ->
       let key = Array.to_list (t.key_of tu) in

@@ -19,8 +19,48 @@ The demo subcommand runs a canned frequent-flyer script:
 A billing scenario with periodic, windowed and ad-hoc queries:
 
   $ chronicle-cli run billing.cdl
-  parse error at line 4: expected an identifier, found PLAN
-  [1]
+  created calls
+  created plans
+  inserted 2 row(s) into plans
+  defined view spend: CA_1 (IM-Constant)
+  defined view by_plan: CA_join (IM-log(R))
+  defined periodic view monthly (0 interval views live)
+  defined windowed view recent (7 buckets)
+  appended 2 row(s) to calls at sn 1
+  clock advanced to 5
+  appended 1 row(s) to calls at sn 2
+  clock advanced to 31
+  appended 1 row(s) to calls at sn 3
+  (number:int,
+  total:float,
+  calls:int)
+  (number=1, total=4.4, calls=2)
+  (number=2, total=2.75, calls=2)
+  (plan:string,
+  total:float)
+  (plan="basic", total=4.4)
+  (plan="business", total=2.75)
+  (number:int,
+  total:float)
+  (number=1, total=4.4)
+  (number=2, total=2.2)
+  (number:int,
+  total:float)
+  (number=2, total=0.55)
+  (number:int,
+  minutes_7d:int)
+  (number=1, minutes_7d=NULL)
+  (number=2, minutes_7d=5)
+  (number:int,
+  total:float)
+  (number=1, total=4.4)
+  (number=2, total=2.75)
+  tier: CA_join
+  body Δ class: IM-log(R)
+  view class: IM-log(R)
+  u=0 j=1
+  time: O(1^1 log|R|)
+  space: O(1^1)
 
 Event rules fire through the language:
 
