@@ -20,6 +20,7 @@ let experiments =
     ("E10", E10_event_detection.run);
     ("E11", E11_rewriter.run);
     ("E12", E12_snapshot.run);
+    ("E13", E13_durability.run);
     ("micro", Micro.run);
   ]
 

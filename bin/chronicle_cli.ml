@@ -2,10 +2,13 @@
    in-memory chronicle database, or explore one interactively.
 
      dune exec bin/chronicle_cli.exe -- run script.cdl
+     dune exec bin/chronicle_cli.exe -- run --durable DIR script.cdl
+     dune exec bin/chronicle_cli.exe -- recover DIR
      dune exec bin/chronicle_cli.exe -- repl
      dune exec bin/chronicle_cli.exe -- demo *)
 
 open Chronicle_lang
+open Chronicle_durability
 
 let print_result r = Format.printf "%a@." Analyze.pp_result r
 
@@ -27,11 +30,30 @@ let report_error = function
       1
   | exn -> raise exn
 
-let run_file snapshot_in snapshot_out path =
+let pp_recovery ppf (r : Durable.report) =
+  Format.fprintf ppf "checkpoint %s; journal: %d replayed, %d skipped%s%s"
+    (if r.checkpoint_loaded then "loaded" else "absent")
+    r.replayed r.skipped
+    (if r.dropped_torn then ", torn tail dropped" else "")
+    (if r.dropped_failed then ", failed final record dropped" else "")
+
+let report_recovery_error = function
+  | Journal.Journal_corrupt { record; reason } ->
+      Format.eprintf "journal corrupt at record %d: %s@." record reason;
+      1
+  | Durable.Recovery_error { record; reason } ->
+      Format.eprintf "recovery failed at record %d: %s@." record reason;
+      1
+  | Chronicle_core.Snapshot.Snapshot_error msg ->
+      Format.eprintf "checkpoint error: %s@." msg;
+      1
+  | exn -> raise exn
+
+let run_file snapshot_in snapshot_out durable_dir sync crash_after path =
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  let session =
+  let base_session () =
     match snapshot_in with
     | None -> Session.create ()
     | Some snap -> (
@@ -44,12 +66,39 @@ let run_file snapshot_in snapshot_out path =
             Format.eprintf "snapshot error: %s@." msg;
             exit 1)
   in
+  let session, durable =
+    match durable_dir with
+    | None -> (base_session (), None)
+    | Some dir -> (
+        let storage = Storage.disk ~dir in
+        if Durable.has_state storage then
+          match Durable.recover ~sync ~storage () with
+          | d, report ->
+              Format.printf "recovered %s: %a@." dir pp_recovery report;
+              (Session.of_db (Durable.db d), Some d)
+          | exception e -> exit (report_recovery_error e)
+        else
+          let session = base_session () in
+          (session, Some (Durable.attach ~sync ~storage (Session.db session))))
+  in
+  (match (durable, crash_after) with
+  | Some d, Some n -> Fault.arm (Durable.fault d) ~after:n "post-journal-write"
+  | _ -> ());
   match Parser.parse src with
   | exception e -> report_error e
   | stmts ->
       (* execute statement by statement so partial progress is visible *)
       let rec go = function
         | [] -> (
+            (match durable with
+            | Some d -> (
+                match Durable.checkpoint d with
+                | () ->
+                    Format.printf "checkpointed %s@." (Option.get durable_dir)
+                | exception Chronicle_core.Snapshot.Snapshot_error msg ->
+                    Format.eprintf "checkpoint error: %s@." msg;
+                    exit 1)
+            | None -> ());
             match snapshot_out with
             | None -> 0
             | Some snap -> (
@@ -66,9 +115,34 @@ let run_file snapshot_in snapshot_out path =
             | result ->
                 print_result result;
                 go rest
+            | exception Fault.Crash point ->
+                (* the process "dies" here: no checkpoint, no snapshot —
+                   the journal keeps the batch's write-ahead record *)
+                Format.printf "simulated crash at %s@." point;
+                2
             | exception e -> report_error e)
       in
       go stmts
+
+let recover_dir sync dir =
+  let storage = Storage.disk ~dir in
+  if not (Durable.has_state storage) then begin
+    Format.eprintf "no durable state in %s@." dir;
+    1
+  end
+  else
+    match Durable.recover ~sync ~storage () with
+    | d, report ->
+        Format.printf "recovered %s: %a@." dir pp_recovery report;
+        let db = Durable.db d in
+        List.iter
+          (fun v ->
+            let name = Chronicle_core.View.name v in
+            Format.printf "view %s: %d row(s)@." name
+              (List.length (Chronicle_core.Db.view_contents db name)))
+          (Chronicle_core.Db.views db);
+        0
+    | exception e -> report_recovery_error e
 
 let repl () =
   let session = Session.create () in
@@ -122,6 +196,26 @@ let demo () =
 
 open Cmdliner
 
+let sync_conv =
+  let parse s =
+    match Journal.sync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Journal.sync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let sync_arg =
+  Arg.(
+    value
+    & opt sync_conv Journal.Sync_always
+    & info [ "sync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal sync policy: $(b,always), $(b,never) or $(b,every:N) \
+           (fsync once per N records).")
+
 let run_cmd =
   let path =
     Arg.(
@@ -134,7 +228,9 @@ let run_cmd =
       value
       & opt (some file) None
       & info [ "load" ] ~docv:"SNAPSHOT"
-          ~doc:"Restore the database from a snapshot before the script runs.")
+          ~doc:
+            "Restore the database from a snapshot before the script runs \
+             (ignored when $(b,--durable) finds existing state).")
   in
   let snapshot_out =
     Arg.(
@@ -143,9 +239,45 @@ let run_cmd =
       & info [ "save" ] ~docv:"SNAPSHOT"
           ~doc:"Save the database to a snapshot after the script succeeds.")
   in
+  let durable_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durable" ] ~docv:"DIR"
+          ~doc:
+            "Run with write-ahead journaling into $(docv): existing state is \
+             recovered first, every append is journaled before it executes, \
+             and a checkpoint is taken when the script succeeds.")
+  in
+  let crash_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Simulate a crash at the post-journal-write fault point after \
+             $(docv) appends (requires $(b,--durable)); the process stops \
+             with exit status 2, leaving the journal for $(b,recover).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
-    Term.(const run_file $ snapshot_in $ snapshot_out $ path)
+    Term.(
+      const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
+      $ crash_after $ path)
+
+let recover_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Durable state directory to recover.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild a database from checkpoint + journal and report what was \
+          replayed.")
+    Term.(const recover_dir $ sync_arg $ dir)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive statement loop.") Term.(const repl $ const ())
@@ -160,4 +292,4 @@ let () =
     Cmd.info "chronicle-cli"
       ~doc:"The chronicle data model: declarative persistent views over transaction streams."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; repl_cmd; demo_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; recover_cmd; repl_cmd; demo_cmd ]))

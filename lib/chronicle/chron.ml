@@ -3,6 +3,7 @@ open Relational
 type retention = Discard | Window of int | Full
 
 exception Not_retained of string
+exception Restore_conflict of { chronicle : string; appended : int }
 
 (* Retained storage: nothing, a ring of the last [n] tuples, or the full
    history in a growable array. *)
@@ -21,6 +22,9 @@ type t = {
   mutable total : int;
   mutable last_sn : Seqnum.t option;
   mutable subscribers : (Seqnum.t -> Tuple.t list -> unit) list;
+  mutable ring_undo : (int * Tuple.t option) list option;
+      (* overwritten ring slots, most recent first; [Some] only while a
+         transactional mark is active (see [mark]/[rollback]) *)
 }
 
 let create ~group ?(retention = Discard) ~name user_schema =
@@ -51,6 +55,7 @@ let create ~group ?(retention = Discard) ~name user_schema =
     total = 0;
     last_sn = None;
     subscribers = [];
+    ring_undo = None;
   }
 
 let name t = t.name
@@ -68,12 +73,15 @@ let store_tuple t tuple =
   match t.store with
   | No_store -> ()
   | Ring r ->
+      (match t.ring_undo with
+      | Some undo -> t.ring_undo <- Some ((r.next, r.buf.(r.next)) :: undo)
+      | None -> ());
       r.buf.(r.next) <- Some tuple;
       r.next <- (r.next + 1) mod Array.length r.buf;
       r.count <- min (r.count + 1) (Array.length r.buf)
   | All v -> ignore (Vec.push v tuple)
 
-let check_tuples t tuples =
+let check_batch t tuples =
   List.iter
     (fun tu ->
       if not (Tuple.type_check t.user_schema tu) then
@@ -86,7 +94,7 @@ let check_tuples t tuples =
    tagged tuples but does not notify subscribers (multi-chronicle batches
    notify only once everything is recorded). *)
 let record t sn tuples =
-  check_tuples t tuples;
+  check_batch t tuples;
   let tagged = List.map (tag sn) tuples in
   List.iter (store_tuple t) tagged;
   t.total <- t.total + List.length tuples;
@@ -123,10 +131,53 @@ let append_multi group batch =
 let on_append t f = t.subscribers <- f :: t.subscribers
 
 let restore t ~total ~last_sn ~retained =
-  if t.total <> 0 then invalid_arg "Chron.restore: chronicle is not fresh";
+  if t.total <> 0 then
+    raise (Restore_conflict { chronicle = t.name; appended = t.total });
   List.iter (store_tuple t) retained;
   t.total <- total;
   t.last_sn <- last_sn
+
+(* ---- transactional marks (Db's atomic-append rollback path) ---- *)
+
+type store_mark =
+  | M_none
+  | M_all of int
+  | M_ring of { next : int; count : int }
+
+type mark = { m_total : int; m_last_sn : Seqnum.t option; m_store : store_mark }
+
+let mark t =
+  (match t.store with Ring _ -> t.ring_undo <- Some [] | No_store | All _ -> ());
+  {
+    m_total = t.total;
+    m_last_sn = t.last_sn;
+    m_store =
+      (match t.store with
+      | No_store -> M_none
+      | All v -> M_all (Vec.length v)
+      | Ring r -> M_ring { next = r.next; count = r.count });
+  }
+
+let commit t = t.ring_undo <- None
+
+let rollback t m =
+  (match t.store, m.m_store with
+  | No_store, M_none -> ()
+  | All v, M_all n -> Vec.truncate v n
+  | Ring r, M_ring { next; count } ->
+      (* undo entries are most-recent-first: replaying them in order
+         ends with each slot holding its pre-mark value, even if a big
+         batch lapped the ring and overwrote a slot repeatedly *)
+      (match t.ring_undo with
+      | Some undo -> List.iter (fun (i, old) -> r.buf.(i) <- old) undo
+      | None -> invalid_arg "Chron.rollback: no active mark");
+      r.next <- next;
+      r.count <- count
+  | (No_store | All _ | Ring _), _ ->
+      invalid_arg "Chron.rollback: mark is from a different chronicle");
+  t.ring_undo <- None;
+  t.total <- m.m_total;
+  t.last_sn <- m.m_last_sn
 
 let stored_count t =
   match t.store with

@@ -25,6 +25,10 @@ exception Not_retained of string
 (** Raised when an operation needs history the retention policy threw
     away. *)
 
+exception Restore_conflict of { chronicle : string; appended : int }
+(** Raised by {!restore} when the chronicle already has appends — a
+    snapshot can only be loaded into a fresh chronicle. *)
+
 val create :
   group:Group.t -> ?retention:retention -> name:string -> Schema.t -> t
 (** [create ~group ~name user_schema].  The user schema must not
@@ -81,8 +85,44 @@ val restore : t -> total:int -> last_sn:Seqnum.t option -> retained:Tuple.t list
 (** Snapshot support: reinstate the append counters and the retained
     window (tagged tuples, oldest first) of a freshly created
     chronicle.  Does not touch the group watermark and notifies no
-    subscribers.  Raises [Invalid_argument] if the chronicle already
+    subscribers.  Raises {!Restore_conflict} if the chronicle already
     has appends. *)
+
+(** {2 Transactional recording}
+
+    {!Db}'s atomic append path records batches without notifying, folds
+    the affected views, and only then notifies subscribers; if anything
+    raises mid-batch it rolls every chronicle of the batch back to its
+    mark.  [record]/[notify] are the two halves of {!append}; the
+    caller owns sequence-number discipline (the [sn] must have been
+    claimed from the chronicle's group). *)
+
+val check_batch : t -> Tuple.t list -> unit
+(** Type-check a batch of user tuples against the user schema, raising
+    [Invalid_argument] on the first mismatch — without recording
+    anything.  The write-ahead path validates {e before} journaling so a
+    batch that can never be recorded is never journaled. *)
+
+val record : t -> Seqnum.t -> Tuple.t list -> Tuple.t list
+(** Type-check, tag, store and count a batch under a claimed sequence
+    number; returns the tagged tuples.  Notifies no subscribers. *)
+
+val notify : t -> Seqnum.t -> Tuple.t list -> unit
+(** Deliver a recorded batch (tagged tuples) to the subscribers. *)
+
+type mark
+(** Pre-batch position of the append counters and the retained store. *)
+
+val mark : t -> mark
+(** Take a mark and start collecting ring-overwrite undo state.  Every
+    [mark] must be paired with exactly one {!commit} or {!rollback}. *)
+
+val commit : t -> unit
+(** Drop the undo state collected since {!mark} (the batch stays). *)
+
+val rollback : t -> mark -> unit
+(** Restore counters, [last_sn] and the retained window to the mark —
+    erasing every tuple recorded since, including ring overwrites. *)
 
 val tag : Seqnum.t -> Tuple.t -> Tuple.t
 (** [tag sn user_tuple] prepends the sequence number. *)

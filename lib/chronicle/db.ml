@@ -1,4 +1,35 @@
+open Relational
+
 exception Unknown of string
+
+(* Catalog changes and transactions, as seen by a durability layer.  The
+   sink (when installed — see {!set_txn_sink}) receives [Ev_append]
+   *before* any state mutates (write-ahead), [Ev_abort] when a batch is
+   rolled back, and the DDL/clock events after the catalog operation
+   succeeds. *)
+type txn_event =
+  | Ev_append of {
+      group : string;
+      sn : Seqnum.t;
+      batch : (string * Tuple.t list) list;
+    }
+  | Ev_clock of { group : string; chronon : Seqnum.chronon }
+  | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
+  | Ev_add_chronicle of {
+      name : string;
+      group : string;
+      retention : Chron.retention;
+      schema : Schema.t;
+    }
+  | Ev_add_relation of {
+      name : string;
+      group : string;
+      schema : Schema.t;
+      key : string list option;
+    }
+  | Ev_define_view of { def : Sca.t; index : Index.kind }
+  | Ev_drop_view of { name : string }
+  | Ev_abort of { group : string; sn : Seqnum.t }
 
 type t = {
   groups : (string, Group.t) Hashtbl.t;
@@ -7,6 +38,8 @@ type t = {
   registry : Registry.t;
   default_group : string;
   mutable batch_hooks : (sn:Seqnum.t -> batch:Delta.batch -> unit) list;
+  mutable txn_sink : (txn_event -> unit) option;
+  mutable fold_probe : (view:string -> sn:Seqnum.t -> unit) option;
 }
 
 let unknown kind name =
@@ -21,16 +54,23 @@ let create ?(default_group = "main") () =
       registry = Registry.create ();
       default_group;
       batch_hooks = [];
+      txn_sink = None;
+      fold_probe = None;
     }
   in
   Hashtbl.add t.groups default_group (Group.create default_group);
   t
+
+let set_txn_sink t sink = t.txn_sink <- sink
+let set_fold_probe t probe = t.fold_probe <- probe
+let emit t ev = match t.txn_sink with Some f -> f ev | None -> ()
 
 let add_group t ?clock_start name =
   if Hashtbl.mem t.groups name then
     invalid_arg (Printf.sprintf "Db.add_group: group %S already exists" name);
   let g = Group.create ?clock_start name in
   Hashtbl.add t.groups name g;
+  emit t (Ev_add_group { name; clock_start });
   g
 
 let group t name =
@@ -43,9 +83,13 @@ let default_group t = group t t.default_group
 let add_chronicle t ?group:gname ?retention ~name schema =
   if Hashtbl.mem t.chronicles name then
     invalid_arg (Printf.sprintf "Db.add_chronicle: %S already exists" name);
-  let g = group t (Option.value ~default:t.default_group gname) in
+  let gname = Option.value ~default:t.default_group gname in
+  let g = group t gname in
   let c = Chron.create ~group:g ?retention ~name schema in
   Hashtbl.add t.chronicles name c;
+  emit t
+    (Ev_add_chronicle
+       { name; group = gname; retention = Chron.retention c; schema });
   c
 
 let chronicle t name =
@@ -56,9 +100,11 @@ let chronicle t name =
 let add_relation t ?group:gname ~name ~schema ?key () =
   if Hashtbl.mem t.relations name then
     invalid_arg (Printf.sprintf "Db.add_relation: %S already exists" name);
-  let g = group t (Option.value ~default:t.default_group gname) in
+  let gname = Option.value ~default:t.default_group gname in
+  let g = group t gname in
   let r = Versioned.create ~group:g ~name ~schema ?key () in
   Hashtbl.add t.relations name r;
+  emit t (Ev_add_relation { name; group = gname; schema; key });
   r
 
 let relation t name =
@@ -103,6 +149,7 @@ let define_view t ?index ?(tier_limit = Classify.IM_poly_r) def =
     else View.create ?index def
   in
   Registry.register t.registry view;
+  emit t (Ev_define_view { def; index = View.index_kind view });
   view
 
 let view t name =
@@ -112,58 +159,149 @@ let view t name =
 
 let drop_view t name =
   match Registry.find t.registry name with
-  | Some _ -> Registry.unregister t.registry name
+  | Some _ ->
+      Registry.unregister t.registry name;
+      emit t (Ev_drop_view { name })
   | None -> unknown "view" name
 
 let views t = Registry.views t.registry
 let classify_view t name = Classify.sca (View.def (view t name))
 let registry t = t.registry
 
-let maintain t batch sn =
-  (* future-effective relation updates that have come due take effect
-     before the views see this batch (they are proactive for [sn]) *)
-  Hashtbl.iter (fun _ r -> Versioned.flush_pending r ~upto:(sn - 1)) t.relations;
-  let affected =
-    List.concat_map
-      (fun (c, tagged) -> Registry.affected t.registry c tagged)
-      batch
-  in
-  (* a view affected through several chronicles of the batch is
-     maintained once, with the whole batch *)
+let on_batch t hook = t.batch_hooks <- hook :: t.batch_hooks
+
+(* ---- the transaction path ----
+
+   Validate → journal (write-ahead) → mark → mutate → commit → notify;
+   any exception between mark and commit rolls the group watermark, the
+   batch chronicles, every relation and every begun view back to their
+   pre-batch state, emits [Ev_abort] (so a journal can erase the
+   write-ahead record) and re-raises.  Subscribers and batch hooks run
+   strictly after commit: an exception there no longer aborts the
+   batch. *)
+
+let dedup_affected views =
   let seen = Hashtbl.create 8 in
-  List.iter
+  List.filter
     (fun v ->
       let name = View.name v in
-      if not (Hashtbl.mem seen name) then begin
+      if Hashtbl.mem seen name then false
+      else begin
         Hashtbl.add seen name ();
-        (* per-append work is probe-and-fold only: the body Δ-plan was
-           compiled once at registration and is replayed here *)
-        View.maintain v ~sn ~batch
+        true
       end)
-    affected;
-  List.iter (fun hook -> hook ~sn ~batch) (List.rev t.batch_hooks)
+    views
 
-let on_batch t hook = t.batch_hooks <- hook :: t.batch_hooks
+let transactional_append t g batch ~claim =
+  (* 1. validate: batch shape, group membership, tuple types, sequence
+        number — all before the write-ahead record is emitted, so a batch
+        that can never commit is never journaled. *)
+  if batch = [] then invalid_arg "Db.append: empty batch";
+  List.iter
+    (fun (c, tuples) ->
+      if not (Group.same (Chron.group c) g) then
+        invalid_arg
+          (Printf.sprintf "Db.append: chronicle %s is not in group %s"
+             (Chron.name c) (Group.name g));
+      Chron.check_batch c tuples)
+    batch;
+  let wm = Group.watermark g in
+  let sn =
+    match claim with
+    | None -> wm + 1
+    | Some sn ->
+        if sn <= wm then
+          raise (Group.Stale_sequence_number { given = sn; watermark = wm });
+        sn
+  in
+  (* 2. write-ahead: the journal record precedes every state mutation *)
+  emit t
+    (Ev_append
+       {
+         group = Group.name g;
+         sn;
+         batch = List.map (fun (c, tuples) -> (Chron.name c, tuples)) batch;
+       });
+  (* 3. mark everything the batch may touch *)
+  let chron_marks = List.map (fun (c, _) -> (c, Chron.mark c)) batch in
+  let rel_marks =
+    Hashtbl.fold (fun _ r acc -> (r, Versioned.mark r) :: acc) t.relations []
+  in
+  (match claim with
+  | None -> ignore (Group.next_sn g)
+  | Some sn -> Group.claim_sn g sn);
+  match
+    (* 4. mutate: record the batch, flush due relation updates, fold the
+          affected views (each inside its own undo scope) *)
+    let tagged_batch =
+      List.map (fun (c, tuples) -> (c, Chron.record c sn tuples)) batch
+    in
+    (* future-effective relation updates that have come due take effect
+       before the views see this batch (they are proactive for [sn]) *)
+    Hashtbl.iter
+      (fun _ r -> Versioned.flush_pending r ~upto:(sn - 1))
+      t.relations;
+    let affected =
+      dedup_affected
+        (List.concat_map
+           (fun (c, tagged) -> Registry.affected t.registry c tagged)
+           tagged_batch)
+    in
+    let begun = ref [] in
+    (try
+       List.iter
+         (fun v ->
+           View.begin_txn v;
+           begun := v :: !begun;
+           (match t.fold_probe with
+           | Some probe -> probe ~view:(View.name v) ~sn
+           | None -> ());
+           (* per-append work is probe-and-fold only: the body Δ-plan
+              was compiled once at registration and is replayed here *)
+           View.maintain v ~sn ~batch:tagged_batch)
+         affected
+     with e ->
+       List.iter View.rollback_txn !begun;
+       raise e);
+    List.iter View.commit_txn affected;
+    tagged_batch
+  with
+  | tagged_batch ->
+      (* 5. commit the marks, then notify (post-commit observers) *)
+      List.iter (fun (r, _) -> Versioned.commit r) rel_marks;
+      List.iter (fun (c, _) -> Chron.commit c) chron_marks;
+      List.iter (fun (c, tagged) -> Chron.notify c sn tagged) tagged_batch;
+      List.iter
+        (fun hook -> hook ~sn ~batch:tagged_batch)
+        (List.rev t.batch_hooks);
+      sn
+  | exception e ->
+      List.iter (fun (r, m) -> Versioned.rollback r m) rel_marks;
+      List.iter (fun (c, m) -> Chron.rollback c m) chron_marks;
+      Group.rollback_watermark g wm;
+      Stats.incr Stats.Rollback;
+      emit t (Ev_abort { group = Group.name g; sn });
+      raise e
 
 let append t cname tuples =
   let c = chronicle t cname in
-  let sn = Chron.append c tuples in
-  let tagged = List.map (Chron.tag sn) tuples in
-  maintain t [ (c, tagged) ] sn;
-  sn
+  transactional_append t (Chron.group c) [ (c, tuples) ] ~claim:None
+
+let resolve_batch t batch =
+  List.map (fun (cname, tuples) -> (chronicle t cname, tuples)) batch
 
 let append_multi t ?group:gname batch =
   let g = group t (Option.value ~default:t.default_group gname) in
-  let batch = List.map (fun (cname, tuples) -> (chronicle t cname, tuples)) batch in
-  let sn = Chron.append_multi g batch in
-  let tagged_batch =
-    List.map (fun (c, tuples) -> (c, List.map (Chron.tag sn) tuples)) batch
-  in
-  maintain t tagged_batch sn;
-  sn
+  transactional_append t g (resolve_batch t batch) ~claim:None
+
+let append_at t ?group:gname ~sn batch =
+  let g = group t (Option.value ~default:t.default_group gname) in
+  ignore (transactional_append t g (resolve_batch t batch) ~claim:(Some sn))
 
 let advance_clock t ?group:gname chronon =
-  Group.advance_clock (group t (Option.value ~default:t.default_group gname)) chronon
+  let gname = Option.value ~default:t.default_group gname in
+  Group.advance_clock (group t gname) chronon;
+  emit t (Ev_clock { group = gname; chronon })
 
 let summary t ~view:vname key = View.lookup (view t vname) key
 let view_contents t vname = View.to_list (view t vname)

@@ -9,7 +9,17 @@ open Relational
     future-effective relation updates that have come due, identify the
     affected persistent views through the registry (§5.2), and fold the
     Δ of each one — reading neither stored chronicle history nor any
-    intermediate view. *)
+    intermediate view.
+
+    The path is {e atomic}: if anything raises while the batch is being
+    recorded or folded, the group watermark, the batch chronicles, every
+    relation and every touched view are rolled back to their pre-batch
+    state before the exception propagates — no partially-maintained view
+    is ever observable ([Stats.Rollback] counts such aborts).
+    Subscribers ({!Chron.on_append}) and batch hooks ({!on_batch}) run
+    strictly after commit.  A durability layer can watch the path
+    through {!set_txn_sink} (write-ahead journaling) and inject faults
+    through {!set_fold_probe}. *)
 
 type t
 
@@ -81,7 +91,54 @@ val append_multi : t -> ?group:string -> (string * Tuple.t list) list -> Seqnum.
 (** One batch spanning several chronicles of one group under a single
     sequence number. *)
 
+val append_at : t -> ?group:string -> sn:Seqnum.t -> (string * Tuple.t list) list -> unit
+(** Like {!append_multi} with a caller-chosen sequence number (the
+    journal-replay path of recovery: batches are re-applied under their
+    original numbers).  Raises [Group.Stale_sequence_number] if [sn]
+    does not exceed the group watermark. *)
+
 val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
+
+(** {2 Transaction events}
+
+    The durability layer observes the database through a single sink.
+    [Ev_append] is emitted {e before} any state mutation (the
+    write-ahead discipline); [Ev_abort] follows a rolled-back batch so
+    the journal can erase its write-ahead record; catalog and clock
+    events are emitted after the operation succeeds.  At most one sink
+    is installed at a time. *)
+
+type txn_event =
+  | Ev_append of {
+      group : string;
+      sn : Seqnum.t;
+      batch : (string * Tuple.t list) list;  (** user tuples, untagged *)
+    }
+  | Ev_clock of { group : string; chronon : Seqnum.chronon }
+  | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
+  | Ev_add_chronicle of {
+      name : string;
+      group : string;
+      retention : Chron.retention;
+      schema : Schema.t;
+    }
+  | Ev_add_relation of {
+      name : string;
+      group : string;
+      schema : Schema.t;
+      key : string list option;
+    }
+  | Ev_define_view of { def : Sca.t; index : Index.kind }
+  | Ev_drop_view of { name : string }
+  | Ev_abort of { group : string; sn : Seqnum.t }
+
+val set_txn_sink : t -> (txn_event -> unit) option -> unit
+(** Install (or, with [None], remove) the event sink. *)
+
+val set_fold_probe : t -> (view:string -> sn:Seqnum.t -> unit) option -> unit
+(** Install a probe called immediately before each affected view's fold
+    — the fault-injection hook: a probe that raises aborts the batch
+    mid-maintenance, exercising the rollback path. *)
 
 val on_batch : t -> (sn:Seqnum.t -> batch:Delta.batch -> unit) -> unit
 (** Register a hook that sees every append batch after the registered

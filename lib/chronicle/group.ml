@@ -29,4 +29,9 @@ let claim_sn t sn =
     raise (Stale_sequence_number { given = sn; watermark = t.watermark });
   t.watermark <- sn
 
+let rollback_watermark t sn =
+  if sn > t.watermark then
+    invalid_arg "Group.rollback_watermark: cannot roll the watermark forward";
+  t.watermark <- sn
+
 let same a b = a == b

@@ -36,4 +36,10 @@ val claim_sn : t -> Seqnum.t -> unit
 (** Use a caller-chosen (possibly sparse) sequence number; it must
     exceed the watermark, else {!Stale_sequence_number} is raised. *)
 
+val rollback_watermark : t -> Seqnum.t -> unit
+(** Restore the watermark to an earlier value — the transactional-append
+    rollback path ({!Db.append} undoing a failed batch).  Raises
+    [Invalid_argument] if the given value exceeds the current
+    watermark. *)
+
 val same : t -> t -> bool

@@ -42,6 +42,10 @@ val db_of_sexp : Sexp.t -> Db.t
 
 val sexp_of_schema : Schema.t -> Sexp.t
 val schema_of_sexp : Sexp.t -> Schema.t
+val sexp_of_tuple : Tuple.t -> Sexp.t
+val tuple_of_sexp : Sexp.t -> Tuple.t
+val sexp_of_retention : Chron.retention -> Sexp.t
+val retention_of_sexp : Sexp.t -> Chron.retention
 val sexp_of_predicate : Predicate.t -> Sexp.t
 val predicate_of_sexp : Sexp.t -> Predicate.t
 

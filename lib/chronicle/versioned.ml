@@ -13,6 +13,9 @@ type t = {
   track_history : bool;
   log : (Seqnum.t * op) Vec.t; (* effective-from watermark, forward op *)
   mutable pending : (Seqnum.t * op) list; (* future-effective, sorted *)
+  mutable undo : (unit -> unit) list option;
+      (* inverse row operations, most recent first; collected only while
+         a transactional mark is active (see [mark]/[rollback]) *)
 }
 
 let create ~group ~name ~schema ?key ?(track_history = true) () =
@@ -22,23 +25,47 @@ let create ~group ~name ~schema ?key ?(track_history = true) () =
     track_history;
     log = Vec.create ();
     pending = [];
+    undo = None;
   }
 
 let relation t = t.rel
 let group t = t.group
 let name t = Relation.name t.rel
 
+let push_undo t f =
+  match t.undo with Some fs -> t.undo <- Some (f :: fs) | None -> ()
+
 let apply_op t op =
   match op with
-  | Insert tuple -> ignore (Relation.insert t.rel tuple)
-  | Delete_where pred -> ignore (Relation.delete_where t.rel pred)
+  | Insert tuple ->
+      let row = Relation.insert t.rel tuple in
+      push_undo t (fun () -> ignore (Relation.delete t.rel row))
+  | Delete_where pred ->
+      (match t.undo with
+      | None -> ignore (Relation.delete_where t.rel pred)
+      | Some _ ->
+          (* delete row by row so each deletion is invertible *)
+          let matches = Predicate.compile (Relation.schema t.rel) pred in
+          let victims = ref [] in
+          Relation.iter
+            (fun row tuple -> if matches tuple then victims := (row, tuple) :: !victims)
+            t.rel;
+          List.iter
+            (fun (row, tuple) ->
+              ignore (Relation.delete t.rel row);
+              push_undo t (fun () -> ignore (Relation.insert t.rel tuple)))
+            !victims)
   | Update_where (pred, f) ->
       let matches = Predicate.compile (Relation.schema t.rel) pred in
       let victims = ref [] in
       Relation.iter
         (fun row tuple -> if matches tuple then victims := (row, tuple) :: !victims)
         t.rel;
-      List.iter (fun (row, tuple) -> Relation.update t.rel row (f tuple)) !victims
+      List.iter
+        (fun (row, tuple) ->
+          Relation.update t.rel row (f tuple);
+          push_undo t (fun () -> Relation.update t.rel row tuple))
+        !victims
 
 let record t effective op =
   if t.track_history then ignore (Vec.push t.log (effective, op))
@@ -79,6 +106,27 @@ let flush_pending t ~upto =
   in
   go t.pending
 
+(* ---- transactional marks (Db's atomic-append rollback path) ---- *)
+
+type mark = {
+  m_pending : (Seqnum.t * op) list;
+  m_log_len : int;
+}
+
+let mark t =
+  t.undo <- Some [];
+  { m_pending = t.pending; m_log_len = Vec.length t.log }
+
+let commit t = t.undo <- None
+
+let rollback t m =
+  (match t.undo with
+  | Some fs -> List.iter (fun f -> f ()) fs
+  | None -> invalid_arg "Versioned.rollback: no active mark");
+  t.undo <- None;
+  t.pending <- m.m_pending;
+  Vec.truncate t.log m.m_log_len
+
 let as_of t sn =
   if not t.track_history then
     invalid_arg "Versioned.as_of: history tracking is disabled";
@@ -87,7 +135,8 @@ let as_of t sn =
     Relation.create ~name:(name t ^ "@asof") ~schema:(Relation.schema t.rel) ()
   in
   let scratch_t =
-    { t with rel = scratch; log = Vec.create (); pending = []; track_history = false }
+    { t with rel = scratch; log = Vec.create (); pending = []; track_history = false;
+      undo = None }
   in
   Vec.iter
     (fun (effective, op) -> if effective < sn then apply_op scratch_t op)

@@ -52,6 +52,20 @@ val pending_count : t -> int
 val flush_pending : t -> upto:Seqnum.t -> unit
 (** Apply all queued updates with [effective <= upto]. *)
 
+(** {2 Transactional marks}
+
+    {!Db}'s atomic append path marks every relation before flushing
+    future-effective updates; a mid-batch failure rolls the applied
+    operations back (inverse row ops, collected while the mark is
+    active) and requeues the pending list.  Every {!mark} must be
+    paired with exactly one {!commit} or {!rollback}. *)
+
+type mark
+
+val mark : t -> mark
+val commit : t -> unit
+val rollback : t -> mark -> unit
+
 val as_of : t -> Seqnum.t -> Tuple.t list
 (** The version visible to tuples with the given sequence number
     (replayed from the log).  Raises [Invalid_argument] if history

@@ -24,6 +24,16 @@ type contents =
   | Groups of Aggregate.state array backing (* Group_agg *)
   | Rows of unit backing (* Project_out: a set of result tuples *)
 
+(* Undo state for one transactional batch: keys added (most recent
+   first — their [order] pushes are exactly the vector's tail) and
+   pre-batch copies of every aggregate-state array touched. *)
+type txn = {
+  tx_batches : int;
+  mutable tx_added : Value.t list list;
+  mutable tx_touched : (Value.t list * Aggregate.state array) list;
+  tx_seen : unit Key_tbl.t; (* keys already saved or added this txn *)
+}
+
 type t = {
   def : Sca.t;
   body_schema : Schema.t;
@@ -32,6 +42,10 @@ type t = {
   arg_pos : int option array;
   contents : contents;
   mutable batches : int;
+  mutable txn : txn option;
+      (* active transactional batch; [Db.append] brackets maintenance
+         with [begin_txn] … [commit_txn]/[rollback_txn] so a mid-batch
+         failure leaves no partially-maintained view observable *)
   mutable plan : Delta.plan option;
       (* compiled body Δ-plan, built on first use and kept for the
          view's lifetime.  Redefining a view creates a fresh [t], so the
@@ -86,7 +100,8 @@ let create ?(index = Index.Hash) def =
     | Sca.Project_out _ -> Rows (make_backing index)
     | Sca.Group_agg _ -> Groups (make_backing index)
   in
-  { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0; plan = None }
+  { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0; txn = None;
+    plan = None }
 
 let def t = t.def
 let name t = Sca.name t.def
@@ -112,6 +127,24 @@ let index_kind t =
   | Rows backing -> kind backing
   | Groups backing -> kind backing
 
+(* Undo bookkeeping: with a transaction active, remember every key this
+   batch creates and a pre-touch copy of every state array it steps. *)
+let txn_note_added t key =
+  match t.txn with
+  | None -> ()
+  | Some tx ->
+      tx.tx_added <- key :: tx.tx_added;
+      Key_tbl.replace tx.tx_seen key ()
+
+let txn_note_touched t key states =
+  match t.txn with
+  | None -> ()
+  | Some tx ->
+      if not (Key_tbl.mem tx.tx_seen key) then begin
+        Key_tbl.replace tx.tx_seen key ();
+        tx.tx_touched <- (key, Array.copy states) :: tx.tx_touched
+      end
+
 let apply_delta t delta =
   t.batches <- t.batches + 1;
   match t.contents with
@@ -123,7 +156,8 @@ let apply_delta t delta =
           | Some () -> () (* set semantics: already present *)
           | None ->
               Stats.incr Stats.Tuple_write;
-              backing_add backing key ())
+              backing_add backing key ();
+              txn_note_added t key)
         delta
   | Groups backing ->
       List.iter
@@ -131,7 +165,9 @@ let apply_delta t delta =
           let key = Array.to_list (t.key_of tu) in
           let states =
             match backing_find backing key with
-            | Some states -> states
+            | Some states ->
+                txn_note_touched t key states;
+                states
             | None ->
                 let states =
                   Array.of_list
@@ -141,6 +177,7 @@ let apply_delta t delta =
                 in
                 Stats.incr Stats.Tuple_write;
                 backing_add backing key states;
+                txn_note_added t key;
                 states
           in
           List.iteri
@@ -155,6 +192,49 @@ let apply_delta t delta =
         delta
 
 let maintain t ~sn ~batch = apply_delta t (Delta.run (plan t) ~sn ~batch)
+
+(* ---- transactional batches ---- *)
+
+let begin_txn t =
+  match t.txn with
+  | Some _ -> invalid_arg "View.begin_txn: transaction already active"
+  | None ->
+      t.txn <-
+        Some
+          {
+            tx_batches = t.batches;
+            tx_added = [];
+            tx_touched = [];
+            tx_seen = Key_tbl.create 8;
+          }
+
+let commit_txn t = t.txn <- None
+
+let backing_remove_added : type v. v backing -> Value.t list list -> unit =
+ fun b keys ->
+  match b with
+  | Hash (tbl, order) ->
+      (* the added keys are exactly the most recent [order] pushes *)
+      List.iter (Key_tbl.remove tbl) keys;
+      Vec.truncate order (Vec.length order - List.length keys)
+  | Tree tree -> List.iter (fun key -> ignore (Key_tree.remove tree key)) keys
+
+let rollback_txn t =
+  match t.txn with
+  | None -> invalid_arg "View.rollback_txn: no active transaction"
+  | Some tx ->
+      (match t.contents with
+      | Rows backing -> backing_remove_added backing tx.tx_added
+      | Groups backing ->
+          backing_remove_added backing tx.tx_added;
+          List.iter
+            (fun (key, saved) ->
+              match backing_find backing key with
+              | Some states -> Array.blit saved 0 states 0 (Array.length saved)
+              | None -> assert false (* touched keys were pre-existing *))
+            tx.tx_touched);
+      t.batches <- tx.tx_batches;
+      t.txn <- None
 
 let of_initial ?index def initial =
   let t = create ?index def in

@@ -49,6 +49,29 @@ val maintain : t -> sn:Seqnum.t -> batch:Delta.batch -> unit
 (** [apply_delta t (Delta.run (plan t) ~sn ~batch)]: the whole
     per-batch maintenance step through the plan cache. *)
 
+(** {2 Transactional batches}
+
+    {!Db.append} brackets the maintenance of every affected view with
+    [begin_txn] … [commit_txn], and calls [rollback_txn] on all of them
+    if {e any} fold raises mid-batch — so no partially-maintained view
+    (nor a fully-maintained sibling of a failed one) is ever
+    observable.  While a transaction is active the view records an undo
+    log: keys its folds create and pre-touch copies of the aggregate
+    states they step.  Cost is O(batch delta), zero when the batch does
+    not reach the view. *)
+
+val begin_txn : t -> unit
+(** Raises [Invalid_argument] if a transaction is already active. *)
+
+val commit_txn : t -> unit
+(** Keep the folds since {!begin_txn}; drop the undo log.  No-op
+    without an active transaction. *)
+
+val rollback_txn : t -> unit
+(** Undo every fold since {!begin_txn}: remove created groups, restore
+    touched aggregate states, reset the batch counter.  Raises
+    [Invalid_argument] without an active transaction. *)
+
 val lookup : t -> Value.t list -> Tuple.t option
 (** Summary-query point lookup by the view's logical key
     ([Sca.group_attrs]): the paper's "sub-second summary query".  For

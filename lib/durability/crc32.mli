@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) — the
+    per-record checksum of the write-ahead journal.  Pure OCaml,
+    table-driven; values fit in 32 bits (OCaml's 63-bit [int] holds
+    them exactly). *)
+
+val string : string -> int
+(** Checksum of a whole string. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Incremental form: [update (string a) b ~pos:0 ~len:(length b)]
+    equals [string (a ^ b)]. *)

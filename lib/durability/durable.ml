@@ -1,0 +1,303 @@
+open Relational
+open Chronicle_core
+
+exception Recovery_error of { record : int; reason : string }
+
+let journal_file = "journal"
+let checkpoint_file = "checkpoint"
+let checkpoint_tmp_file = "checkpoint.tmp"
+
+(* crash-point names (see Fault) *)
+let p_post_journal_write = "post-journal-write"
+let p_pre_checkpoint_rename = "pre-checkpoint-rename"
+let p_post_checkpoint_rename = "post-checkpoint-rename"
+let p_view_fold = "view-fold"
+
+(* ---- transaction-event (de)serialization ---- *)
+
+let sexp_of_event (ev : Db.txn_event) =
+  let tagged tag fields = Sexp.List [ Sexp.Atom tag; Sexp.record fields ] in
+  match ev with
+  | Db.Ev_append { group; sn; batch } ->
+      tagged "append"
+        [
+          ("group", Sexp.atom group);
+          ("sn", Sexp.int sn);
+          ( "batch",
+            Sexp.List
+              (List.map
+                 (fun (cname, tuples) ->
+                   Sexp.List
+                     [
+                       Sexp.atom cname;
+                       Sexp.List (List.map Snapshot.sexp_of_tuple tuples);
+                     ])
+                 batch) );
+        ]
+  | Db.Ev_clock { group; chronon } ->
+      tagged "clock" [ ("group", Sexp.atom group); ("chronon", Sexp.int chronon) ]
+  | Db.Ev_add_group { name; clock_start } ->
+      tagged "add-group"
+        (("name", Sexp.atom name)
+        ::
+        (match clock_start with
+        | None -> []
+        | Some c -> [ ("clock-start", Sexp.int c) ]))
+  | Db.Ev_add_chronicle { name; group; retention; schema } ->
+      tagged "add-chronicle"
+        [
+          ("name", Sexp.atom name);
+          ("group", Sexp.atom group);
+          ("retention", Snapshot.sexp_of_retention retention);
+          ("schema", Snapshot.sexp_of_schema schema);
+        ]
+  | Db.Ev_add_relation { name; group; schema; key } ->
+      tagged "add-relation"
+        ([
+           ("name", Sexp.atom name);
+           ("group", Sexp.atom group);
+           ("schema", Snapshot.sexp_of_schema schema);
+         ]
+        @
+        match key with
+        | None -> []
+        | Some key -> [ ("key", Sexp.List (List.map Sexp.atom key)) ])
+  | Db.Ev_define_view { def; index } ->
+      tagged "define-view"
+        [
+          ( "index",
+            Sexp.Atom
+              (match index with Index.Hash -> "hash" | Index.Ordered -> "ordered")
+          );
+          ("def", Snapshot.sexp_of_sca def);
+        ]
+  | Db.Ev_drop_view { name } -> tagged "drop-view" [ ("name", Sexp.atom name) ]
+  | Db.Ev_abort _ ->
+      (* aborts erase the previous record; they are never journaled *)
+      assert false
+
+(* Replay one journal record into [db].  Idempotent: a record whose
+   effect is already present (because the checkpoint was taken after it,
+   or because a crash hit between checkpoint-rename and journal-reset)
+   is skipped.  Returns [true] if the record was applied. *)
+let replay_record db sexp =
+  let tag, fields =
+    match sexp with
+    | Sexp.List [ Sexp.Atom tag; fields ] -> (tag, fields)
+    | _ -> failwith "malformed journal record"
+  in
+  let name_field () = Sexp.to_atom (Sexp.field fields "name") in
+  let group_field () = Sexp.to_atom (Sexp.field fields "group") in
+  match tag with
+  | "append" ->
+      let gname = group_field () in
+      let sn = Sexp.to_int (Sexp.field fields "sn") in
+      if sn <= Group.watermark (Db.group db gname) then false
+      else begin
+        let batch =
+          List.map
+            (fun entry ->
+              match entry with
+              | Sexp.List [ cname; tuples ] ->
+                  ( Sexp.to_atom cname,
+                    List.map Snapshot.tuple_of_sexp (Sexp.to_list tuples) )
+              | _ -> failwith "malformed append batch")
+            (Sexp.to_list (Sexp.field fields "batch"))
+        in
+        Db.append_at db ~group:gname ~sn batch;
+        true
+      end
+  | "clock" ->
+      let gname = group_field () in
+      let chronon = Sexp.to_int (Sexp.field fields "chronon") in
+      if chronon <= Group.now (Db.group db gname) then false
+      else begin
+        Db.advance_clock db ~group:gname chronon;
+        true
+      end
+  | "add-group" ->
+      let name = name_field () in
+      if List.mem name (Db.group_names db) then false
+      else begin
+        let clock_start =
+          Option.map Sexp.to_int (Sexp.field_opt fields "clock-start")
+        in
+        ignore (Db.add_group db ?clock_start name);
+        true
+      end
+  | "add-chronicle" ->
+      let name = name_field () in
+      if List.mem name (Db.chronicle_names db) then false
+      else begin
+        let group = group_field () in
+        let retention =
+          Snapshot.retention_of_sexp (Sexp.field fields "retention")
+        in
+        let schema = Snapshot.schema_of_sexp (Sexp.field fields "schema") in
+        ignore (Db.add_chronicle db ~group ~retention ~name schema);
+        true
+      end
+  | "add-relation" ->
+      let name = name_field () in
+      if List.mem name (Db.relation_names db) then false
+      else begin
+        let group = group_field () in
+        let schema = Snapshot.schema_of_sexp (Sexp.field fields "schema") in
+        let key =
+          Option.map
+            (fun s -> List.map Sexp.to_atom (Sexp.to_list s))
+            (Sexp.field_opt fields "key")
+        in
+        ignore (Db.add_relation db ~group ~name ~schema ?key ());
+        true
+      end
+  | "define-view" ->
+      let def =
+        Snapshot.sca_of_sexp
+          ~chronicle:(fun n -> Db.chronicle db n)
+          ~relation:(fun n -> Versioned.relation (Db.relation db n))
+          (Sexp.field fields "def")
+      in
+      if Option.is_some (Registry.find (Db.registry db) (Sca.name def)) then
+        false
+      else begin
+        let index =
+          match Sexp.to_atom (Sexp.field fields "index") with
+          | "hash" -> Index.Hash
+          | "ordered" -> Index.Ordered
+          | other -> failwith (Printf.sprintf "bad index kind %S" other)
+        in
+        (* the live system already admitted this definition; replay with
+           the most permissive tier so recovery cannot re-reject it *)
+        ignore (Db.define_view db ~index ~tier_limit:Classify.IM_poly_c def);
+        true
+      end
+  | "drop-view" ->
+      let name = name_field () in
+      if Option.is_none (Registry.find (Db.registry db) name) then false
+      else begin
+        Db.drop_view db name;
+        true
+      end
+  | other -> failwith (Printf.sprintf "unknown journal record tag %S" other)
+
+(* ---- the durable handle ---- *)
+
+type t = {
+  database : Db.t;
+  storage : Storage.t; (* fault-wrapped *)
+  fault : Fault.t;
+  journal : Journal.t;
+  sync : Journal.sync_policy;
+}
+
+let db t = t.database
+let fault t = t.fault
+let sync_policy t = t.sync
+let journal_records t = Journal.records t.journal
+let journal_bytes t = Journal.byte_size t.journal
+
+let alive t name =
+  if Fault.is_dead t.fault then
+    invalid_arg (Printf.sprintf "Durable.%s: instance crashed" name)
+
+let sink t ev =
+  (* a dead process writes nothing — in particular it cannot erase the
+     write-ahead record of the batch the crash interrupted *)
+  if not (Fault.is_dead t.fault) then
+    match ev with
+    | Db.Ev_abort _ -> Journal.truncate_last t.journal
+    | ev ->
+        Journal.append t.journal (sexp_of_event ev);
+        (match ev with
+        | Db.Ev_append _ -> Fault.hit t.fault p_post_journal_write
+        | _ -> ())
+
+let do_checkpoint t =
+  let doc = Snapshot.save t.database in
+  t.storage.Storage.write checkpoint_tmp_file doc;
+  t.storage.Storage.sync checkpoint_tmp_file;
+  Fault.hit t.fault p_pre_checkpoint_rename;
+  t.storage.Storage.rename checkpoint_tmp_file checkpoint_file;
+  t.storage.Storage.sync checkpoint_file;
+  Fault.hit t.fault p_post_checkpoint_rename;
+  Journal.reset t.journal;
+  Stats.incr Stats.Checkpoint
+
+let checkpoint t =
+  alive t "checkpoint";
+  do_checkpoint t
+
+let install t =
+  Db.set_txn_sink t.database (Some (sink t));
+  Db.set_fold_probe t.database
+    (Some (fun ~view:_ ~sn:_ -> Fault.hit t.fault p_view_fold))
+
+let detach t =
+  Db.set_txn_sink t.database None;
+  Db.set_fold_probe t.database None
+
+let attach ?fault ?(sync = Journal.Sync_always) ~storage db =
+  let fault = Option.value fault ~default:(Fault.create ()) in
+  let storage = Fault.wrap_storage fault storage in
+  let journal = Journal.open_ ~sync storage journal_file in
+  let t = { database = db; storage; fault; journal; sync } in
+  (* without a checkpoint, recovery could not reconstruct catalog state
+     that predates journaling (including the default group's name) *)
+  if not (storage.Storage.exists checkpoint_file) then do_checkpoint t;
+  install t;
+  t
+
+type report = {
+  checkpoint_loaded : bool;
+  replayed : int;
+  skipped : int;
+  dropped_torn : bool;
+  dropped_failed : bool;
+}
+
+let recover ?fault ?(sync = Journal.Sync_always) ~storage () =
+  let fault = Option.value fault ~default:(Fault.create ()) in
+  let checkpoint_loaded, database =
+    match storage.Storage.read checkpoint_file with
+    | Some doc -> (true, Snapshot.load doc)
+    | None -> (false, Db.create ())
+  in
+  let records, tail = Journal.read storage journal_file in
+  let n = List.length records in
+  let replayed = ref 0 and skipped = ref 0 and dropped_failed = ref false in
+  List.iteri
+    (fun i sexp ->
+      match replay_record database sexp with
+      | true ->
+          incr replayed;
+          Stats.incr Stats.Journal_replay
+      | false -> incr skipped
+      | exception e ->
+          if i = n - 1 then
+            (* the dying process's final batch: Db's transactional path
+               already rolled its effects back; drop its record below *)
+            dropped_failed := true
+          else
+            raise
+              (Recovery_error { record = i; reason = Printexc.to_string e }))
+    records;
+  let wrapped = Fault.wrap_storage fault storage in
+  let journal = Journal.open_ ~sync wrapped journal_file in
+  if !dropped_failed && Journal.records journal > 0 then
+    Journal.truncate_last journal;
+  let t = { database; storage = wrapped; fault; journal; sync } in
+  if not (wrapped.Storage.exists checkpoint_file) then do_checkpoint t;
+  install t;
+  ( t,
+    {
+      checkpoint_loaded;
+      replayed = !replayed;
+      skipped = !skipped;
+      dropped_torn = (tail = `Torn);
+      dropped_failed = !dropped_failed;
+    } )
+
+let has_state (storage : Storage.t) =
+  storage.Storage.exists checkpoint_file
+  || storage.Storage.exists journal_file

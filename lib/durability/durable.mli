@@ -1,0 +1,102 @@
+open Chronicle_core
+
+(** Crash-safe operation of a chronicle database: write-ahead
+    journaling, atomic checkpoints, and recovery.
+
+    A chronicle is an unbounded stream the system deliberately does not
+    store, so the materialized views {e are} the database — losing them
+    to a crash is losing data that cannot be recomputed.  This module
+    makes the transaction path durable:
+
+    {ol
+    {- {b Journal.}  {!attach} installs a {!Db.set_txn_sink}; every
+       append (and catalog change) is framed, checksummed and written
+       to the journal {e before} any in-memory state mutates.  If the
+       batch is rolled back ({!Db}'s atomic path), the write-ahead
+       record is erased again.}
+    {- {b Checkpoint.}  {!checkpoint} serializes the full database
+       ({!Snapshot.save}) to a temp name, atomically renames it over
+       the live checkpoint, and only then resets the journal — at
+       every instant, checkpoint + journal describe the database.}
+    {- {b Recovery.}  {!recover} loads the last checkpoint and replays
+       the journal suffix through the normal delta-maintenance path
+       ({!Db.append_at}): views are rebuilt by the same folds that
+       built them live, never by scanning chronicle history.  A torn
+       final record is dropped; a checksum mismatch raises
+       {!Journal.Journal_corrupt}.  Replay is idempotent (records
+       whose effects are already in the checkpoint are skipped), so a
+       crash between checkpoint-rename and journal-reset is
+       harmless.}}
+
+    Faults: give {!attach}/{!recover} a {!Fault.t} to script crashes
+    at the named points (["post-journal-write"],
+    ["pre-checkpoint-rename"], ["post-checkpoint-rename"],
+    ["view-fold"]) or torn writes.  After a simulated crash the
+    instance's storage is frozen (a dead process writes nothing more);
+    discard the database and {!recover} from the same storage.
+
+    Not journaled (documented limits, mirrors {!Snapshot}): direct
+    {!Versioned} relation updates are durable only from the next
+    {!checkpoint}; chronicle subscribers and session-level objects
+    must be re-attached after recovery. *)
+
+exception Recovery_error of { record : int; reason : string }
+(** A non-final journal record failed to replay — the journal is
+    logically damaged beyond the tolerated torn tail. *)
+
+val journal_file : string  (** ["journal"] *)
+
+val checkpoint_file : string  (** ["checkpoint"] *)
+
+val checkpoint_tmp_file : string  (** ["checkpoint.tmp"] *)
+
+type t
+
+val attach :
+  ?fault:Fault.t -> ?sync:Journal.sync_policy -> storage:Storage.t -> Db.t -> t
+(** Start journaling the database's transaction path into [storage].
+    If no checkpoint exists yet, an initial checkpoint is written
+    first (capturing any catalog state that predates attachment).
+    Default [sync] is {!Journal.Sync_always}. *)
+
+val db : t -> Db.t
+val fault : t -> Fault.t
+val sync_policy : t -> Journal.sync_policy
+
+val journal_records : t -> int
+val journal_bytes : t -> int
+
+val checkpoint : t -> unit
+(** Snapshot → temp write → atomic rename → journal reset; bumps
+    [Stats.Checkpoint].  Raises {!Snapshot.Snapshot_error} if the
+    database cannot be snapshotted (e.g. pending future-effective
+    relation updates); the journal is left untouched in that case. *)
+
+val detach : t -> unit
+(** Uninstall the sink and the fold probe; the database keeps running
+    without durability. *)
+
+type report = {
+  checkpoint_loaded : bool;
+  replayed : int;  (** records re-applied through the delta path *)
+  skipped : int;  (** records already covered by the checkpoint *)
+  dropped_torn : bool;  (** a torn final record was cut off *)
+  dropped_failed : bool;
+      (** a complete final record failed to replay and was dropped
+          (its batch died with the crashed process) *)
+}
+
+val recover :
+  ?fault:Fault.t ->
+  ?sync:Journal.sync_policy ->
+  storage:Storage.t ->
+  unit ->
+  t * report
+(** Rebuild the database from checkpoint + journal and re-attach.
+    Each replayed record bumps [Stats.Journal_replay].  Raises
+    {!Journal.Journal_corrupt} on checksum corruption and
+    {!Recovery_error} if a non-final record fails to replay. *)
+
+val has_state : Storage.t -> bool
+(** True if the storage holds a checkpoint or a journal — i.e.
+    {!recover} has something to work from. *)

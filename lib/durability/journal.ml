@@ -1,0 +1,178 @@
+open Relational
+
+exception Journal_corrupt of { record : int; reason : string }
+
+type sync_policy = Sync_never | Sync_every of int | Sync_always
+
+let sync_policy_of_string = function
+  | "never" -> Ok Sync_never
+  | "always" -> Ok Sync_always
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "every" ->
+          (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some n when n > 0 -> Ok (Sync_every n)
+          | _ -> Error (Printf.sprintf "bad sync policy %S" s))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad sync policy %S (expected never, always or every:N)" s))
+
+let sync_policy_to_string = function
+  | Sync_never -> "never"
+  | Sync_always -> "always"
+  | Sync_every n -> Printf.sprintf "every:%d" n
+
+let magic = "CHRONJNL1\n"
+
+let corrupt record fmt =
+  Printf.ksprintf (fun reason -> raise (Journal_corrupt { record; reason })) fmt
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.unsafe_to_string b
+
+let get_be32 s off = Int32.to_int (String.get_int32_be s off) land 0xFFFFFFFF
+
+let frame payload =
+  String.concat ""
+    [ be32 (String.length payload); be32 (Crc32.string payload); payload ]
+
+(* Decode [contents] into (records, offsets-most-recent-first, end-of-
+   complete-prefix, torn?).  Shared by [read] and [open_]. *)
+let decode contents =
+  let len = String.length contents in
+  if len < String.length magic then
+    if String.sub contents 0 len = String.sub magic 0 len then
+      (* magic itself torn: an empty journal that died during creation *)
+      ([], [], 0, true)
+    else corrupt 0 "bad magic"
+  else if String.sub contents 0 (String.length magic) <> magic then
+    corrupt 0 "bad magic"
+  else begin
+    let records = ref [] in
+    let offsets = ref [] in
+    let idx = ref 0 in
+    let pos = ref (String.length magic) in
+    let torn = ref false in
+    (try
+       while !pos < len do
+         let o = !pos in
+         if len - o < 8 then begin
+           torn := true;
+           raise Exit
+         end;
+         let plen = get_be32 contents o in
+         let crc = get_be32 contents (o + 4) in
+         if o + 8 + plen > len then begin
+           torn := true;
+           raise Exit
+         end;
+         let payload = String.sub contents (o + 8) plen in
+         if Crc32.string payload <> crc then
+           corrupt !idx "checksum mismatch";
+         let sexp =
+           try Sexp.of_string payload
+           with Sexp.Parse_error { message; _ } ->
+             corrupt !idx "checksummed payload does not parse: %s" message
+         in
+         records := sexp :: !records;
+         offsets := o :: !offsets;
+         incr idx;
+         pos := o + 8 + plen
+       done
+     with Exit -> ());
+    (List.rev !records, !offsets, !pos, !torn)
+  end
+
+let read (storage : Storage.t) name =
+  match storage.Storage.read name with
+  | None -> ([], `Clean)
+  | Some contents ->
+      let records, _, _, torn = decode contents in
+      (records, if torn then `Torn else `Clean)
+
+type t = {
+  storage : Storage.t;
+  name : string;
+  sync : sync_policy;
+  mutable count : int;
+  mutable size : int; (* bytes of magic + complete records *)
+  mutable offsets : int list; (* record start offsets, most recent first *)
+  mutable unsynced : int;
+}
+
+let maybe_sync t =
+  match t.sync with
+  | Sync_never -> ()
+  | Sync_always -> t.storage.Storage.sync t.name
+  | Sync_every n ->
+      t.unsynced <- t.unsynced + 1;
+      if t.unsynced >= n then begin
+        t.storage.Storage.sync t.name;
+        t.unsynced <- 0
+      end
+
+let open_ ?(sync = Sync_always) (storage : Storage.t) name =
+  match storage.Storage.read name with
+  | None ->
+      storage.Storage.append name magic;
+      (match sync with Sync_never -> () | _ -> storage.Storage.sync name);
+      {
+        storage;
+        name;
+        sync;
+        count = 0;
+        size = String.length magic;
+        offsets = [];
+        unsynced = 0;
+      }
+  | Some contents ->
+      let records, offsets, end_, torn = decode contents in
+      if torn then storage.Storage.truncate name end_;
+      if end_ = 0 then begin
+        (* torn magic: start over *)
+        storage.Storage.append name magic;
+        (match sync with Sync_never -> () | _ -> storage.Storage.sync name)
+      end;
+      {
+        storage;
+        name;
+        sync;
+        count = List.length records;
+        size = (if end_ = 0 then String.length magic else end_);
+        offsets;
+        unsynced = 0;
+      }
+
+let append t record =
+  let framed = frame (Sexp.to_string record) in
+  t.storage.Storage.append t.name framed;
+  t.offsets <- t.size :: t.offsets;
+  t.size <- t.size + String.length framed;
+  t.count <- t.count + 1;
+  Stats.incr Stats.Journal_append;
+  Stats.add Stats.Journal_bytes (String.length framed);
+  maybe_sync t
+
+let truncate_last t =
+  match t.offsets with
+  | [] -> invalid_arg "Journal.truncate_last: journal is empty"
+  | off :: rest ->
+      t.storage.Storage.truncate t.name off;
+      t.offsets <- rest;
+      t.size <- off;
+      t.count <- t.count - 1
+
+let reset t =
+  t.storage.Storage.write t.name magic;
+  (match t.sync with Sync_never -> () | _ -> t.storage.Storage.sync t.name);
+  t.count <- 0;
+  t.size <- String.length magic;
+  t.offsets <- [];
+  t.unsynced <- 0
+
+let records t = t.count
+let byte_size t = t.size

@@ -1,0 +1,70 @@
+open Relational
+
+(** The write-ahead journal: a single append-only storage name holding
+    a magic header followed by length-prefixed, CRC-32-checksummed
+    records, one per transaction event, written {e before} the
+    corresponding state mutation.
+
+    On-disk format (all integers big-endian):
+    {v
+    "CHRONJNL1\n"                                   10-byte magic
+    [u32 payload length][u32 CRC-32 of payload][payload]   repeated
+    v}
+    where each payload is the textual S-expression of one
+    {!Db.txn_event}.
+
+    A {e torn} final record (the process died mid-append) is expected
+    and tolerated: readers report it and writers cut it off.  A record
+    whose checksum does not match its bytes is {e corruption}, reported
+    as {!Journal_corrupt} — recovery must not silently skip it, because
+    every later record depends on the state it describes. *)
+
+exception Journal_corrupt of { record : int; reason : string }
+(** [record] is the zero-based index of the offending record. *)
+
+type sync_policy =
+  | Sync_never  (** leave flushing to the OS (fastest, weakest) *)
+  | Sync_every of int  (** [fsync] once per [n] appended records *)
+  | Sync_always  (** [fsync] after every record (group-commit of 1) *)
+
+val sync_policy_of_string : string -> (sync_policy, string) result
+val sync_policy_to_string : sync_policy -> string
+
+(** {2 Reading} *)
+
+val read : Storage.t -> string -> Sexp.t list * [ `Clean | `Torn ]
+(** Decode every complete record.  An absent name reads as
+    [([], `Clean)]; a torn tail (truncated header, truncated payload,
+    or truncated magic) yields the complete prefix and [`Torn].
+    Raises {!Journal_corrupt} on a checksum mismatch, unparseable
+    payload, or foreign magic. *)
+
+(** {2 Writing} *)
+
+type t
+
+val open_ : ?sync:sync_policy -> Storage.t -> string -> t
+(** Open for appending, creating the name (with its magic header) if
+    absent.  An existing journal is scanned to rebuild record
+    boundaries; a torn tail is cut off.  Raises {!Journal_corrupt} as
+    {!read} does.  Default policy: {!Sync_always}. *)
+
+val append : t -> Sexp.t -> unit
+(** Frame, checksum and append one record in a single storage append
+    (so a torn write tears within this record), then sync per policy.
+    Bumps [Stats.Journal_append] and adds the framed size to
+    [Stats.Journal_bytes]. *)
+
+val truncate_last : t -> unit
+(** Erase the most recently appended record — the abort path: the
+    write-ahead record of a batch whose maintenance failed must not be
+    replayed.  Raises [Invalid_argument] if the journal is empty. *)
+
+val reset : t -> unit
+(** Truncate to the bare magic header — after a checkpoint has made
+    every journaled record redundant. *)
+
+val records : t -> int
+(** Complete records currently in the journal. *)
+
+val byte_size : t -> int

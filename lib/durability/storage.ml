@@ -1,0 +1,121 @@
+type t = {
+  read : string -> string option;
+  write : string -> string -> unit;
+  append : string -> string -> unit;
+  truncate : string -> int -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  exists : string -> bool;
+  size : string -> int option;
+  sync : string -> unit;
+}
+
+(* ---- in-memory backend ---- *)
+
+let mem () =
+  let files : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let get name = Hashtbl.find_opt files name in
+  let force name =
+    match get name with
+    | Some b -> b
+    | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.replace files name b;
+        b
+  in
+  {
+    read = (fun name -> Option.map Buffer.contents (get name));
+    write =
+      (fun name s ->
+        let b = force name in
+        Buffer.clear b;
+        Buffer.add_string b s);
+    append = (fun name s -> Buffer.add_string (force name) s);
+    truncate =
+      (fun name n ->
+        match get name with
+        | None -> ()
+        | Some b when Buffer.length b <= n -> ()
+        | Some b ->
+            let keep = Buffer.sub b 0 n in
+            Buffer.clear b;
+            Buffer.add_string b keep);
+    rename =
+      (fun src dst ->
+        match get src with
+        | None -> raise (Sys_error (src ^ ": no such storage name"))
+        | Some b ->
+            Hashtbl.remove files src;
+            Hashtbl.replace files dst b);
+    remove = (fun name -> Hashtbl.remove files name);
+    exists = (fun name -> Hashtbl.mem files name);
+    size = (fun name -> Option.map Buffer.length (get name));
+    sync = (fun _ -> ());
+  }
+
+(* ---- directory-of-files backend ---- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let disk ~dir =
+  mkdir_p dir;
+  let path name =
+    if String.contains name '/' then
+      invalid_arg (Printf.sprintf "Storage.disk: %S: names must be flat" name);
+    Filename.concat dir name
+  in
+  let with_fd name flags perm f =
+    let fd = Unix.openfile (path name) flags perm in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+  in
+  let write_all fd s =
+    let n = String.length s in
+    let b = Bytes.unsafe_of_string s in
+    let rec go off =
+      if off < n then go (off + Unix.write fd b off (n - off))
+    in
+    go 0
+  in
+  {
+    read =
+      (fun name ->
+        let p = path name in
+        if not (Sys.file_exists p) then None
+        else begin
+          let ic = open_in_bin p in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Some (really_input_string ic (in_channel_length ic)))
+        end);
+    write =
+      (fun name s ->
+        with_fd name Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 (fun fd ->
+            write_all fd s));
+    append =
+      (fun name s ->
+        with_fd name Unix.[ O_WRONLY; O_CREAT; O_APPEND ] 0o644 (fun fd ->
+            write_all fd s));
+    truncate =
+      (fun name n ->
+        let p = path name in
+        if Sys.file_exists p && (Unix.stat p).Unix.st_size > n then
+          Unix.truncate p n);
+    rename = (fun src dst -> Unix.rename (path src) (path dst));
+    remove =
+      (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
+    exists = (fun name -> Sys.file_exists (path name));
+    size =
+      (fun name ->
+        let p = path name in
+        if Sys.file_exists p then Some (Unix.stat p).Unix.st_size else None);
+    sync =
+      (fun name ->
+        let p = path name in
+        if Sys.file_exists p then
+          with_fd name Unix.[ O_RDWR ] 0o644 Unix.fsync);
+  }

@@ -1,0 +1,42 @@
+(** Pluggable byte storage for the durability layer.
+
+    The journal and the checkpointer speak to stable storage only
+    through this record of operations, so tests can substitute a
+    deterministic in-memory backend (and the fault harness can wrap
+    either backend to inject torn writes or crashes) while production
+    uses a directory of real files with [fsync].
+
+    Names are flat (no directory components); the disk backend maps
+    them to files under its root. *)
+
+type t = {
+  read : string -> string option;
+      (** Whole contents, [None] if the name does not exist. *)
+  write : string -> string -> unit;
+      (** Create or replace the whole contents. *)
+  append : string -> string -> unit;
+      (** Append bytes (creating the name if absent) — one call per
+          journal record, so a torn write tears {e within} one record. *)
+  truncate : string -> int -> unit;
+      (** Cut the contents down to the first [n] bytes.  No-op if the
+          contents are already at most [n] bytes. *)
+  rename : string -> string -> unit;
+      (** Atomic replace — the checkpoint commit point. *)
+  remove : string -> unit;  (** Missing names are ignored. *)
+  exists : string -> bool;
+  size : string -> int option;
+  sync : string -> unit;
+      (** Flush the name to stable storage ([fsync]); no-op for
+          memory. *)
+}
+
+val mem : unit -> t
+(** Fresh in-memory backend (a private namespace per call).  Survives
+    for the lifetime of the value — the unit of "stable storage" in
+    crash-simulation tests, where the database instance dies but the
+    [mem] value lives on. *)
+
+val disk : dir:string -> t
+(** Files under [dir] (created, along with missing parents, on first
+    use).  [sync] performs a real [Unix.fsync]; [rename] is atomic on
+    POSIX filesystems. *)

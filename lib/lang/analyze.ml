@@ -262,8 +262,10 @@ let exec session stmt =
           let tuples =
             try Csv_io.load_file (Chron.user_schema c) path
             with
-            | Csv_io.Csv_error { message; line } ->
-                sem_error "%s:%d: %s" path line message
+            | Csv_io.Csv_error { message; line; column } ->
+                sem_error "%s:%d%s: %s" path line
+                  (if column = 0 then "" else Printf.sprintf ":%d" column)
+                  message
             | Sys_error msg -> sem_error "%s" msg
           in
           let last_sn = ref Seqnum.zero in
@@ -276,8 +278,10 @@ let exec session stmt =
               let tuples =
                 try Csv_io.load_file schema path
                 with
-                | Csv_io.Csv_error { message; line } ->
-                    sem_error "%s:%d: %s" path line message
+                | Csv_io.Csv_error { message; line; column } ->
+                    sem_error "%s:%d%s: %s" path line
+                      (if column = 0 then "" else Printf.sprintf ":%d" column)
+                      message
                 | Sys_error msg -> sem_error "%s" msg
               in
               List.iter (Versioned.insert r) tuples;

@@ -1,7 +1,9 @@
-exception Csv_error of { message : string; line : int }
+exception Csv_error of { message : string; line : int; column : int }
 
-let csv_error line fmt =
-  Format.kasprintf (fun message -> raise (Csv_error { message; line })) fmt
+(* [column] is the 1-based field index within the offending record;
+   0 when the error is not attributable to a single field. *)
+let csv_error ?(column = 0) line fmt =
+  Format.kasprintf (fun message -> raise (Csv_error { message; line; column })) fmt
 
 (* ---- low-level record reader ---- *)
 
@@ -67,18 +69,28 @@ let records_of_string text =
 
 (* ---- typed conversion ---- *)
 
-let parse_value ty s =
+(* [line]/[column] locate the field for typed error reporting; they are
+   0/0 when parsing outside a record context (see {!parse_value}). *)
+let parse_value_at ~line ~column ty s =
   if String.length s = 0 then Value.Null
   else
     match ty with
-    | Value.TInt -> Value.Int (int_of_string (String.trim s))
-    | Value.TFloat -> Value.Float (float_of_string (String.trim s))
+    | Value.TInt -> (
+        match int_of_string_opt (String.trim s) with
+        | Some i -> Value.Int i
+        | None -> csv_error ~column line "%S is not an integer" s)
+    | Value.TFloat -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f -> Value.Float f
+        | None -> csv_error ~column line "%S is not a float" s)
     | Value.TStr -> Value.Str s
     | Value.TBool -> (
         match String.lowercase_ascii (String.trim s) with
         | "true" | "t" | "1" | "yes" -> Value.Bool true
         | "false" | "f" | "0" | "no" -> Value.Bool false
-        | _ -> failwith (Printf.sprintf "%S is not a boolean" s))
+        | _ -> csv_error ~column line "%S is not a boolean" s)
+
+let parse_value ty s = parse_value_at ~line:0 ~column:0 ty s
 
 let needs_quoting s =
   String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
@@ -125,9 +137,11 @@ let tuples_of_string ?(header = true) schema text =
         (List.mapi
            (fun i field ->
              let a = attrs.(i) in
-             try parse_value a.Schema.ty field
-             with Failure msg | Invalid_argument msg ->
-               csv_error line "field %s: %s" a.Schema.name msg)
+             try parse_value_at ~line ~column:(i + 1) a.Schema.ty field with
+             | Csv_error { message; line; column } ->
+                 csv_error ~column line "field %s: %s" a.Schema.name message
+             | Failure msg | Invalid_argument msg ->
+                 csv_error ~column:(i + 1) line "field %s: %s" a.Schema.name msg)
            fields))
     records
 

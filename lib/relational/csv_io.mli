@@ -5,11 +5,15 @@
     Values parse according to the target schema ([Null] for empty,
     unquoted fields). *)
 
-exception Csv_error of { message : string; line : int }
+exception Csv_error of { message : string; line : int; column : int }
+(** [line] is 1-based; [column] is the 1-based field index within the
+    record, or [0] when the error is not attributable to one field
+    (unterminated quote, arity mismatch, bad header). *)
 
 val parse_value : Value.ty -> string -> Value.t
-(** Raises {!Csv_error}-free [Failure]…: use {!tuples_of_string} for
-    located errors.  Empty strings parse as [Null]. *)
+(** Raises {!Csv_error} (with position [0:0]) on unparsable input; use
+    {!tuples_of_string} for row/column-located errors.  Empty strings
+    parse as [Null]. *)
 
 val format_value : Value.t -> string
 

@@ -13,12 +13,18 @@ type counter =
   | Build_reuse
   | Predicate_compile
   | Projector_compile
+  | Journal_append
+  | Journal_bytes
+  | Journal_replay
+  | Checkpoint
+  | Rollback
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
     Group_lookup; Chronicle_scan; Plan_compile; Plan_cache_hit;
     Plan_cache_miss; Index_scan; Build_reuse; Predicate_compile;
-    Projector_compile ]
+    Projector_compile; Journal_append; Journal_bytes; Journal_replay;
+    Checkpoint; Rollback ]
 
 let slot = function
   | Index_probe -> 0
@@ -35,6 +41,11 @@ let slot = function
   | Build_reuse -> 11
   | Predicate_compile -> 12
   | Projector_compile -> 13
+  | Journal_append -> 14
+  | Journal_bytes -> 15
+  | Journal_replay -> 16
+  | Checkpoint -> 17
+  | Rollback -> 18
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -51,8 +62,13 @@ let counter_name = function
   | Build_reuse -> "build_reuse"
   | Predicate_compile -> "predicate_compile"
   | Projector_compile -> "projector_compile"
+  | Journal_append -> "journal_append"
+  | Journal_bytes -> "journal_bytes"
+  | Journal_replay -> "journal_replay"
+  | Checkpoint -> "checkpoint"
+  | Rollback -> "rollback"
 
-let counts = Array.make 14 0
+let counts = Array.make 19 0
 
 let incr c =
   let i = slot c in

@@ -28,6 +28,15 @@ type counter =
                          side's relation versions were unchanged *)
   | Predicate_compile  (** one [Predicate.compile] name-resolution pass *)
   | Projector_compile  (** one [Tuple.projector] position-resolution pass *)
+  | Journal_append   (** one transaction record written to the write-ahead
+                         journal before any state mutation *)
+  | Journal_bytes    (** bytes written to the journal (via {!add}) *)
+  | Journal_replay   (** one journal record replayed through the normal
+                         delta path during recovery *)
+  | Checkpoint       (** one atomic checkpoint (tmp-write + rename +
+                         journal truncation) completed *)
+  | Rollback         (** one transactional append rolled back after a
+                         mid-batch failure (no partial state observable) *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit

@@ -58,6 +58,13 @@ let clear t =
   t.data <- [||];
   t.len <- 0
 
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate: out of bounds";
+  (* drop references so the GC can reclaim the tail *)
+  if n < t.len && n > 0 then Array.fill t.data n (t.len - n) t.data.(0);
+  if n = 0 then t.data <- [||];
+  t.len <- n
+
 let iter_range f t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then
     invalid_arg "Vec.iter_range: out of bounds";

@@ -17,4 +17,8 @@ val to_list : 'a t -> 'a list
 val of_list : 'a list -> 'a t
 val clear : 'a t -> unit
 
+val truncate : 'a t -> int -> unit
+(** [truncate t n] keeps the first [n] elements (transaction-rollback
+    support).  Raises [Invalid_argument] if [n] is out of bounds. *)
+
 val iter_range : ('a -> unit) -> 'a t -> pos:int -> len:int -> unit

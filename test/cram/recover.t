@@ -1,0 +1,69 @@
+Durable runs journal every append before executing it; `recover`
+rebuilds a database from checkpoint + journal.
+
+  $ cat > setup.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > DEFINE VIEW balance AS SELECT acct, SUM(miles) AS total FROM CHRONICLE mileage GROUP BY acct;
+  > APPEND INTO mileage VALUES (1, 100), (2, 40);
+  > CDL
+  $ cat > more.cdl <<CDL
+  > APPEND INTO mileage VALUES (1, 60);
+  > APPEND INTO mileage VALUES (3, 75);
+  > SHOW VIEW balance;
+  > CDL
+
+A clean durable run ends with a checkpoint, so recovery has nothing to
+replay:
+
+  $ chronicle-cli run --durable clean setup.cdl
+  created mileage
+  defined view balance: CA_1 (IM-Constant)
+  appended 2 row(s) to mileage at sn 1
+  checkpointed clean
+  $ chronicle-cli recover clean
+  recovered clean: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view balance: 2 row(s)
+
+A crashed run leaves its write-ahead records behind.  With
+--crash-after 1 the first append commits and the second dies right
+after its journal write — before any view was touched:
+
+  $ chronicle-cli run --durable crash setup.cdl > /dev/null
+  $ chronicle-cli run --durable crash --crash-after 1 more.cdl
+  recovered crash: checkpoint loaded; journal: 0 replayed, 0 skipped
+  appended 1 row(s) to mileage at sn 2
+  simulated crash at post-journal-write
+  [2]
+
+Recovery replays both journaled batches through the normal delta path;
+the batch the crash interrupted is completed, not lost:
+
+  $ chronicle-cli recover crash
+  recovered crash: checkpoint loaded; journal: 2 replayed, 0 skipped
+  view balance: 3 row(s)
+
+A torn tail (the process died mid-append) is expected: the incomplete
+record is dropped and the journal is repaired on the way:
+
+  $ chronicle-cli run --durable torn setup.cdl > /dev/null
+  $ chronicle-cli run --durable torn --crash-after 1 more.cdl > /dev/null
+  [2]
+  $ head -c $(($(wc -c < torn/journal) - 3)) torn/journal > j && mv j torn/journal
+  $ chronicle-cli recover torn
+  recovered torn: checkpoint loaded; journal: 1 replayed, 0 skipped, torn tail dropped
+  view balance: 2 row(s)
+  $ chronicle-cli recover torn
+  recovered torn: checkpoint loaded; journal: 1 replayed, 0 skipped
+  view balance: 2 row(s)
+
+Checksum corruption in the journal body is not a torn tail and is never
+skipped silently (byte 18 is inside the first record's payload):
+
+  $ printf 'Z' | dd of=torn/journal bs=1 seek=18 conv=notrunc status=none
+  $ chronicle-cli recover torn
+  journal corrupt at record 0: checksum mismatch
+  [1]
+
+  $ chronicle-cli recover nosuch
+  no durable state in nosuch
+  [1]

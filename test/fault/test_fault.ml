@@ -1,0 +1,266 @@
+(* The crash-equivalence property suite.
+
+   For a workload W = op₁ … opₙ and a crash injected at any instrumented
+   point while opᵢ executes, let Sⱼ be the state a clean (never-crashing)
+   run reaches after op₁ … opⱼ.  The property:
+
+       state(recover(storage after crash during opᵢ)) ∈ { Sᵢ₋₁, Sᵢ }
+
+   i.e. every operation is all-or-nothing across a crash: either its
+   write-ahead record reached stable storage (recovery finishes it — Sᵢ)
+   or it did not (recovery yields exactly the previous state — Sᵢ₋₁).
+   Nothing in between is ever observable, and no earlier operation is
+   ever lost.  States are compared as canonical snapshot documents
+   ({!Snapshot.save}), which cover catalog, watermarks, clocks, retained
+   chronicle windows, relations and materialized views.
+
+   Two drivers share one harness: a deterministic exhaustive sweep
+   (every crash point × every countdown up to a cap, plus torn writes)
+   and a QCheck property over randomized workloads and crash scripts. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_durability
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let tup = Tuple.make
+
+(* ---- the workload vocabulary ---- *)
+
+type op =
+  | Append of (int * int) list (* mileage rows: (acct, miles) *)
+  | Bonus of (int * int) list (* bonus rows *)
+  | Multi of (int * int) list * (int * int) list (* one sn, both chronicles *)
+  | Clock of int (* advance by n >= 1 *)
+  | Checkpoint
+
+let show_op = function
+  | Append rows ->
+      "Append[" ^ String.concat ";" (List.map (fun (a, m) -> Printf.sprintf "%d:%d" a m) rows) ^ "]"
+  | Bonus rows ->
+      "Bonus[" ^ String.concat ";" (List.map (fun (a, m) -> Printf.sprintf "%d:%d" a m) rows) ^ "]"
+  | Multi (a, b) ->
+      Printf.sprintf "Multi[%d+%d rows]" (List.length a) (List.length b)
+  | Clock n -> Printf.sprintf "Clock+%d" n
+  | Checkpoint -> "Checkpoint"
+
+let show_ops ops = String.concat " " (List.map show_op ops)
+
+let row (acct, miles) = tup [ vi acct; vi miles; vf 1. ]
+
+let mileage_schema =
+  Schema.make
+    [ ("acct", Value.TInt); ("miles", Value.TInt); ("fare", Value.TFloat) ]
+
+(* Catalog under test: two chronicles in one group (ring and discard
+   retention), one relation, and two views — a grouped aggregate over a
+   union of both chronicles and a guarded selection view. *)
+let mk_db () =
+  let db = Db.create () in
+  ignore
+    (Db.add_chronicle db ~retention:(Chron.Window 4) ~name:"mileage"
+       mileage_schema);
+  ignore (Db.add_chronicle db ~name:"bonus" mileage_schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:
+            (Ca.Union
+               ( Ca.Chronicle (Db.chronicle db "mileage"),
+                 Ca.Chronicle (Db.chronicle db "bonus") ))
+          (Sca.Group_agg
+             ( [ "acct" ],
+               [ Aggregate.sum "miles" "balance"; Aggregate.count_star "n" ] ))));
+  ignore
+    (Db.define_view db ~index:Index.Ordered
+       (Sca.define ~name:"big"
+          ~body:
+            (Ca.Select
+               (Predicate.("miles" >% vi 50), Ca.Chronicle (Db.chronicle db "mileage")))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.max_ "miles" "hi" ]))));
+  db
+
+let apply ?durable db op =
+  match op with
+  | Append rows -> ignore (Db.append db "mileage" (List.map row rows))
+  | Bonus rows -> ignore (Db.append db "bonus" (List.map row rows))
+  | Multi (a, b) ->
+      ignore
+        (Db.append_multi db
+           [ ("mileage", List.map row a); ("bonus", List.map row b) ])
+  | Clock n -> Db.advance_clock db (Group.now (Db.default_group db) + n)
+  | Checkpoint -> (
+      match durable with Some d -> Durable.checkpoint d | None -> ())
+
+(* Clean-run states S₀ … Sₙ. *)
+let clean_states ops =
+  let db = mk_db () in
+  (* bind S₀ before mapping: [::] evaluates right-to-left, and the map
+     mutates [db] *)
+  let s0 = Snapshot.save db in
+  Array.of_list
+    (s0
+    :: List.map
+         (fun op ->
+           apply db op;
+           Snapshot.save db)
+         ops)
+
+(* Run the workload durably with [script] armed after attach; returns
+   the number of ops that completed before a crash (n = no crash). *)
+let durable_run ops ~storage ~fault ~script =
+  let db = mk_db () in
+  let d = Durable.attach ~fault ~storage db in
+  script fault;
+  let applied = ref 0 in
+  (try
+     List.iter
+       (fun op ->
+         apply ~durable:d db op;
+         incr applied)
+       ops
+   with Fault.Crash _ -> ());
+  (!applied, Fault.is_dead fault)
+
+(* The property itself. *)
+let check_crash_equivalence ?(what = "") ops script =
+  let states = clean_states ops in
+  let storage = Storage.mem () in
+  let fault = Fault.create () in
+  let applied, crashed = durable_run ops ~storage ~fault ~script in
+  let d, _report = Durable.recover ~storage () in
+  let recovered = Snapshot.save (Durable.db d) in
+  let ok =
+    if not crashed then recovered = states.(Array.length states - 1)
+    else
+      recovered = states.(applied)
+      || (applied + 1 < Array.length states && recovered = states.(applied + 1))
+  in
+  if not ok then
+    Alcotest.failf
+      "crash-equivalence violated (%s): crashed=%b after %d/%d ops\n\
+       workload: %s"
+      what crashed applied (List.length ops) (show_ops ops);
+  (* recovery must be stable: recovering again changes nothing *)
+  let d2, _ = Durable.recover ~storage () in
+  if Snapshot.save (Durable.db d2) <> recovered then
+    Alcotest.failf "recovery is not idempotent (%s): %s" what (show_ops ops)
+
+(* ---- deterministic exhaustive sweep ---- *)
+
+let fixed_workload =
+  [
+    Append [ (1, 100); (2, 40) ];
+    Clock 2;
+    Bonus [ (1, 10) ];
+    Multi ([ (3, 75) ], [ (2, 5) ]);
+    Checkpoint;
+    Append [ (1, 60); (3, 51); (2, 1) ];
+    Append [];
+    Clock 1;
+    Bonus [ (3, 2); (1, 1) ];
+    Checkpoint;
+    Append [ (4, 99) ];
+    Multi ([ (4, 1) ], [ (4, 2) ]);
+  ]
+
+let crash_points =
+  [
+    "post-journal-write";
+    "view-fold";
+    "pre-checkpoint-rename";
+    "post-checkpoint-rename";
+  ]
+
+let test_exhaustive_crash_sweep () =
+  let max_countdown = 14 in
+  List.iter
+    (fun point ->
+      for k = 0 to max_countdown do
+        check_crash_equivalence
+          ~what:(Printf.sprintf "%s after %d hits" point k)
+          fixed_workload
+          (fun fault -> Fault.arm fault ~after:k point)
+      done)
+    crash_points
+
+let test_exhaustive_torn_sweep () =
+  for k = 0 to 12 do
+    for keep = 0 to 40 do
+      if keep mod 7 = k mod 7 (* a deterministic diagonal sample *) then
+        check_crash_equivalence
+          ~what:(Printf.sprintf "torn write #%d keeping %d bytes" k keep)
+          fixed_workload
+          (fun fault -> Fault.arm_torn_write fault ~after:k ~keep)
+    done
+  done
+
+let test_clean_run_recovers_exactly () =
+  (* no faults at all: recovery reproduces the final state, whatever the
+     interleaving of checkpoints *)
+  List.iter
+    (fun ops -> check_crash_equivalence ~what:"no faults" ops (fun _ -> ()))
+    [
+      fixed_workload;
+      [ Append [ (1, 1) ] ];
+      [ Checkpoint; Checkpoint ];
+      [];
+    ]
+
+(* ---- randomized workloads (QCheck) ---- *)
+
+let op_gen =
+  QCheck.Gen.(
+    let rows = list_size (int_range 0 3) (pair (int_range 1 5) (int_range 0 120)) in
+    frequency
+      [
+        (5, map (fun r -> Append r) rows);
+        (3, map (fun r -> Bonus r) rows);
+        (2, map2 (fun a b -> Multi (a, b)) rows rows);
+        (2, map (fun n -> Clock (n + 1)) (int_bound 3));
+        (1, return Checkpoint);
+      ])
+
+let script_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map2
+            (fun p k fault -> Fault.arm fault ~after:k p)
+            (oneofl crash_points) (int_bound 18) );
+        ( 1,
+          map2
+            (fun k keep fault -> Fault.arm_torn_write fault ~after:k ~keep)
+            (int_bound 10) (int_bound 40) );
+        (1, return (fun _ -> ()));
+      ])
+
+let case_gen =
+  QCheck.Gen.(pair (list_size (int_range 1 14) op_gen) script_gen)
+
+let qcheck_crash_equivalence =
+  let arb =
+    QCheck.make ~print:(fun (ops, _) -> show_ops ops) case_gen
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120 ~name:"randomized crash equivalence" arb
+       (fun (ops, script) ->
+         check_crash_equivalence ~what:"random" ops script;
+         true))
+
+let () =
+  Alcotest.run "chronicle-fault"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "clean runs recover exactly" `Quick
+            test_clean_run_recovers_exactly;
+          Alcotest.test_case "exhaustive crash-point sweep" `Quick
+            test_exhaustive_crash_sweep;
+          Alcotest.test_case "exhaustive torn-write sweep" `Quick
+            test_exhaustive_torn_sweep;
+          qcheck_crash_equivalence;
+        ] );
+    ]

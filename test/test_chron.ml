@@ -112,6 +112,38 @@ let test_subscribers () =
   ignore (Chron.append c [ tup [ vi 3; vi 3 ] ]);
   check_bool "notified in order" true (List.rev !seen = [ (1, 2); (2, 1) ])
 
+let test_restore_conflict () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:Chron.Full ~name:"t" user_schema in
+  ignore (Chron.append c [ tup [ vi 1; vi 1 ] ]);
+  match Chron.restore c ~total:3 ~last_sn:(Some 3) ~retained:[] with
+  | () -> Alcotest.fail "restore into a non-fresh chronicle must fail"
+  | exception Chron.Restore_conflict { chronicle; appended } ->
+      check_string "conflicting chronicle" "t" chronicle;
+      check_int "appends already recorded" 1 appended
+
+let test_txn_marks () =
+  let g = Group.create "g" in
+  let c = Chron.create ~group:g ~retention:(Chron.Window 3) ~name:"t" user_schema in
+  ignore (Chron.append c [ tup [ vi 1; vi 1 ]; tup [ vi 2; vi 2 ] ]);
+  let before = Chron.stored c in
+  let m = Chron.mark c in
+  (* a big batch that laps the 3-slot ring *)
+  ignore
+    (Chron.record c 2 [ tup [ vi 3; vi 3 ]; tup [ vi 4; vi 4 ];
+                        tup [ vi 5; vi 5 ]; tup [ vi 6; vi 6 ] ]);
+  check_int "recorded over the mark" 6 (Chron.total_appended c);
+  Chron.rollback c m;
+  check_int "total restored" 2 (Chron.total_appended c);
+  check_tuples "ring window restored (even after lapping)" before (Chron.stored c);
+  check_bool "last_sn restored" true (Chron.last_sn c = Some 1);
+  (* commit path: marks are cheap bookkeeping, commit keeps the batch *)
+  let m2 = Chron.mark c in
+  ignore (Chron.record c 2 [ tup [ vi 7; vi 7 ] ]);
+  Chron.commit c;
+  ignore m2;
+  check_int "committed batch stays" 3 (Chron.total_appended c)
+
 let qcheck_monotone_sns =
   let gen = QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 3)) in
   qtest "appended sequence numbers are strictly increasing per batch" gen
@@ -142,5 +174,7 @@ let suite =
     test "sparse sequence numbers" test_append_sparse;
     test "simultaneous multi-chronicle batch" test_append_multi;
     test "append subscribers" test_subscribers;
+    test "restore conflicts are typed errors" test_restore_conflict;
+    test "transactional marks roll the store back" test_txn_marks;
     qcheck_monotone_sns;
   ]

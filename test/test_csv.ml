@@ -30,7 +30,12 @@ let test_value_parsing () =
   check_value "float" (vf 2.5) (Csv_io.parse_value Value.TFloat "2.5");
   check_value "bool yes" (vb true) (Csv_io.parse_value Value.TBool "YES");
   check_value "empty is null" Value.Null (Csv_io.parse_value Value.TInt "");
-  check_raises_any "bad int" (fun () -> ignore (Csv_io.parse_value Value.TInt "zap"))
+  (match Csv_io.parse_value Value.TInt "zap" with
+  | _ -> Alcotest.fail "bad int: typed error expected"
+  | exception Csv_io.Csv_error _ -> ());
+  match Csv_io.parse_value Value.TBool "maybe" with
+  | _ -> Alcotest.fail "bad bool: typed error expected"
+  | exception Csv_io.Csv_error _ -> ()
 
 let test_errors_located () =
   (match Csv_io.tuples_of_string schema "id,name,score,active\n1,x,2.0\n" with
@@ -38,9 +43,19 @@ let test_errors_located () =
   | exception Csv_io.Csv_error { line; _ } -> check_int "line" 2 line);
   (match Csv_io.tuples_of_string schema "id,name,score,active\n1,x,zap,true\n" with
   | _ -> Alcotest.fail "type error expected"
-  | exception Csv_io.Csv_error { message; _ } ->
+  | exception Csv_io.Csv_error { message; line; column } ->
+      check_int "type error line" 2 line;
+      check_int "type error column" 3 column;
       check_bool "mentions field" true
         (String.length message > 0 && String.sub message 0 5 = "field"));
+  (match
+     Csv_io.tuples_of_string schema
+       "id,name,score,active\n1,x,2.0,true\n2,y,1.5,maybe\n"
+   with
+  | _ -> Alcotest.fail "bool error expected"
+  | exception Csv_io.Csv_error { line; column; _ } ->
+      check_int "bool error line" 3 line;
+      check_int "bool error column" 4 column);
   match Csv_io.tuples_of_string schema "id,name,score,active\n1,\"x,2.0,true\n" with
   | _ -> Alcotest.fail "quote error expected"
   | exception Csv_io.Csv_error _ -> ()

@@ -1,0 +1,437 @@
+(* The durability layer: CRC-32, journal framing, torn/corrupt tails,
+   atomic checkpoints, crash recovery and the transactional append
+   rollback path. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_durability
+open Util
+
+(* ---- crc32 ---- *)
+
+let test_crc32 () =
+  (* the standard IEEE 802.3 check value *)
+  check_int "check vector" 0xCBF43926 (Crc32.string "123456789");
+  check_int "empty" 0 (Crc32.string "");
+  let a = "chronicle " and b = "journal" in
+  check_int "incremental"
+    (Crc32.string (a ^ b))
+    (Crc32.update (Crc32.string a) b ~pos:0 ~len:(String.length b));
+  check_int "substring"
+    (Crc32.string "ron")
+    (Crc32.sub "chronicle" ~pos:2 ~len:3)
+
+(* ---- journal framing ---- *)
+
+let rec_s s = Sexp.List [ Sexp.Atom "r"; Sexp.atom s ]
+
+let test_journal_roundtrip () =
+  let st = Storage.mem () in
+  let j = Journal.open_ st "journal" in
+  check_int "fresh journal is empty" 0 (Journal.records j);
+  Journal.append j (rec_s "one");
+  Journal.append j (rec_s "two");
+  Journal.append j (rec_s "three");
+  check_int "three records" 3 (Journal.records j);
+  let records, tail = Journal.read st "journal" in
+  check_bool "clean tail" true (tail = `Clean);
+  check_bool "payloads survive" true
+    (List.map Sexp.to_string records
+    = List.map Sexp.to_string [ rec_s "one"; rec_s "two"; rec_s "three" ]);
+  Journal.truncate_last j;
+  check_int "truncate_last drops one" 2 (Journal.records j);
+  check_int "readers agree" 2 (List.length (fst (Journal.read st "journal")));
+  Journal.reset j;
+  check_int "reset empties" 0 (Journal.records j);
+  check_bool "still parseable" true (Journal.read st "journal" = ([], `Clean));
+  (* reopening an existing journal rebuilds record boundaries *)
+  Journal.append j (rec_s "four");
+  let j2 = Journal.open_ st "journal" in
+  check_int "reopen sees the record" 1 (Journal.records j2);
+  Journal.truncate_last j2;
+  check_int "reopened boundaries are exact" 0 (Journal.records j2)
+
+let test_journal_torn_tail () =
+  let st = Storage.mem () in
+  let j = Journal.open_ st "journal" in
+  Journal.append j (rec_s "one");
+  Journal.append j (rec_s "two");
+  let full = Option.get (st.Storage.size "journal") in
+  (* tear the final record: cut three bytes off its payload *)
+  st.Storage.truncate "journal" (full - 3);
+  let records, tail = Journal.read st "journal" in
+  check_bool "torn tail reported" true (tail = `Torn);
+  check_int "complete prefix survives" 1 (List.length records);
+  (* a writer cuts the tear off and continues *)
+  let j2 = Journal.open_ st "journal" in
+  check_int "tear removed on open" 1 (Journal.records j2);
+  Journal.append j2 (rec_s "three");
+  let records, tail = Journal.read st "journal" in
+  check_bool "clean again" true (tail = `Clean);
+  check_int "two records" 2 (List.length records)
+
+let test_journal_corruption_detected () =
+  let st = Storage.mem () in
+  let j = Journal.open_ st "journal" in
+  Journal.append j (rec_s "one");
+  Journal.append j (rec_s "two");
+  (* flip one bit inside the first record's payload (magic is 10 bytes,
+     frame header 8): corruption, not a torn tail *)
+  Fault.flip_bit st ~name:"journal" ~byte:(10 + 8 + 2) ~bit:0;
+  (match Journal.read st "journal" with
+  | _ -> Alcotest.fail "corruption must not read back"
+  | exception Journal.Journal_corrupt { record; _ } ->
+      check_int "offending record" 0 record);
+  (* foreign bytes are rejected as corruption too *)
+  st.Storage.write "journal" "NOTAJOURNAL....";
+  check_raises_any "bad magic" (fun () -> ignore (Journal.read st "journal"))
+
+let test_sync_policy_parse () =
+  check_bool "never" true
+    (Journal.sync_policy_of_string "never" = Ok Journal.Sync_never);
+  check_bool "always" true
+    (Journal.sync_policy_of_string "always" = Ok Journal.Sync_always);
+  check_bool "every" true
+    (Journal.sync_policy_of_string "every:16" = Ok (Journal.Sync_every 16));
+  check_bool "garbage" true
+    (match Journal.sync_policy_of_string "sometimes" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_bool "zero interval" true
+    (match Journal.sync_policy_of_string "every:0" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---- a standard durable database ---- *)
+
+let mk_db () =
+  let db = Db.create () in
+  ignore
+    (Db.add_chronicle db ~retention:(Chron.Window 4) ~name:"mileage"
+       Fixtures.mileage_schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:(Ca.Chronicle (Db.chronicle db "mileage"))
+          (Sca.Group_agg
+             ( [ "acct" ],
+               [ Aggregate.sum "miles" "balance"; Aggregate.count_star "n" ] ))));
+  db
+
+let post acct miles = Fixtures.mile acct miles 1.
+
+let same_state msg expected actual =
+  check_string msg (Snapshot.save expected) (Snapshot.save actual)
+
+(* ---- journaling and checkpointing ---- *)
+
+let test_attach_journals_appends () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~storage:st db in
+  check_int "attach checkpoints, journal empty" 0 (Durable.journal_records d);
+  let before = Stats.snapshot () in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  ignore (Db.append db "mileage" [ post 2 50; post 1 25 ]);
+  let after = Stats.snapshot () in
+  check_int "one journal record per batch" 2 (Durable.journal_records d);
+  check_int "journal_append counted" 2
+    (Stats.diff_get before after Stats.Journal_append);
+  check_bool "journal_bytes counted" true
+    (Stats.diff_get before after Stats.Journal_bytes
+    >= Durable.journal_bytes d - 10 (* magic written before the snapshot *));
+  check_bool "no replay during normal operation" true
+    (Stats.diff_get before after Stats.Journal_replay = 0)
+
+let test_checkpoint_resets_journal () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  ignore (Db.append db "mileage" [ post 2 50 ]);
+  let before = Stats.snapshot () in
+  Durable.checkpoint d;
+  let after = Stats.snapshot () in
+  check_int "checkpoint counted" 1 (Stats.diff_get before after Stats.Checkpoint);
+  check_int "journal reset" 0 (Durable.journal_records d);
+  check_bool "checkpoint file exists" true (st.Storage.exists "checkpoint");
+  check_bool "temp file renamed away" true
+    (not (st.Storage.exists "checkpoint.tmp"))
+
+let test_recover_checkpoint_plus_journal () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  Durable.checkpoint d;
+  ignore (Db.append db "mileage" [ post 2 50 ]);
+  ignore (Db.append db "mileage" [ post 1 7 ]);
+  let before = Stats.snapshot () in
+  let d', report = Durable.recover ~storage:st () in
+  let after = Stats.snapshot () in
+  same_state "checkpoint + journal suffix = the database" db (Durable.db d');
+  check_bool "loaded the checkpoint" true report.Durable.checkpoint_loaded;
+  check_int "replayed the suffix" 2 report.Durable.replayed;
+  check_int "replay counted" 2
+    (Stats.diff_get before after Stats.Journal_replay);
+  check_bool "no torn tail" true (not report.Durable.dropped_torn);
+  (* the recovered instance keeps journaling *)
+  ignore (Db.append (Durable.db d') "mileage" [ post 3 1 ]);
+  ignore (Db.append db "mileage" [ post 3 1 ]);
+  same_state "recovered instance stays live" db (Durable.db d')
+
+let test_recover_without_checkpoint_dir () =
+  (* nothing in storage: recovery produces a fresh empty database *)
+  let st = Storage.mem () in
+  check_bool "no state" true (not (Durable.has_state st));
+  let d, report = Durable.recover ~storage:st () in
+  check_bool "fresh" true (not report.Durable.checkpoint_loaded);
+  check_int "nothing replayed" 0 report.Durable.replayed;
+  check_bool "catalog is empty" true (Db.chronicle_names (Durable.db d) = [])
+
+let test_recovery_replays_catalog () =
+  (* DDL after attach lives only in the journal until the next
+     checkpoint; recovery must replay it *)
+  let st = Storage.mem () in
+  let db = Db.create () in
+  let d = Durable.attach ~storage:st db in
+  ignore
+    (Db.add_chronicle db ~retention:(Chron.Window 4) ~name:"mileage"
+       Fixtures.mileage_schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:(Ca.Chronicle (Db.chronicle db "mileage"))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "balance" ]))));
+  ignore (Db.add_group db ~clock_start:7 "side");
+  ignore
+    (Db.add_relation db ~name:"customers" ~schema:Fixtures.customer_schema
+       ~key:[ "cust" ] ());
+  ignore (Db.append db "mileage" [ post 1 10 ]);
+  Db.advance_clock db 42;
+  ignore d;
+  let d', report = Durable.recover ~storage:st () in
+  let db' = Durable.db d' in
+  same_state "catalog replayed" db db';
+  check_int "four catalog records + append + clock replayed" 6
+    report.Durable.replayed;
+  check_int "clock replayed" 42 (Group.now (Db.default_group db'));
+  check_int "side group clock" 7 (Group.now (Db.group db' "side"));
+  (* drop-view is journaled too *)
+  Db.drop_view db "balance";
+  let d'', _ = Durable.recover ~storage:st () in
+  check_bool "dropped view stays dropped" true
+    (Registry.find (Db.registry (Durable.db d'')) "balance" = None)
+
+(* ---- crash simulation and rollback ---- *)
+
+let test_crash_after_journal_write () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let fault = Fault.create () in
+  let d = Durable.attach ~fault ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  let wm = Group.watermark (Db.default_group db) in
+  let view_before = View.to_list (Db.view db "balance") in
+  Fault.arm fault "post-journal-write";
+  (match Db.append db "mileage" [ post 2 50 ] with
+  | _ -> Alcotest.fail "armed crash point must fire"
+  | exception Fault.Crash "post-journal-write" -> ()
+  | exception e -> raise e);
+  (* nothing mutated in memory: the crash hit before the marks *)
+  check_int "watermark unchanged" wm (Group.watermark (Db.default_group db));
+  check_tuples "view unchanged" view_before (View.to_list (Db.view db "balance"));
+  check_int "write-ahead record survives the crash" 2
+    (Durable.journal_records d);
+  (* recovery applies the journaled batch: it was durably promised *)
+  let d', report = Durable.recover ~storage:st () in
+  check_int "both batches replayed" 2 report.Durable.replayed;
+  check_bool "batch applied after recovery" true
+    (Db.summary (Durable.db d') ~view:"balance" [ vi 2 ] <> None)
+
+let test_crash_mid_view_fold () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let fault = Fault.create () in
+  let d = Durable.attach ~fault ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  let state_before = Snapshot.save db in
+  let rollbacks = Stats.get Stats.Rollback in
+  Fault.arm fault "view-fold";
+  (match Db.append db "mileage" [ post 2 50 ] with
+  | _ -> Alcotest.fail "armed crash point must fire"
+  | exception Fault.Crash "view-fold" -> ());
+  (* the in-memory instance rolled back atomically... *)
+  check_string "no partially-maintained state observable" state_before
+    (Snapshot.save db);
+  check_int "rollback counted" (rollbacks + 1) (Stats.get Stats.Rollback);
+  (* ...but the dead process could not erase its write-ahead record, so
+     recovery finishes the batch *)
+  check_int "record survives" 2 (Durable.journal_records d);
+  let d', _ = Durable.recover ~storage:st () in
+  check_bool "batch completed by recovery" true
+    (Db.summary (Durable.db d') ~view:"balance" [ vi 2 ] <> None)
+
+let test_abort_erases_journal_record () =
+  (* a genuine (non-crash) mid-fold failure: the batch rolls back AND
+     its write-ahead record is erased — neither survives *)
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  let state_before = Snapshot.save db in
+  Db.set_fold_probe db
+    (Some (fun ~view:_ ~sn:_ -> failwith "maintenance bug"));
+  (match Db.append db "mileage" [ post 2 50 ] with
+  | _ -> Alcotest.fail "probe failure must propagate"
+  | exception Failure _ -> ());
+  check_string "batch rolled back" state_before (Snapshot.save db);
+  check_int "write-ahead record erased" 1 (Durable.journal_records d);
+  let d', _ = Durable.recover ~storage:st () in
+  check_bool "aborted batch is not resurrected" true
+    (Db.summary (Durable.db d') ~view:"balance" [ vi 2 ] = None);
+  same_state "recovery equals the rolled-back state" db (Durable.db d')
+
+let test_multi_chronicle_rollback () =
+  (* a failing multi-chronicle batch must roll back *every* sibling *)
+  let db = Db.create () in
+  ignore
+    (Db.add_chronicle db ~retention:Chron.Full ~name:"mileage"
+       Fixtures.mileage_schema);
+  ignore
+    (Db.add_chronicle db ~retention:Chron.Full ~name:"bonus"
+       Fixtures.mileage_schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:
+            (Ca.Union
+               ( Ca.Chronicle (Db.chronicle db "mileage"),
+                 Ca.Chronicle (Db.chronicle db "bonus") ))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "balance" ]))));
+  ignore (Db.append_multi db [ ("mileage", [ post 1 10 ]); ("bonus", [ post 1 5 ]) ]);
+  let state_before = Snapshot.save db in
+  Db.set_fold_probe db (Some (fun ~view:_ ~sn:_ -> failwith "boom"));
+  (match
+     Db.append_multi db [ ("mileage", [ post 2 1 ]); ("bonus", [ post 2 2 ]) ]
+   with
+  | _ -> Alcotest.fail "fold failure must propagate"
+  | exception Failure _ -> ());
+  Db.set_fold_probe db None;
+  check_string "both chronicles and the view rolled back" state_before
+    (Snapshot.save db);
+  (* and the path works again afterwards *)
+  ignore (Db.append_multi db [ ("mileage", [ post 2 1 ]); ("bonus", [ post 2 2 ]) ]);
+  check_bool "recovered after rollback" true
+    (Db.summary db ~view:"balance" [ vi 2 ] <> None)
+
+let test_crash_mid_checkpoint () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let fault = Fault.create () in
+  let d = Durable.attach ~fault ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  ignore (Db.append db "mileage" [ post 2 50 ]);
+  (* crash with the temp file written but not yet renamed *)
+  Fault.arm fault "pre-checkpoint-rename";
+  (match Durable.checkpoint d with
+  | _ -> Alcotest.fail "armed crash point must fire"
+  | exception Fault.Crash "pre-checkpoint-rename" -> ());
+  let d1, r1 = Durable.recover ~storage:st () in
+  same_state "old checkpoint + journal still describe the db" db
+    (Durable.db d1);
+  check_int "journal replayed" 2 r1.Durable.replayed;
+  (* crash with the checkpoint renamed but the journal not yet reset *)
+  let db2 = mk_db () in
+  let st2 = Storage.mem () in
+  let fault2 = Fault.create () in
+  let d2 = Durable.attach ~fault:fault2 ~storage:st2 db2 in
+  ignore (Db.append db2 "mileage" [ post 1 100 ]);
+  Fault.arm fault2 "post-checkpoint-rename";
+  (match Durable.checkpoint d2 with
+  | _ -> Alcotest.fail "armed crash point must fire"
+  | exception Fault.Crash "post-checkpoint-rename" -> ());
+  let d3, r3 = Durable.recover ~storage:st2 () in
+  same_state "stale journal records are skipped idempotently" db2
+    (Durable.db d3);
+  check_int "nothing re-applied" 0 r3.Durable.replayed;
+  check_int "stale record skipped" 1 r3.Durable.skipped
+
+let test_torn_write_drops_batch () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let fault = Fault.create () in
+  let d = Durable.attach ~fault ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  let state_before = Snapshot.save db in
+  Fault.arm_torn_write fault ~keep:10;
+  (match Db.append db "mileage" [ post 2 50 ] with
+  | _ -> Alcotest.fail "torn write must crash"
+  | exception Fault.Crash "torn-write" -> ());
+  check_string "nothing mutated" state_before (Snapshot.save db);
+  ignore d;
+  let d', report = Durable.recover ~storage:st () in
+  check_bool "tear detected and dropped" true report.Durable.dropped_torn;
+  check_int "only the complete record replays" 1 report.Durable.replayed;
+  check_bool "torn batch is gone" true
+    (Db.summary (Durable.db d') ~view:"balance" [ vi 2 ] = None);
+  same_state "recovery equals the pre-tear state" db (Durable.db d')
+
+let test_corrupt_journal_rejected_at_recovery () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let _d = Durable.attach ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  ignore (Db.append db "mileage" [ post 2 50 ]);
+  (* flip a payload bit of the first journal record *)
+  Fault.flip_bit st ~name:"journal" ~byte:(10 + 8 + 4) ~bit:3;
+  match Durable.recover ~storage:st () with
+  | _ -> Alcotest.fail "corrupt journal must be rejected"
+  | exception Journal.Journal_corrupt { record = 0; _ } -> ()
+
+let test_disk_storage () =
+  let dir = Filename.temp_file "chronicle_durability" "" in
+  Sys.remove dir;
+  let st = Storage.disk ~dir in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.file_exists p then Sys.remove p)
+        [ "journal"; "checkpoint"; "checkpoint.tmp" ];
+      if Sys.file_exists dir then Unix.rmdir dir)
+    (fun () ->
+      let db = mk_db () in
+      let d = Durable.attach ~sync:(Journal.Sync_every 2) ~storage:st db in
+      ignore (Db.append db "mileage" [ post 1 100 ]);
+      ignore (Db.append db "mileage" [ post 2 50 ]);
+      Durable.checkpoint d;
+      ignore (Db.append db "mileage" [ post 3 25 ]);
+      let d', report = Durable.recover ~storage:st () in
+      check_bool "checkpoint loaded from disk" true
+        report.Durable.checkpoint_loaded;
+      check_int "suffix replayed from disk" 1 report.Durable.replayed;
+      same_state "disk round trip" db (Durable.db d'))
+
+let suite =
+  [
+    test "crc32 vectors" test_crc32;
+    test "journal framing roundtrip" test_journal_roundtrip;
+    test "torn tails are tolerated" test_journal_torn_tail;
+    test "checksum corruption is detected" test_journal_corruption_detected;
+    test "sync policies parse" test_sync_policy_parse;
+    test "attach journals every batch" test_attach_journals_appends;
+    test "checkpoint resets the journal" test_checkpoint_resets_journal;
+    test "recover = checkpoint + journal suffix" test_recover_checkpoint_plus_journal;
+    test "recover from empty storage" test_recover_without_checkpoint_dir;
+    test "recovery replays catalog changes" test_recovery_replays_catalog;
+    test "crash after journal write" test_crash_after_journal_write;
+    test "crash mid view fold" test_crash_mid_view_fold;
+    test "genuine aborts erase their record" test_abort_erases_journal_record;
+    test "multi-chronicle batches roll back atomically" test_multi_chronicle_rollback;
+    test "crash mid checkpoint (both sides of the rename)" test_crash_mid_checkpoint;
+    test "torn write drops exactly the torn batch" test_torn_write_drops_batch;
+    test "corrupt journals are rejected at recovery" test_corrupt_journal_rejected_at_recovery;
+    test "disk-backed storage" test_disk_storage;
+  ]
