@@ -1,0 +1,152 @@
+(* E14 — multicore Δ-maintenance: batch throughput vs domain count.
+
+   The transaction path folds the Δ of each affected view
+   independently (no view reads another view — the §5.2 independence
+   that makes "identify affected views" worthwhile also makes them
+   embarrassingly parallel).  This experiment measures appends/second
+   through the full path with V unguarded SCA views — every append
+   affects all of them — as the maintenance degree (--jobs) grows, and
+   the cost of the initial materialization of a view over retained
+   history (the {!Plan.compile_parallel} scan/aggregate kernel).
+
+   Expectation: throughput scales with the domain count up to the
+   machine's cores, and jobs=1 matches the historical sequential path
+   (it *is* the historical path: no pool, no task handoff).  On a
+   single-core container the parallel degrees only add scheduling
+   overhead — the recorded JSON carries the core count so a reader can
+   tell a scaling failure from a hardware floor.
+
+   Machine-readable evidence lands in BENCH_E14.json. *)
+
+open Relational
+open Chronicle_core
+
+let schema = Schema.make [ ("acct", Value.TInt); ("miles", Value.TInt) ]
+let accounts = 64
+
+let row i =
+  Tuple.make [ Value.Int (i mod accounts); Value.Int ((i * 7 mod 100) + 1) ]
+
+let batch_rows = 8
+let batch sn = List.init batch_rows (fun i -> row ((sn * batch_rows) + i))
+
+let mk_db ~jobs ~views =
+  let db = Db.create ~jobs () in
+  let c = Db.add_chronicle db ~name:"c" schema in
+  for v = 0 to views - 1 do
+    ignore
+      (Db.define_view db
+         (Sca.define
+            ~name:(Printf.sprintf "v%03d" v)
+            ~body:(Ca.Chronicle c)
+            (Sca.Group_agg
+               ( [ "acct" ],
+                 [ Aggregate.sum "miles" "m"; Aggregate.count_star "n" ] ))))
+  done;
+  db
+
+let degrees () =
+  let limit =
+    if !Measure.jobs_limit = 0 then Domain.recommended_domain_count ()
+    else !Measure.jobs_limit
+  in
+  List.filter (fun j -> j <= max 1 limit) [ 1; 2; 4; 8 ]
+
+let run () =
+  Measure.section "E14: parallel view maintenance"
+    "Appends/second with V persistent views, every append affecting all \
+     of them, as the Δ-folds are partitioned across domains; plus the \
+     parallel initial-materialization kernel over retained history.";
+  let cores = Domain.recommended_domain_count () in
+  Measure.note "hardware: %d recommended domain(s) on this machine" cores;
+  let json = ref [ Measure.J_obj [ ("hardware_cores", Measure.J_int cores) ] ] in
+
+  (* (a) batch-maintenance throughput *)
+  let batches = 64 in
+  let rows =
+    List.concat_map
+      (fun views ->
+        let base = ref 0. in
+        List.map
+          (fun jobs ->
+            let db = mk_db ~jobs ~views in
+            ignore (Db.append db "c" (batch 0)) (* warm plans and stores *);
+            let sn = ref 1 in
+            let secs =
+              Measure.median_time ~runs:5 (fun () ->
+                  for _ = 1 to batches do
+                    ignore (Db.append db "c" (batch !sn));
+                    incr sn
+                  done)
+            in
+            let per_sec = float_of_int batches /. secs in
+            if jobs = 1 then base := per_sec;
+            let speedup = per_sec /. !base in
+            json :=
+              Measure.J_obj
+                [
+                  ("op", Measure.J_str "append");
+                  ("views", Measure.J_int views);
+                  ("jobs", Measure.J_int jobs);
+                  ("batches_per_sec", Measure.J_float per_sec);
+                  ("speedup_vs_1", Measure.J_float speedup);
+                ]
+              :: !json;
+            [
+              string_of_int views;
+              string_of_int jobs;
+              Measure.f1 per_sec;
+              Measure.f2 speedup;
+            ])
+          (degrees ()))
+      [ 64; 256; 512 ]
+  in
+  Measure.print_table ~title:"batch maintenance (64-row groups, 8-row batches)"
+    ~header:[ "views"; "jobs"; "batches/s"; "speedup" ]
+    rows;
+
+  (* (b) initial materialization over retained history *)
+  let history = 20_000 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let db = Db.create ~jobs () in
+        let c =
+          Db.add_chronicle db ~retention:Chron.Full ~name:"c" schema
+        in
+        for i = 0 to (history / batch_rows) - 1 do
+          ignore (Db.append db "c" (batch i))
+        done;
+        let n = ref 0 in
+        let secs =
+          Measure.median_time ~runs:5 (fun () ->
+              incr n;
+              ignore
+                (Db.define_view db
+                   (Sca.define
+                      ~name:(Printf.sprintf "m%d" !n)
+                      ~body:(Ca.Chronicle c)
+                      (Sca.Group_agg
+                         ( [ "acct" ],
+                           [
+                             Aggregate.sum "miles" "m";
+                             Aggregate.count_star "n";
+                           ] )))))
+        in
+        json :=
+          Measure.J_obj
+            [
+              ("op", Measure.J_str "materialize");
+              ("history", Measure.J_int history);
+              ("jobs", Measure.J_int jobs);
+              ("millis", Measure.J_float (secs *. 1e3));
+            ]
+          :: !json;
+        [ string_of_int history; string_of_int jobs; Measure.f2 (secs *. 1e3) ])
+      (degrees ())
+  in
+  Measure.print_table
+    ~title:"initial materialization from retained history"
+    ~header:[ "history rows"; "jobs"; "ms" ]
+    rows;
+  Measure.write_json ~file:"BENCH_E14.json" (List.rev !json)

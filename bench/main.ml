@@ -21,12 +21,27 @@ let experiments =
     ("E11", E11_rewriter.run);
     ("E12", E12_snapshot.run);
     ("E13", E13_durability.run);
+    ("E14", E14_parallel.run);
     ("micro", Micro.run);
   ]
 
 let () =
-  let requested =
+  (* strip a leading `--jobs N` (cap on the parallelism degrees E14
+     sweeps; 0 = the recommended domain count) *)
+  let args =
     match Array.to_list Sys.argv with
+    | exe :: "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            Measure.jobs_limit := n;
+            exe :: rest
+        | _ ->
+            prerr_endline "--jobs expects a non-negative integer";
+            exit 2)
+    | argv -> argv
+  in
+  let requested =
+    match args with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in

@@ -49,15 +49,15 @@ let report_recovery_error = function
       1
   | exn -> raise exn
 
-let run_file snapshot_in snapshot_out durable_dir sync crash_after path =
+let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs path =
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
   let base_session () =
     match snapshot_in with
-    | None -> Session.create ()
+    | None -> Session.create ~jobs ()
     | Some snap -> (
-        match Session_snapshot.load_file snap with
+        match Session_snapshot.load_file ~jobs snap with
         | session ->
             Format.printf "restored snapshot %s@." snap;
             session
@@ -72,7 +72,7 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after path =
     | Some dir -> (
         let storage = Storage.disk ~dir in
         if Durable.has_state storage then
-          match Durable.recover ~sync ~storage () with
+          match Durable.recover ~sync ~jobs ~storage () with
           | d, report ->
               Format.printf "recovered %s: %a@." dir pp_recovery report;
               (Session.of_db (Durable.db d), Some d)
@@ -124,14 +124,14 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after path =
       in
       go stmts
 
-let recover_dir sync dir =
+let recover_dir sync jobs dir =
   let storage = Storage.disk ~dir in
   if not (Durable.has_state storage) then begin
     Format.eprintf "no durable state in %s@." dir;
     1
   end
   else
-    match Durable.recover ~sync ~storage () with
+    match Durable.recover ~sync ~jobs ~storage () with
     | d, report ->
         Format.printf "recovered %s: %a@." dir pp_recovery report;
         let db = Durable.db d in
@@ -216,6 +216,17 @@ let sync_arg =
           "Journal sync policy: $(b,always), $(b,never) or $(b,every:N) \
            (fsync once per N records).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Maintenance parallelism: fold affected views across $(docv) \
+           domains per append ($(b,0) = the recommended domain count). \
+           Results are identical for every value; only wall-clock time \
+           changes.")
+
 let run_cmd =
   let path =
     Arg.(
@@ -263,7 +274,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
     Term.(
       const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
-      $ crash_after $ path)
+      $ crash_after $ jobs_arg $ path)
 
 let recover_cmd =
   let dir =
@@ -277,7 +288,7 @@ let recover_cmd =
        ~doc:
          "Rebuild a database from checkpoint + journal and report what was \
           replayed.")
-    Term.(const recover_dir $ sync_arg $ dir)
+    Term.(const recover_dir $ sync_arg $ jobs_arg $ dir)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive statement loop.") Term.(const repl $ const ())

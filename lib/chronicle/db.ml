@@ -37,6 +37,10 @@ type t = {
   relations : (string, Versioned.t) Hashtbl.t;
   registry : Registry.t;
   default_group : string;
+  pool : Exec.Pool.t;
+      (* the Δ-maintenance executor: [jobs = 1] (default) keeps the
+         historical strictly-sequential transaction path; [jobs > 1]
+         partitions the affected views of each batch across domains *)
   mutable batch_hooks : (sn:Seqnum.t -> batch:Delta.batch -> unit) list;
   mutable txn_sink : (txn_event -> unit) option;
   mutable fold_probe : (view:string -> sn:Seqnum.t -> unit) option;
@@ -45,7 +49,7 @@ type t = {
 let unknown kind name =
   raise (Unknown (Printf.sprintf "%s %S is not in the catalog" kind name))
 
-let create ?(default_group = "main") () =
+let create ?(default_group = "main") ?(jobs = 1) () =
   let t =
     {
       groups = Hashtbl.create 4;
@@ -53,6 +57,7 @@ let create ?(default_group = "main") () =
       relations = Hashtbl.create 16;
       registry = Registry.create ();
       default_group;
+      pool = Exec.Pool.create ~jobs ();
       batch_hooks = [];
       txn_sink = None;
       fold_probe = None;
@@ -60,6 +65,8 @@ let create ?(default_group = "main") () =
   in
   Hashtbl.add t.groups default_group (Group.create default_group);
   t
+
+let jobs t = Exec.Pool.jobs t.pool
 
 let set_txn_sink t sink = t.txn_sink <- sink
 let set_fold_probe t probe = t.fold_probe <- probe
@@ -136,7 +143,10 @@ let define_view t ?index ?(tier_limit = Classify.IM_poly_r) def =
   in
   let view =
     if has_history then
-      match Eval.eval body with
+      (* bulk (re)materialization over retained history: with jobs > 1
+         this is the parallel scan/aggregate kernel (Plan.compile_parallel);
+         at jobs = 1 it is exactly the sequential evaluator *)
+      match Eval.eval_parallel t.pool body with
       | initial -> View.of_initial ?index def initial
       | exception Chron.Not_retained msg ->
           raise
@@ -247,22 +257,63 @@ let transactional_append t g batch ~claim =
            (fun (c, tagged) -> Registry.affected t.registry c tagged)
            tagged_batch)
     in
-    let begun = ref [] in
-    (try
-       List.iter
-         (fun v ->
-           View.begin_txn v;
-           begun := v :: !begun;
-           (match t.fold_probe with
-           | Some probe -> probe ~view:(View.name v) ~sn
-           | None -> ());
-           (* per-append work is probe-and-fold only: the body Δ-plan
-              was compiled once at registration and is replayed here *)
-           View.maintain v ~sn ~batch:tagged_batch)
-         affected
-     with e ->
-       List.iter View.rollback_txn !begun;
-       raise e);
+    let fold_one v =
+      (* per-append work is probe-and-fold only: the body Δ-plan was
+         compiled once at registration and is replayed here *)
+      (match t.fold_probe with
+      | Some probe -> probe ~view:(View.name v) ~sn
+      | None -> ());
+      View.maintain v ~sn ~batch:tagged_batch
+    in
+    let njobs = Exec.Pool.jobs t.pool in
+    if njobs <= 1 || List.length affected <= 1 then begin
+      (* the historical sequential path, byte-identical at jobs = 1 *)
+      let begun = ref [] in
+      (try
+         List.iter
+           (fun v ->
+             View.begin_txn v;
+             begun := v :: !begun;
+             fold_one v)
+           affected
+       with e ->
+         List.iter View.rollback_txn !begun;
+         raise e)
+    end
+    else begin
+      (* Parallel Δ-maintenance.  [affected] is deterministic
+         (registration order, deduplicated), partitioned into
+         contiguous ranges — one range per task, each view owned by
+         exactly one task, so the view's whole txn bracket
+         (begin/fold/commit-or-rollback bookkeeping) is single-domain
+         and needs no locking.  Shared inputs (the recorded batch,
+         chronicle history, relation states) are read-only for the
+         duration; the global [Stats] counters are atomic.  A failure
+         anywhere joins the pool first (all tasks finish or fail —
+         nothing is cancelled mid-fold), then rolls back every begun
+         view on this domain and re-raises the lowest-indexed failure,
+         which the enclosing handler turns into a full batch abort. *)
+      let views = Array.of_list affected in
+      let begun = Array.make (Array.length views) false in
+      let tasks =
+        Array.map
+          (fun (start, len) () ->
+            for i = start to start + len - 1 do
+              let v = views.(i) in
+              View.begin_txn v;
+              begun.(i) <- true;
+              fold_one v
+            done)
+          (Exec.Pool.chunk_ranges ~jobs:njobs (Array.length views))
+      in
+      match Exec.Pool.run t.pool tasks with
+      | exns when Array.for_all Option.is_none exns -> ()
+      | exns ->
+          Array.iteri
+            (fun i begun_i -> if begun_i then View.rollback_txn views.(i))
+            begun;
+          Array.iter (function Some e -> raise e | None -> ()) exns
+    end;
     List.iter View.commit_txn affected;
     tagged_batch
   with

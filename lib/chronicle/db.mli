@@ -25,9 +25,26 @@ type t
 
 exception Unknown of string
 
-val create : ?default_group:string -> unit -> t
+val create : ?default_group:string -> ?jobs:int -> unit -> t
 (** A database starts with one chronicle group (named "main" unless
-    overridden). *)
+    overridden).
+
+    [jobs] (default [1]) is the maintenance parallelism degree: the
+    number of domains across which the Δ-folds of affected views are
+    partitioned on each append, and across which initial view
+    materialization splits its scan.  [0] means
+    [Domain.recommended_domain_count ()].  At [jobs = 1] the
+    transaction path is the historical sequential one — no pool, no
+    task handoff — and the system's observable behaviour (including
+    the per-view insertion order of every store) is byte-identical to
+    a build without the parallel layer.  At [jobs > 1] each affected
+    view is still folded {e wholly} by exactly one task, so per-view
+    results are identical to the sequential run; only the interleaving
+    {e across} views changes. *)
+
+val jobs : t -> int
+(** The effective parallelism degree ([>= 1]; [?jobs:0] has already
+    been resolved to the recommended domain count). *)
 
 (** {2 Catalog} *)
 

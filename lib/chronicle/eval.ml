@@ -42,6 +42,12 @@ let rec to_ra expr =
    call, never cache across appends. *)
 let eval expr = Plan.run (Plan.compile (to_ra expr))
 
+(* Bulk evaluation on a domain pool: a top-level GROUPBY (the common
+   shape of a view body over retained history) splits its scan into
+   contiguous ranges folded in parallel and merged order-preservingly
+   ({!Plan.compile_parallel}).  Degree 1 is exactly {!eval}. *)
+let eval_parallel pool expr = Plan.run (Plan.compile_parallel pool (to_ra expr))
+
 let eval_before expr sn =
   let restrict e =
     match e with

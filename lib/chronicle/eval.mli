@@ -20,6 +20,12 @@ val eval : Ca.t -> Tuple.t list
     no difficulty — it is only their {e incremental} maintenance that is
     expensive). *)
 
+val eval_parallel : Exec.Pool.t -> Ca.t -> Tuple.t list
+(** Bulk evaluation on a domain pool: a top-level GROUPBY (the common
+    shape of a view body over retained history) splits its scan into
+    contiguous ranges folded in parallel and merged order-preservingly
+    ({!Plan.compile_parallel}).  Degree 1 is exactly {!eval}. *)
+
 val eval_before : Ca.t -> Seqnum.t -> Tuple.t list
 (** [eval_before e sn] = the value of [e] restricted to tuples with
     sequence number < [sn] — the "old" state used by the Δ-rules of the

@@ -7,13 +7,24 @@ type entry = {
   guards : (Chron.t * (Tuple.t -> bool) option) list;
 }
 
+(* Entries live in a vector in registration order — the one iteration
+   order every registry traversal uses.  [affected] in particular must
+   be deterministic and stable (parallel maintenance partitions its
+   output across domains by contiguous ranges; a hash-table iteration
+   order here would make task ownership, and hence any failure report,
+   depend on hashing accidents).  The side table maps view name to its
+   vector slot for O(1) [find]/duplicate checks under many views;
+   [unregister] compacts the vector, preserving relative order. *)
 type t = {
-  mutable entries : entry list;
+  entries : entry Vec.t;
+  by_name : (string, int) Hashtbl.t; (* view name -> vector slot *)
   mutable checked : int;
   mutable skipped : int;
 }
 
-let create () = { entries = []; checked = 0; skipped = 0 }
+let create () =
+  { entries = Vec.create (); by_name = Hashtbl.create 64; checked = 0;
+    skipped = 0 }
 
 (* Extract a conjunction of selection predicates that is a necessary
    condition, on a tuple appended to the base chronicle [c], for the
@@ -73,7 +84,7 @@ let guard_for view c =
 
 let register t view =
   let vname = View.name view in
-  if List.exists (fun e -> String.equal (View.name e.view) vname) t.entries then
+  if Hashtbl.mem t.by_name vname then
     invalid_arg (Printf.sprintf "Registry.register: view %s already exists" vname);
   let chronicles = Ca.chronicles (Sca.body (View.def view)) in
   let guards = List.map (fun c -> (c, guard_for view c)) chronicles in
@@ -82,38 +93,56 @@ let register t view =
      every subsequent append is a pure cache hit.  Redefinition is
      unregister + register of a fresh view, which recompiles. *)
   ignore (View.plan view);
-  t.entries <- t.entries @ [ { view; guards } ]
+  Hashtbl.replace t.by_name vname (Vec.push t.entries { view; guards })
 
 let unregister t name =
-  t.entries <-
-    List.filter (fun e -> not (String.equal (View.name e.view) name)) t.entries
+  match Hashtbl.find_opt t.by_name name with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.by_name name;
+      (* compact: shift the suffix down one slot, preserving the
+         relative registration order of the survivors *)
+      let n = Vec.length t.entries in
+      for i = slot + 1 to n - 1 do
+        let e = Vec.get t.entries i in
+        Vec.set t.entries (i - 1) e;
+        Hashtbl.replace t.by_name (View.name e.view) (i - 1)
+      done;
+      Vec.truncate t.entries (n - 1)
 
 let find t name =
   Option.map
-    (fun e -> e.view)
-    (List.find_opt (fun e -> String.equal (View.name e.view) name) t.entries)
+    (fun slot -> (Vec.get t.entries slot).view)
+    (Hashtbl.find_opt t.by_name name)
 
-let views t = List.map (fun e -> e.view) t.entries
+(* Every enumeration below walks [t.entries] front to back, i.e. in
+   registration order — a documented guarantee, not an accident. *)
+
+let views t = List.map (fun e -> e.view) (Vec.to_list t.entries)
 
 let dependents t c =
-  List.filter_map
-    (fun e -> if List.exists (fun (c', _) -> c' == c) e.guards then Some e.view else None)
-    t.entries
+  Vec.fold
+    (fun acc e ->
+      if List.exists (fun (c', _) -> c' == c) e.guards then e.view :: acc
+      else acc)
+    [] t.entries
+  |> List.rev
 
 let affected t c tuples =
-  List.filter_map
-    (fun e ->
+  Vec.fold
+    (fun acc e ->
       match List.find_opt (fun (c', _) -> c' == c) e.guards with
-      | None -> None (* view does not depend on this chronicle *)
-      | Some (_, None) -> Some e.view (* no guard: always maintain *)
+      | None -> acc (* view does not depend on this chronicle *)
+      | Some (_, None) -> e.view :: acc (* no guard: always maintain *)
       | Some (_, Some guard) ->
           t.checked <- t.checked + 1;
-          if List.exists guard tuples then Some e.view
+          if List.exists guard tuples then e.view :: acc
           else begin
             t.skipped <- t.skipped + 1;
-            None
+            acc
           end)
-    t.entries
+    [] t.entries
+  |> List.rev
 
 let checked t = t.checked
 let skipped t = t.skipped
@@ -121,4 +150,4 @@ let skipped t = t.skipped
 let index_advice t =
   List.map
     (fun e -> (View.name e.view, Sca.group_attrs (View.def e.view)))
-    t.entries
+    (Vec.to_list t.entries)

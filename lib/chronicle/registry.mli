@@ -25,14 +25,25 @@ val register : t -> View.t -> unit
 
 val unregister : t -> string -> unit
 val find : t -> string -> View.t option
+(** O(1) expected (name-indexed); many-view catalogs stay cheap. *)
+
 val views : t -> View.t list
+(** In registration order. *)
 
 val dependents : t -> Chron.t -> View.t list
-(** All registered views whose body mentions the chronicle. *)
+(** All registered views whose body mentions the chronicle, in
+    registration order. *)
 
 val affected : t -> Chron.t -> Tuple.t list -> View.t list
 (** Views that may change given the tagged tuples appended to the
-    chronicle: dependents whose guard passes at least one tuple. *)
+    chronicle: dependents whose guard passes at least one tuple.
+
+    The output order is {e deterministic and stable}: registration
+    order, independent of any hash-table iteration order.  The parallel
+    maintenance path partitions this list into contiguous per-domain
+    ranges, so determinism here is what makes task ownership (and the
+    lowest-index failure chosen on rollback) reproducible run to
+    run. *)
 
 (** {2 Economics counters} *)
 

@@ -335,7 +335,7 @@ let sexp_of_db db =
 
 let save db = Sexp.to_string_pretty (sexp_of_db db)
 
-let db_of_sexp doc =
+let db_of_sexp ?jobs doc =
   (match Sexp.field_opt doc "chronicle-snapshot" with
   | Some v when Sexp.to_int v = 1 -> ()
   | Some v -> error "unsupported snapshot version %s" (Sexp.to_string v)
@@ -348,7 +348,7 @@ let db_of_sexp doc =
         (match group_entries with
         | first :: _ -> Sexp.to_atom (Sexp.field first "name")
         | [] -> "main")
-      ()
+      ?jobs ()
   in
   List.iteri
     (fun i entry ->
@@ -408,7 +408,7 @@ let db_of_sexp doc =
     (Sexp.to_list (Sexp.field doc "views"));
   db
 
-let load text = db_of_sexp (Sexp.of_string text)
+let load ?jobs text = db_of_sexp ?jobs (Sexp.of_string text)
 
 let save_file db path =
   let oc = open_out path in
@@ -416,11 +416,11 @@ let save_file db path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (save db))
 
-let load_file path =
+let load_file ?jobs path =
   let ic = open_in path in
   let text =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  load text
+  load ?jobs text

@@ -256,12 +256,12 @@ type report = {
   dropped_failed : bool;
 }
 
-let recover ?fault ?(sync = Journal.Sync_always) ~storage () =
+let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
   let fault = Option.value fault ~default:(Fault.create ()) in
   let checkpoint_loaded, database =
     match storage.Storage.read checkpoint_file with
-    | Some doc -> (true, Snapshot.load doc)
-    | None -> (false, Db.create ())
+    | Some doc -> (true, Snapshot.load ?jobs doc)
+    | None -> (false, Db.create ?jobs ())
   in
   let records, tail = Journal.read storage journal_file in
   let n = List.length records in

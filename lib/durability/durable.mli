@@ -89,13 +89,20 @@ type report = {
 val recover :
   ?fault:Fault.t ->
   ?sync:Journal.sync_policy ->
+  ?jobs:int ->
   storage:Storage.t ->
   unit ->
   t * report
 (** Rebuild the database from checkpoint + journal and re-attach.
     Each replayed record bumps [Stats.Journal_replay].  Raises
     {!Journal.Journal_corrupt} on checksum corruption and
-    {!Recovery_error} if a non-final record fails to replay. *)
+    {!Recovery_error} if a non-final record fails to replay.
+
+    [jobs] is the maintenance parallelism degree of the rebuilt
+    database ({!Db.create}); replayed batches fold their affected
+    views under it just as live appends do.  The recovered state is
+    the same for every degree — each view is folded wholly by one
+    task, in batch order. *)
 
 val has_state : Storage.t -> bool
 (** True if the storage holds a checkpoint or a journal — i.e.

@@ -1,66 +1,96 @@
 exception Crash of string
 
+(* [hit] is called from the transaction path, which at [jobs > 1] folds
+   affected views on several domains concurrently — the [view-fold]
+   crash point in particular fires from pool workers.  A mutex
+   serializes all mutation of the tables and the countdowns; at most
+   one concurrent prober wins the race to crash (the others see
+   [dead = true] and pass through), mirroring a real machine where one
+   fault takes the process down once. *)
 type t = {
+  lock : Mutex.t;
   armed : (string, int ref) Hashtbl.t; (* remaining hits before firing *)
   counts : (string, int) Hashtbl.t;
   mutable torn : (int ref * int) option; (* appends before firing, bytes kept *)
   mutable dead : bool;
 }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create () =
-  { armed = Hashtbl.create 8; counts = Hashtbl.create 8; torn = None;
-    dead = false }
+  { lock = Mutex.create (); armed = Hashtbl.create 8;
+    counts = Hashtbl.create 8; torn = None; dead = false }
 
 let arm t ?(after = 0) name =
   if after < 0 then invalid_arg "Fault.arm: negative countdown";
-  Hashtbl.replace t.armed name (ref after)
+  locked t (fun () -> Hashtbl.replace t.armed name (ref after))
 
-let disarm t name = Hashtbl.remove t.armed name
+let disarm t name = locked t (fun () -> Hashtbl.remove t.armed name)
 
 let disarm_all t =
-  Hashtbl.reset t.armed;
-  t.torn <- None
+  locked t (fun () ->
+      Hashtbl.reset t.armed;
+      t.torn <- None)
 
 let hit_count t name =
-  Option.value ~default:0 (Hashtbl.find_opt t.counts name)
+  locked t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.counts name))
 
 let hit t name =
-  Hashtbl.replace t.counts name (hit_count t name + 1);
-  if not t.dead then
-    match Hashtbl.find_opt t.armed name with
-    | Some remaining when !remaining = 0 ->
-        Hashtbl.remove t.armed name;
-        t.dead <- true;
-        raise (Crash name)
-    | Some remaining -> decr remaining
-    | None -> ()
+  let fire =
+    locked t (fun () ->
+        Hashtbl.replace t.counts name
+          (Option.value ~default:0 (Hashtbl.find_opt t.counts name) + 1);
+        if t.dead then false
+        else
+          match Hashtbl.find_opt t.armed name with
+          | Some remaining when !remaining = 0 ->
+              Hashtbl.remove t.armed name;
+              t.dead <- true;
+              true
+          | Some remaining ->
+              decr remaining;
+              false
+          | None -> false)
+  in
+  if fire then raise (Crash name)
 
 let is_dead t = t.dead
 
 let revive t =
-  t.dead <- false;
+  locked t (fun () -> t.dead <- false);
   disarm_all t
 
 let arm_torn_write ?(after = 0) t ~keep =
   if after < 0 || keep < 0 then invalid_arg "Fault.arm_torn_write";
-  t.torn <- Some (ref after, keep)
+  locked t (fun () -> t.torn <- Some (ref after, keep))
 
 let wrap_storage t (s : Storage.t) =
   {
     s with
     Storage.append =
       (fun name data ->
-        match t.torn with
-        | Some (remaining, keep) when (not t.dead) && !remaining = 0 ->
-            t.torn <- None;
-            t.dead <- true;
+        (* decide under the lock, perform storage I/O outside it *)
+        let tear =
+          locked t (fun () ->
+              match t.torn with
+              | Some (remaining, keep) when (not t.dead) && !remaining = 0 ->
+                  t.torn <- None;
+                  t.dead <- true;
+                  Some keep
+              | Some (remaining, _) when not t.dead ->
+                  decr remaining;
+                  None
+              | _ -> None)
+        in
+        match tear with
+        | Some keep ->
             s.Storage.append name
               (String.sub data 0 (min keep (String.length data)));
             raise (Crash "torn-write")
-        | Some (remaining, _) when not t.dead ->
-            decr remaining;
-            s.Storage.append name data
-        | _ -> s.Storage.append name data);
+        | None -> s.Storage.append name data);
   }
 
 let flip_bit (s : Storage.t) ~name ~byte ~bit =

@@ -1,0 +1,84 @@
+(** A fixed-size domain pool for data-parallel sections of the engine.
+
+    The maintenance theorem behind the transaction path makes every
+    persistent view's Δ-fold independent of every other view's: the
+    folds share only read-only inputs (the recorded batch, chronicle
+    history, relation states) and the global {!Stats} counters (which
+    are atomic).  This module supplies the execution substrate that
+    exploits the independence: a set of long-lived worker domains fed
+    through a single work queue, with chunked task submission and a
+    graceful single-domain fallback.
+
+    {2 Design}
+
+    - A handle ({!t}) carries only the requested parallelism degree
+      [jobs].  The worker domains themselves are process-global and
+      shared by every handle: domains are a scarce resource (the OCaml
+      runtime caps their number), so creating many databases must not
+      create many domain sets.  Workers are spawned lazily on the first
+      parallel submission and joined at process exit.
+    - [jobs = 1] (the default everywhere) never touches a domain: tasks
+      run inline on the caller, in submission order, so the sequential
+      path is byte-identical to a build without this module.
+    - A submission with [jobs = n] is served by the caller plus at most
+      [n - 1] workers, even when more workers exist (other handles may
+      have asked for more) — the degree is a property of the
+      submission, not of the pool, so benchmarks sweeping domain counts
+      measure what they claim to.
+    - Tasks are claimed from a shared atomic cursor (work queue
+      semantics): a cheap task finishing early frees its domain for the
+      next chunk, so skew across chunks does not serialize the batch.
+
+    {2 Discipline}
+
+    [run]/[map] must be called from the domain that owns the handle
+    (in this engine: the domain running the transaction path), and
+    parallel sections must not nest.  Tasks must not raise across the
+    pool — exceptions are caught per task and reported to the
+    submitter, who decides (the transaction path rolls every view back
+    and re-raises the first failure, preserving the txn protocol). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] — a handle requesting [jobs]-way parallelism.
+    [jobs = 1] (default) is the sequential fallback; [jobs = 0] means
+    {!Domain.recommended_domain_count}[ ()].  Raises
+    [Invalid_argument] on negative [jobs] or a request beyond the
+    runtime's domain budget. *)
+
+val sequential : t
+(** [create ~jobs:1 ()]. *)
+
+val jobs : t -> int
+(** The effective parallelism degree (≥ 1). *)
+
+val run : t -> (unit -> unit) array -> exn option array
+(** Execute every task, the caller working alongside at most
+    [jobs t - 1] worker domains; return per-task outcomes.  All tasks
+    are executed even if some raise (a failed task cannot cancel its
+    siblings mid-flight; the caller owns recovery).  With [jobs t = 1]
+    or fewer than two tasks, runs inline sequentially in array order —
+    no domain is ever involved. *)
+
+val run_exn : t -> (unit -> unit) array -> unit
+(** Like {!run}, but re-raises the lowest-indexed failure (a
+    deterministic choice) after all tasks have finished. *)
+
+val map : t -> (unit -> 'a) array -> 'a array
+(** Parallel evaluation of thunks; re-raises the lowest-indexed
+    failure if any thunk raises. *)
+
+val chunk_ranges : jobs:int -> int -> (int * int) array
+(** [chunk_ranges ~jobs n] partitions [0 .. n-1] into at most [jobs]
+    contiguous [(start, length)] ranges of near-equal size (sizes
+    differ by at most one, empty ranges omitted).  Contiguity is what
+    makes parallel folds order-stable: each range preserves the
+    sequential visit order within itself. *)
+
+val worker_count : unit -> int
+(** Live worker domains (excluding the caller); observability only. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains.  Subsequent submissions respawn lazily.
+    Called automatically at process exit. *)

@@ -17,7 +17,7 @@ let of_db db =
     detectors = Hashtbl.create 8;
   }
 
-let create () = of_db (Db.create ())
+let create ?jobs () = of_db (Db.create ?jobs ())
 
 let db t = t.db
 

@@ -9,7 +9,10 @@ open Chronicle_events
 
 type t
 
-val create : unit -> t
+val create : ?jobs:int -> unit -> t
+(** [jobs] is the maintenance parallelism degree of the underlying
+    database (see {!Db.create}; default 1 = sequential, 0 = the
+    recommended domain count). *)
 
 val of_db : Db.t -> t
 (** Wrap an existing database (e.g. one restored from a snapshot). *)

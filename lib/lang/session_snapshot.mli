@@ -16,10 +16,11 @@
 exception Session_snapshot_error of string
 
 val save : Session.t -> string
-val load : string -> Session.t
+val load : ?jobs:int -> string -> Session.t
 (** Raises {!Session_snapshot_error},
     [Chronicle_core.Snapshot.Snapshot_error] or [Relational.Sexp.Parse_error]
-    on malformed input. *)
+    on malformed input.  [jobs] is the maintenance parallelism degree
+    of the restored database (see {!Chronicle_core.Db.create}). *)
 
 val save_file : Session.t -> string -> unit
-val load_file : string -> Session.t
+val load_file : ?jobs:int -> string -> Session.t

@@ -108,7 +108,18 @@ let compiled input_schema ~group_by ~aggs =
 
 let compiled_schema c = c.c_out_schema
 
-let run_compiled c tuples =
+(* A partial aggregation over one slice of the input: the group table
+   plus first-appearance order (reversed).  Partials over contiguous
+   input ranges merge (in range order) to exactly the table a single
+   sequential fold would build — including its output order — because
+   the global first appearance of a key is its first appearance in the
+   earliest range containing it. *)
+type partial = {
+  p_groups : Aggregate.state array Key_tbl.t;
+  p_order : Value.t list list; (* reversed first-appearance order *)
+}
+
+let run_compiled_partial c tuples =
   let groups = Key_tbl.create 64 in
   let order = ref [] in
   List.iter
@@ -134,14 +145,47 @@ let run_compiled c tuples =
           states.(i) <- Aggregate.step call.func states.(i) arg)
         c.c_aggs)
     tuples;
-  let row_of key states =
-    Tuple.make
-      (key
-      @ List.mapi
-          (fun i (call : Aggregate.call) -> Aggregate.final call.func states.(i))
-          c.c_aggs)
-  in
-  List.rev_map (fun key -> row_of key (Key_tbl.find groups key)) !order
+  { p_groups = groups; p_order = !order }
+
+let compiled_row_of c key states =
+  Tuple.make
+    (key
+    @ List.mapi
+        (fun i (call : Aggregate.call) -> Aggregate.final call.func states.(i))
+        c.c_aggs)
+
+let result_of_partial c { p_groups; p_order } =
+  List.rev_map (fun key -> compiled_row_of c key (Key_tbl.find p_groups key)) p_order
+
+let merge_partials c = function
+  | [] -> []
+  | [ single ] -> result_of_partial c single
+  | first :: rest ->
+      (* merge into the first partial, visiting later partials in range
+         order and their keys in first-appearance order; a key unseen so
+         far is appended (adopting its states), a seen key merges
+         state-wise via [Aggregate.merge] *)
+      let merged = first.p_groups in
+      let order = ref first.p_order in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun key ->
+              let states = Key_tbl.find p.p_groups key in
+              match Key_tbl.find_opt merged key with
+              | None ->
+                  Key_tbl.add merged key states;
+                  order := key :: !order
+              | Some acc ->
+                  List.iteri
+                    (fun i (call : Aggregate.call) ->
+                      acc.(i) <- Aggregate.merge call.func acc.(i) states.(i))
+                    c.c_aggs)
+            (List.rev p.p_order))
+        rest;
+      result_of_partial c { p_groups = merged; p_order = !order }
+
+let run_compiled c tuples = result_of_partial c (run_compiled_partial c tuples)
 
 let run_rel rel ~group_by ~aggs =
   run (Relation.schema rel) (Relation.to_list rel) ~group_by ~aggs

@@ -260,5 +260,88 @@ let compile expr =
 
 let eval expr = run (compile expr)
 
+(* ---- parallel scan/aggregate (bulk materialization) ----
+
+   A top-level GROUPBY over a large backing collection — the initial
+   materialization of a persistent view, not the Δ-path — decomposes
+   into independent partial folds over contiguous input ranges plus an
+   order-preserving merge (Groupby.merge_partials).  When the input is
+   a Select/Project chain over one base Const or Rel, the chain itself
+   is compiled range-wise so the scan and filter run inside the
+   parallel tasks too; any other child shape falls back to a
+   sequential child evaluation with only the fold parallelized. *)
+
+let range_thunks ~jobs arr =
+  Array.map
+    (fun (start, len) () -> Array.to_list (Array.sub arr start len))
+    (Exec.Pool.chunk_ranges ~jobs (Array.length arr))
+
+(* Compile [expr] into a function producing per-range input thunks:
+   Some (schema, mk) where [mk ()] re-splits the base at call time (a
+   Rel's contents are only known then; a Const's split is hoisted). *)
+let rec comp_ranged ~jobs expr :
+    (Schema.t * (unit -> (unit -> Tuple.t list) array)) option =
+  match expr with
+  | Ra.Const (schema, tuples) ->
+      let arr = Array.of_list tuples in
+      Some (schema, fun () -> range_thunks ~jobs arr)
+  | Ra.Rel r ->
+      Some
+        ( Relation.schema r,
+          fun () -> range_thunks ~jobs (Array.of_list (Relation.to_list r)) )
+  | Ra.Select (p, e) ->
+      Option.map
+        (fun (schema, mk) ->
+          let keep = Predicate.compile schema p in
+          ( schema,
+            fun () ->
+              Array.map
+                (fun thunk () ->
+                  List.filter
+                    (fun tu ->
+                      Stats.incr Stats.Tuple_read;
+                      keep tu)
+                    (thunk ()))
+                (mk ()) ))
+        (comp_ranged ~jobs e)
+  | Ra.Project (attrs, e) ->
+      Option.map
+        (fun ((schema : Schema.t), mk) ->
+          let proj = Tuple.projector schema attrs in
+          ( Ra.schema_of expr,
+            fun () ->
+              Array.map (fun thunk () -> List.map proj (thunk ())) (mk ()) ))
+        (comp_ranged ~jobs e)
+  | _ -> None
+
+let compile_parallel pool expr =
+  let jobs = Exec.Pool.jobs pool in
+  match expr with
+  | Ra.GroupBy (gl, al, child) when jobs > 1 ->
+      Stats.incr Stats.Plan_compile;
+      let schema = Ra.schema_of expr in
+      let ranged =
+        match comp_ranged ~jobs child with
+        | Some (child_schema, mk) -> (child_schema, mk)
+        | None ->
+            (* sequential scan, parallel fold *)
+            let child_schema, exec = comp child in
+            ( child_schema,
+              fun () -> range_thunks ~jobs (Array.of_list (exec ())) )
+      in
+      let child_schema, mk_ranges = ranged in
+      let grouper = Groupby.compiled child_schema ~group_by:gl ~aggs:al in
+      let exec () =
+        let partials =
+          Exec.Pool.map pool
+            (Array.map
+               (fun thunk () -> Groupby.run_compiled_partial grouper (thunk ()))
+               (mk_ranges ()))
+        in
+        Groupby.merge_partials grouper (Array.to_list partials)
+      in
+      { source = expr; schema; exec }
+  | _ -> compile expr
+
 (* Make [Ra.eval] the compiled pipeline (see the note in ra.ml). *)
 let () = Ra.internal_set_eval eval

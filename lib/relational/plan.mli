@@ -39,6 +39,21 @@ val run : t -> Tuple.t list
 val eval : Ra.t -> Tuple.t list
 (** [run ∘ compile]; what {!Ra.eval} dispatches to. *)
 
+val compile_parallel : Exec.Pool.t -> Ra.t -> t
+(** Like {!compile}, but when the pool's degree exceeds 1 and the
+    expression is a top-level [GroupBy], the plan executes as a
+    {e parallel scan/aggregate}: the input is split into contiguous
+    ranges (a [Select]/[Project] chain over a base [Const] or [Rel] is
+    itself evaluated range-wise, so the scan and the filter
+    parallelize, not just the fold), each range folds into a partial
+    group table on its own domain, and the partials merge in range
+    order ({!Groupby.merge_partials}) — same result and output order as
+    the sequential plan.  Intended for one-shot bulk evaluation (the
+    initial materialization of a view over a large backing collection),
+    {e not} for the incremental Δ-path, whose batches are far too small
+    to amortize a fork/join.  With degree 1 (or any other expression
+    shape) this is exactly {!compile}. *)
+
 val schema : t -> Schema.t
 (** Result schema, resolved at compile time. *)
 

@@ -41,11 +41,21 @@ type counter =
 val incr : counter -> unit
 val add : counter -> int -> unit
 val get : counter -> int
+(** Counters are atomic ([Atomic.t] cells): the parallel maintenance
+    path bumps them from several domains at once and no update is ever
+    lost, so totals over a quiescent region are exact regardless of the
+    domain count.  With [jobs = 1] the behaviour (and every observable
+    value) is identical to plain mutable integers. *)
 
 (** A snapshot of all counters, for before/after differencing. *)
 type snapshot
 
 val snapshot : unit -> snapshot
+(** Each counter is read atomically.  Under concurrent bumps the vector
+    is not a single global cut, but any bump is counted in exactly one
+    of two bracketing snapshots, so [diff before after] over a region
+    that starts and ends quiescent is exact. *)
+
 val reset : unit -> unit
 
 (** [diff before after] = counts accumulated between the two snapshots. *)

@@ -1,0 +1,43 @@
+Parallel maintenance is an execution property, not a semantics: the
+same script produces byte-identical output at every --jobs degree
+(each affected view is folded wholly by one task, so per-view state
+and printing order never depend on the parallelism).
+
+  $ chronicle-cli run --jobs 1 billing.cdl > jobs1.out
+  $ chronicle-cli run --jobs 4 billing.cdl > jobs4.out
+  $ cmp jobs1.out jobs4.out && echo identical
+  identical
+
+--jobs 0 asks for the recommended domain count, and is equally
+invisible in the output:
+
+  $ chronicle-cli run --jobs 0 billing.cdl > jobs0.out
+  $ cmp jobs1.out jobs0.out && echo identical
+  identical
+
+The degree also rides through durable recovery: journal replay folds
+the affected views under the requested parallelism and recovers the
+same state at every degree.
+
+  $ cat > setup.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > DEFINE VIEW balance AS SELECT acct, SUM(miles) AS total FROM CHRONICLE mileage GROUP BY acct;
+  > DEFINE VIEW frequent AS SELECT acct, COUNT(*) AS flights FROM CHRONICLE mileage GROUP BY acct;
+  > APPEND INTO mileage VALUES (1, 100), (2, 40);
+  > CDL
+  $ cat > more.cdl <<CDL
+  > APPEND INTO mileage VALUES (1, 60);
+  > APPEND INTO mileage VALUES (3, 75);
+  > SHOW VIEW balance;
+  > CDL
+  $ chronicle-cli run --durable d --jobs 4 setup.cdl > /dev/null
+  $ chronicle-cli run --durable d --jobs 4 --crash-after 1 more.cdl > /dev/null
+  [2]
+  $ chronicle-cli recover --jobs 4 d
+  recovered d: checkpoint loaded; journal: 2 replayed, 0 skipped
+  view balance: 3 row(s)
+  view frequent: 3 row(s)
+  $ chronicle-cli recover --jobs 1 d > seq.out
+  $ chronicle-cli recover --jobs 4 d > par.out
+  $ cmp seq.out par.out && echo identical
+  identical

@@ -54,10 +54,12 @@ let mileage_schema =
     [ ("acct", Value.TInt); ("miles", Value.TInt); ("fare", Value.TFloat) ]
 
 (* Catalog under test: two chronicles in one group (ring and discard
-   retention), one relation, and two views — a grouped aggregate over a
-   union of both chronicles and a guarded selection view. *)
-let mk_db () =
-  let db = Db.create () in
+   retention), one relation, and three views — a grouped aggregate over
+   a union of both chronicles, a guarded selection view, and a guarded
+   per-account view (so batches affect one, two or three views, and a
+   parallel run has real partitions to hand out). *)
+let mk_db ?jobs () =
+  let db = Db.create ?jobs () in
   ignore
     (Db.add_chronicle db ~retention:(Chron.Window 4) ~name:"mileage"
        mileage_schema);
@@ -79,6 +81,13 @@ let mk_db () =
             (Ca.Select
                (Predicate.("miles" >% vi 50), Ca.Chronicle (Db.chronicle db "mileage")))
           (Sca.Group_agg ([ "acct" ], [ Aggregate.max_ "miles" "hi" ]))));
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"acct2"
+          ~body:
+            (Ca.Select
+               (Predicate.("acct" =% vi 2), Ca.Chronicle (Db.chronicle db "bonus")))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "b2" ]))));
   db
 
 let apply ?durable db op =
@@ -93,7 +102,10 @@ let apply ?durable db op =
   | Checkpoint -> (
       match durable with Some d -> Durable.checkpoint d | None -> ())
 
-(* Clean-run states S₀ … Sₙ. *)
+(* Clean-run states S₀ … Sₙ — always computed sequentially (jobs = 1),
+   so a crashed-and-recovered parallel run is checked against the
+   sequential states: crash equivalence and parallel transparency in
+   one comparison. *)
 let clean_states ops =
   let db = mk_db () in
   (* bind S₀ before mapping: [::] evaluates right-to-left, and the map
@@ -109,8 +121,8 @@ let clean_states ops =
 
 (* Run the workload durably with [script] armed after attach; returns
    the number of ops that completed before a crash (n = no crash). *)
-let durable_run ops ~storage ~fault ~script =
-  let db = mk_db () in
+let durable_run ops ~jobs ~storage ~fault ~script =
+  let db = mk_db ~jobs () in
   let d = Durable.attach ~fault ~storage db in
   script fault;
   let applied = ref 0 in
@@ -123,13 +135,14 @@ let durable_run ops ~storage ~fault ~script =
    with Fault.Crash _ -> ());
   (!applied, Fault.is_dead fault)
 
-(* The property itself. *)
-let check_crash_equivalence ?(what = "") ops script =
+(* The property itself.  [jobs] is the maintenance parallelism of the
+   crashing run and of recovery; the reference states stay sequential. *)
+let check_crash_equivalence ?(what = "") ?(jobs = 1) ops script =
   let states = clean_states ops in
   let storage = Storage.mem () in
   let fault = Fault.create () in
-  let applied, crashed = durable_run ops ~storage ~fault ~script in
-  let d, _report = Durable.recover ~storage () in
+  let applied, crashed = durable_run ops ~jobs ~storage ~fault ~script in
+  let d, _report = Durable.recover ~jobs ~storage () in
   let recovered = Snapshot.save (Durable.db d) in
   let ok =
     if not crashed then recovered = states.(Array.length states - 1)
@@ -176,14 +189,25 @@ let crash_points =
 let test_exhaustive_crash_sweep () =
   let max_countdown = 14 in
   List.iter
-    (fun point ->
-      for k = 0 to max_countdown do
-        check_crash_equivalence
-          ~what:(Printf.sprintf "%s after %d hits" point k)
-          fixed_workload
-          (fun fault -> Fault.arm fault ~after:k point)
-      done)
-    crash_points
+    (fun jobs ->
+      List.iter
+        (fun point ->
+          for k = 0 to max_countdown do
+            check_crash_equivalence
+              ~what:(Printf.sprintf "%s after %d hits (jobs=%d)" point k jobs)
+              ~jobs fixed_workload
+              (fun fault -> Fault.arm fault ~after:k point)
+          done)
+        crash_points)
+    [ 1; 2 ];
+  (* the view-fold point is the one probed concurrently from pool
+     domains: sweep it at a higher degree too *)
+  for k = 0 to max_countdown do
+    check_crash_equivalence
+      ~what:(Printf.sprintf "view-fold after %d hits (jobs=4)" k)
+      ~jobs:4 fixed_workload
+      (fun fault -> Fault.arm fault ~after:k "view-fold")
+  done
 
 let test_exhaustive_torn_sweep () =
   for k = 0 to 12 do
@@ -238,16 +262,20 @@ let script_gen =
       ])
 
 let case_gen =
-  QCheck.Gen.(pair (list_size (int_range 1 14) op_gen) script_gen)
+  QCheck.Gen.(
+    triple (list_size (int_range 1 14) op_gen) script_gen (oneofl [ 1; 2; 4 ]))
 
 let qcheck_crash_equivalence =
   let arb =
-    QCheck.make ~print:(fun (ops, _) -> show_ops ops) case_gen
+    QCheck.make
+      ~print:(fun (ops, _, jobs) ->
+        Printf.sprintf "jobs=%d %s" jobs (show_ops ops))
+      case_gen
   in
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:120 ~name:"randomized crash equivalence" arb
-       (fun (ops, script) ->
-         check_crash_equivalence ~what:"random" ops script;
+       (fun (ops, script, jobs) ->
+         check_crash_equivalence ~what:"random" ~jobs ops script;
          true))
 
 let () =

@@ -105,6 +105,54 @@ let test_unrelated_chronicle_not_affected () =
   check_int "bonus append does not touch mileage view" 0
     (List.length (Registry.affected reg fx.bonus (tagged fx 1 [ mile 1 5 1. ])))
 
+let test_affected_order_deterministic () =
+  (* [affected] must return views in registration order — the parallel
+     maintenance path partitions the list into contiguous per-domain
+     ranges, so a hash-order here would make task ownership
+     irreproducible.  Register many views with hash-hostile names,
+     punch holes with [unregister], and check every enumeration is the
+     registration order of the survivors. *)
+  let fx = make () in
+  let reg = Registry.create () in
+  let names =
+    List.map (fun i -> Printf.sprintf "view_%03d" i) [ 9; 3; 17; 1; 12; 5; 20; 8; 14; 2 ]
+  in
+  List.iter
+    (fun name ->
+      Registry.register reg
+        (View.create
+           (Sca.define ~name ~body:(Ca.Chronicle fx.mileage)
+              (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ])))))
+    names;
+  List.iter (Registry.unregister reg) [ "view_017"; "view_002"; "view_009" ];
+  let survivors =
+    List.filter (fun n -> not (List.mem n [ "view_017"; "view_002"; "view_009" ])) names
+  in
+  let order l = List.map View.name l in
+  Alcotest.(check (list string))
+    "views in registration order" survivors (order (Registry.views reg));
+  Alcotest.(check (list string))
+    "dependents in registration order" survivors
+    (order (Registry.dependents reg fx.mileage));
+  let batch = tagged fx 1 [ mile 1 100 10. ] in
+  let first = order (Registry.affected reg fx.mileage batch) in
+  Alcotest.(check (list string)) "affected in registration order" survivors first;
+  (* stability: repeated calls yield the identical list *)
+  for _ = 1 to 5 do
+    Alcotest.(check (list string))
+      "affected stable across calls" first
+      (order (Registry.affected reg fx.mileage batch))
+  done;
+  (* a late re-registration goes to the back, not a hash-chosen slot *)
+  Registry.register reg
+    (View.create
+       (Sca.define ~name:"view_002" ~body:(Ca.Chronicle fx.mileage)
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ]))));
+  Alcotest.(check (list string))
+    "re-registered view appended at the back"
+    (survivors @ [ "view_002" ])
+    (order (Registry.affected reg fx.mileage batch))
+
 let test_index_advice () =
   let fx = make () in
   let reg = Registry.create () in
@@ -122,5 +170,6 @@ let suite =
     test "union guards take the disjunction" test_union_guard;
     test "join-shaped bodies always maintained" test_join_shape_always_maintained;
     test "independent chronicle appends skipped" test_unrelated_chronicle_not_affected;
+    test "affected order is deterministic" test_affected_order_deterministic;
     test "index advice" test_index_advice;
   ]
