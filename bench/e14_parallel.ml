@@ -58,8 +58,23 @@ let run () =
      of them, as the Δ-folds are partitioned across domains; plus the \
      parallel initial-materialization kernel over retained history.";
   let cores = Domain.recommended_domain_count () in
-  Measure.note "hardware: %d recommended domain(s) on this machine" cores;
-  let json = ref [ Measure.J_obj [ ("hardware_cores", Measure.J_int cores) ] ] in
+  let hw_note =
+    Printf.sprintf
+      "%d recommended domain(s); %s, %d-bit; speedups above 1 require \
+       hardware_cores > 1"
+      cores Sys.os_type Sys.word_size
+  in
+  Measure.note "hardware: %s" hw_note;
+  let json =
+    ref
+      [
+        Measure.J_obj
+          [
+            ("hardware_cores", Measure.J_int cores);
+            ("hardware_note", Measure.J_str hw_note);
+          ];
+      ]
+  in
 
   (* (a) batch-maintenance throughput *)
   let batches = 64 in

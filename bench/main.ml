@@ -22,12 +22,13 @@ let experiments =
     ("E12", E12_snapshot.run);
     ("E13", E13_durability.run);
     ("E14", E14_parallel.run);
+    ("E15", E15_recovery.run);
     ("micro", Micro.run);
   ]
 
 let () =
-  (* strip a leading `--jobs N` (cap on the parallelism degrees E14
-     sweeps; 0 = the recommended domain count) *)
+  (* strip a leading `--jobs N` (cap on the parallelism degrees E14 and
+     E15 sweep; 0 = the recommended domain count) *)
   let args =
     match Array.to_list Sys.argv with
     | exe :: "--jobs" :: n :: rest -> (

@@ -144,6 +144,19 @@ let rec joins = function
       1 + joins l + joins r
   | Union (l, r) | Diff (l, r) -> joins l + joins r
 
+let rec reads_history = function
+  | Chronicle _ -> false
+  | Select (_, e) | Project (_, e) | GroupBySeq (_, _, e)
+  | ProductRel (e, _) | KeyJoinRel (e, _, _) ->
+      reads_history e
+  | SeqJoin (l, r) | Union (l, r) | Diff (l, r) ->
+      reads_history l || reads_history r
+  | CrossChron _ | ThetaJoinChron _ ->
+      (* the non-CA joins pair the Δ-batch against the *whole retained
+         history* of the other operand (Eval.eval_before): their Δ-fold
+         reads chronicle state beyond the batch itself *)
+      true
+
 let covers_key rel pairs =
   match Relation.key rel with
   | None -> false

@@ -74,6 +74,17 @@ val relations : t -> Relation.t list
 
 val depends_on : t -> Chron.t -> bool
 
+val reads_history : t -> bool
+(** [true] iff the expression's Δ-maintenance reads retained chronicle
+    history beyond the batch being folded — i.e. it contains one of the
+    non-CA joins ({!CrossChron}/{!ThetaJoinChron}), whose Δ pairs the
+    batch against every earlier retained tuple.  Views over CA proper
+    fold each batch from the batch alone (Theorem 4.2), which is what
+    lets the replay scheduler pre-record later batches before folding
+    earlier ones; a history-reading view forces a sequential barrier
+    (recording batch [i+1] could evict ring-retained tuples that batch
+    [i]'s fold still needs). *)
+
 val unions : t -> int
 (** Number of union operators (the [u] of Theorem 4.2). *)
 

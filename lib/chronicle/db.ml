@@ -349,6 +349,188 @@ let append_at t ?group:gname ~sn batch =
   let g = group t (Option.value ~default:t.default_group gname) in
   ignore (transactional_append t g (resolve_batch t batch) ~claim:(Some sn))
 
+(* ---- the replay path ----
+
+   Recovery re-applies journaled append batches.  [append_at] (above)
+   does that one batch at a time through the fully transactional path;
+   [replay_appends] applies a *run* of batches with the Δ-folds of
+   independent views scheduled across the pool:
+
+     phase 1 (sequential, submitter only): for each record in order —
+       skip-check against the group watermark, validate, claim the
+       sequence number, record the batch into its chronicles, flush
+       due relation updates, and compute the affected-view set
+       (Registry.affected, registration-order deterministic);
+     phase 2 (parallel): group the recorded folds into per-view chains
+       (each view folds its batches in record order — the mandatory
+       per-view ordering) and submit the chains to the pool
+       (Exec.Pool.run_chains); distinct views' chains are independent
+       by the maintenance theorem, exactly as in the live path.
+
+   Pre-recording batch [i+1] before folding batch [i] is safe precisely
+   when no affected view's Δ reads retained history beyond its own
+   batch (Ca.reads_history): a history-reading fold forces a flush
+   barrier — fold everything recorded so far before recording further.
+   Order-sensitive observers (batch hooks, pending future-effective
+   relation updates) force the fully transactional per-record path;
+   chronicle subscribers and batch hooks otherwise fire in record order
+   after each flush, not interleaved with recording (unobservable in
+   recovery, which installs its sink and probes only after replay).
+
+   Unlike the live path this entry point is *not* transactional across
+   records: a failure raises [Replay_error] with the lowest failing
+   record index (deterministic at every degree — chains do not
+   interact, so the failure set is degree-independent) and leaves the
+   database partially replayed.  The intended caller (recovery) then
+   discards the in-memory database; nothing has touched storage. *)
+
+exception Replay_error of { index : int; error : exn }
+
+type replay_entry = {
+  rgroup : string;
+  rsn : Seqnum.t;
+  rbatch : (string * Tuple.t list) list;
+}
+
+let reads_history_view v = Ca.reads_history (Sca.body (View.def v))
+
+let replay_appends t entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let outcomes = Array.make n false in
+  let wrap i f =
+    try f () with
+    | Replay_error _ as e -> raise e
+    | e -> raise (Replay_error { index = i; error = e })
+  in
+  let order_sensitive =
+    t.batch_hooks <> []
+    || Hashtbl.fold
+         (fun _ r acc -> acc || Versioned.pending_count r > 0)
+         t.relations false
+  in
+  if order_sensitive then
+    (* hooks interleave with recording, pending relation updates come
+       due between folds: replay strictly one transactional batch at a
+       time, identical to [append_at] in a loop *)
+    Array.iteri
+      (fun i { rgroup; rsn; rbatch } ->
+        wrap i (fun () ->
+            let g = group t rgroup in
+            if rsn > Group.watermark g then begin
+              ignore
+                (transactional_append t g (resolve_batch t rbatch)
+                   ~claim:(Some rsn));
+              outcomes.(i) <- true
+            end))
+      entries
+  else begin
+    (* (index, sn, tagged batch, affected views), newest first *)
+    let recorded = ref [] in
+    let flush () =
+      match List.rev !recorded with
+      | [] -> ()
+      | recs ->
+          recorded := [];
+          (* per-view fold chains in order of first appearance (itself
+             deterministic: phase 1 runs in record order and
+             [Registry.affected] lists views in registration order) *)
+          let order = ref [] and links = Hashtbl.create 8 in
+          List.iter
+            (fun (i, sn, tagged, affected) ->
+              List.iter
+                (fun v ->
+                  let name = View.name v in
+                  let cell =
+                    match Hashtbl.find_opt links name with
+                    | Some cell -> cell
+                    | None ->
+                        let cell = ref [] in
+                        Hashtbl.add links name cell;
+                        order := (name, v) :: !order;
+                        cell
+                  in
+                  cell := (i, sn, tagged) :: !cell)
+                affected)
+            recs;
+          let chains =
+            Array.of_list
+              (List.rev_map
+                 (fun (name, v) ->
+                   Array.of_list
+                     (List.rev_map
+                        (fun (i, sn, tagged) () ->
+                          wrap i (fun () ->
+                              (match t.fold_probe with
+                              | Some probe -> probe ~view:name ~sn
+                              | None -> ());
+                              View.maintain v ~sn ~batch:tagged))
+                        !(Hashtbl.find links name)))
+                 !order)
+          in
+          let failures = Exec.Pool.run_chains t.pool chains in
+          let worst = ref None in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (Replay_error { index; _ } as e) -> (
+                  match !worst with
+                  | Some (Replay_error { index = j; _ }) when j <= index -> ()
+                  | _ -> worst := Some e)
+              | Some e -> (
+                  (* chain links always wrap; defensive *)
+                  match !worst with None -> worst := Some e | Some _ -> ()))
+            failures;
+          (match !worst with Some e -> raise e | None -> ());
+          (* post-fold notifications, in record order *)
+          List.iter
+            (fun (_, sn, tagged, _) ->
+              List.iter (fun (c, tg) -> Chron.notify c sn tg) tagged)
+            recs
+    in
+    Array.iteri
+      (fun i { rgroup; rsn; rbatch } ->
+        wrap i (fun () ->
+            let g = group t rgroup in
+            if rsn > Group.watermark g then begin
+              let batch = resolve_batch t rbatch in
+              if batch = [] then invalid_arg "Db.replay_appends: empty batch";
+              List.iter
+                (fun (c, tuples) ->
+                  if not (Group.same (Chron.group c) g) then
+                    invalid_arg
+                      (Printf.sprintf
+                         "Db.replay_appends: chronicle %s is not in group %s"
+                         (Chron.name c) (Group.name g));
+                  Chron.check_batch c tuples)
+                batch;
+              emit t (Ev_append { group = rgroup; sn = rsn; batch = rbatch });
+              Group.claim_sn g rsn;
+              let tagged =
+                List.map (fun (c, tuples) -> (c, Chron.record c rsn tuples)) batch
+              in
+              Hashtbl.iter
+                (fun _ r -> Versioned.flush_pending r ~upto:(rsn - 1))
+                t.relations;
+              let affected =
+                dedup_affected
+                  (List.concat_map
+                     (fun (c, tg) -> Registry.affected t.registry c tg)
+                     tagged)
+              in
+              recorded := (i, rsn, tagged, affected) :: !recorded;
+              outcomes.(i) <- true;
+              if List.exists reads_history_view affected then
+                (* a history-reading fold must run before any later
+                   batch is recorded (recording could evict the
+                   ring-retained tuples it still needs) *)
+                flush ()
+            end))
+      entries;
+    flush ()
+  end;
+  outcomes
+
 let advance_clock t ?group:gname chronon =
   let gname = Option.value ~default:t.default_group gname in
   Group.advance_clock (group t gname) chronon;

@@ -116,6 +116,50 @@ val append_at : t -> ?group:string -> sn:Seqnum.t -> (string * Tuple.t list) lis
 
 val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
 
+(** {2 Replay}
+
+    Recovery re-applies journaled append batches.  {!append_at} does it
+    one transactional batch at a time; {!replay_appends} applies a run
+    of batches with the per-view Δ-folds scheduled across the
+    maintenance pool. *)
+
+exception Replay_error of { index : int; error : exn }
+(** A record of a {!replay_appends} run failed.  [index] is the
+    position of the {e lowest} failing entry in the submitted list — a
+    deterministic choice at every parallelism degree, because distinct
+    views' fold chains do not interact, so which folds fail is
+    independent of scheduling. *)
+
+type replay_entry = {
+  rgroup : string;  (** chronicle group name *)
+  rsn : Seqnum.t;  (** the batch's original sequence number *)
+  rbatch : (string * Tuple.t list) list;  (** user tuples, untagged *)
+}
+
+val replay_appends : t -> replay_entry list -> bool array
+(** Re-apply the entries in order; return per-entry [true] = applied,
+    [false] = skipped (its sequence number is already at or below the
+    group watermark — the idempotent-recovery case).
+
+    Recording is strictly sequential and in submission order; the
+    Δ-folds are grouped into per-view chains (each view folds its
+    batches in record order) and run on the database's pool — at
+    [jobs = 1] inline, so the folds a view performs and the state it
+    reaches are identical at every degree.  A view whose Δ reads
+    retained history beyond its batch ({!Ca.reads_history}) forces a
+    fold barrier before the next entry is recorded, preserving
+    sequential ring-retention semantics.  If batch hooks are registered
+    or a relation holds pending future-effective updates, the whole run
+    degrades to {!append_at}-equivalent sequential transactions
+    (order-sensitive observers); otherwise chronicle subscribers fire
+    in record order after each fold barrier rather than interleaved
+    with recording.
+
+    {b Not} transactional across entries: a failure raises
+    {!Replay_error} carrying the lowest failing index and leaves the
+    database partially replayed — the intended caller (recovery)
+    discards the in-memory database on failure. *)
+
 (** {2 Transaction events}
 
     The durability layer observes the database through a single sink.

@@ -12,6 +12,7 @@ let p_post_journal_write = "post-journal-write"
 let p_pre_checkpoint_rename = "pre-checkpoint-rename"
 let p_post_checkpoint_rename = "post-checkpoint-rename"
 let p_view_fold = "view-fold"
+let p_replay_dispatch = "replay-dispatch"
 
 (* ---- transaction-event (de)serialization ---- *)
 
@@ -73,113 +74,182 @@ let sexp_of_event (ev : Db.txn_event) =
         ]
   | Db.Ev_drop_view { name } -> tagged "drop-view" [ ("name", Sexp.atom name) ]
   | Db.Ev_abort _ ->
-      (* aborts erase the previous record; they are never journaled *)
-      assert false
+      (* Aborts erase the previous record ([sink] maps them to
+         [Journal.truncate_last]); they are never serialized.  This
+         function's only caller is [sink], which dispatches [Ev_abort]
+         before reaching the serializer, so this branch is unreachable
+         from within the module — kept as a typed rejection (not an
+         assert) so a future caller that bypasses [sink] fails with a
+         diagnosis instead of a blind assertion. *)
+      invalid_arg "Durable: Ev_abort is erased, never journaled"
 
-(* Replay one journal record into [db].  Idempotent: a record whose
-   effect is already present (because the checkpoint was taken after it,
-   or because a crash hit between checkpoint-rename and journal-reset)
-   is skipped.  Returns [true] if the record was applied. *)
-let replay_record db sexp =
-  let tag, fields =
-    match sexp with
-    | Sexp.List [ Sexp.Atom tag; fields ] -> (tag, fields)
-    | _ -> failwith "malformed journal record"
-  in
-  let name_field () = Sexp.to_atom (Sexp.field fields "name") in
-  let group_field () = Sexp.to_atom (Sexp.field fields "group") in
-  match tag with
-  | "append" ->
-      let gname = group_field () in
-      let sn = Sexp.to_int (Sexp.field fields "sn") in
-      if sn <= Group.watermark (Db.group db gname) then false
+(* ---- journal-record parsing and application ----
+
+   Split in two stages so failures are typed precisely:
+
+   - [parse_record] performs every structural destructuring of the
+     S-expression.  A CRC-valid but malformed record is *corruption*
+     (the checksum said the bytes are what was written, the content is
+     still gibberish) and raises [Journal.Journal_corrupt] with the
+     record index — never a bare [Failure].
+   - [apply_parsed] re-applies a parsed record to the database.  Its
+     failures are *application* failures (the record is well-formed but
+     the database cannot accept it), reported by [recover] as
+     [Recovery_error] — or, for the journal's final record, tolerated
+     as the batch that died with the crashed process.
+
+   Application is idempotent: a record whose effect is already present
+   (checkpoint taken after it, or a crash between checkpoint-rename and
+   journal-reset) is skipped; [apply_parsed] returns [true] iff the
+   record was applied. *)
+
+type parsed =
+  | P_append of Db.replay_entry
+  | P_clock of { group : string; chronon : Seqnum.chronon }
+  | P_add_group of { name : string; clock_start : Seqnum.chronon option }
+  | P_add_chronicle of {
+      name : string;
+      group : string;
+      retention : Chron.retention;
+      schema : Schema.t;
+    }
+  | P_add_relation of {
+      name : string;
+      group : string;
+      schema : Schema.t;
+      key : string list option;
+    }
+  | P_define_view of { index : Index.kind; def : Sexp.t }
+      (* [def] stays unparsed: resolving it needs catalog state, so its
+         failures are application failures, not corruption *)
+  | P_drop_view of { name : string }
+
+let corrupt record reason = raise (Journal.Journal_corrupt { record; reason })
+
+let parse_record ~record sexp =
+  let fail fmt = Format.kasprintf (corrupt record) fmt in
+  match sexp with
+  | Sexp.List [ Sexp.Atom tag; fields ] -> (
+      let name_field () = Sexp.to_atom (Sexp.field fields "name") in
+      let group_field () = Sexp.to_atom (Sexp.field fields "group") in
+      try
+        match tag with
+        | "append" ->
+            let rgroup = group_field () in
+            let rsn = Sexp.to_int (Sexp.field fields "sn") in
+            let rbatch =
+              List.map
+                (fun entry ->
+                  match entry with
+                  | Sexp.List [ cname; tuples ] ->
+                      ( Sexp.to_atom cname,
+                        List.map Snapshot.tuple_of_sexp (Sexp.to_list tuples) )
+                  | _ -> fail "malformed append batch")
+                (Sexp.to_list (Sexp.field fields "batch"))
+            in
+            P_append { Db.rgroup; rsn; rbatch }
+        | "clock" ->
+            P_clock
+              {
+                group = group_field ();
+                chronon = Sexp.to_int (Sexp.field fields "chronon");
+              }
+        | "add-group" ->
+            P_add_group
+              {
+                name = name_field ();
+                clock_start =
+                  Option.map Sexp.to_int (Sexp.field_opt fields "clock-start");
+              }
+        | "add-chronicle" ->
+            P_add_chronicle
+              {
+                name = name_field ();
+                group = group_field ();
+                retention =
+                  Snapshot.retention_of_sexp (Sexp.field fields "retention");
+                schema = Snapshot.schema_of_sexp (Sexp.field fields "schema");
+              }
+        | "add-relation" ->
+            P_add_relation
+              {
+                name = name_field ();
+                group = group_field ();
+                schema = Snapshot.schema_of_sexp (Sexp.field fields "schema");
+                key =
+                  Option.map
+                    (fun s -> List.map Sexp.to_atom (Sexp.to_list s))
+                    (Sexp.field_opt fields "key");
+              }
+        | "define-view" ->
+            let index =
+              match Sexp.to_atom (Sexp.field fields "index") with
+              | "hash" -> Index.Hash
+              | "ordered" -> Index.Ordered
+              | other -> fail "bad index kind %S" other
+            in
+            P_define_view { index; def = Sexp.field fields "def" }
+        | "drop-view" -> P_drop_view { name = name_field () }
+        | other -> fail "unknown journal record tag %S" other
+      with
+      | Journal.Journal_corrupt _ as e -> raise e
+      | e ->
+          (* missing field, wrong atom shape, … — structural damage *)
+          fail "malformed %S record: %s" tag (Printexc.to_string e))
+  | _ -> corrupt record "malformed journal record"
+
+let apply_parsed db = function
+  | P_append { Db.rgroup; rsn; rbatch } ->
+      if rsn <= Group.watermark (Db.group db rgroup) then false
       else begin
-        let batch =
-          List.map
-            (fun entry ->
-              match entry with
-              | Sexp.List [ cname; tuples ] ->
-                  ( Sexp.to_atom cname,
-                    List.map Snapshot.tuple_of_sexp (Sexp.to_list tuples) )
-              | _ -> failwith "malformed append batch")
-            (Sexp.to_list (Sexp.field fields "batch"))
-        in
-        Db.append_at db ~group:gname ~sn batch;
+        Db.append_at db ~group:rgroup ~sn:rsn rbatch;
         true
       end
-  | "clock" ->
-      let gname = group_field () in
-      let chronon = Sexp.to_int (Sexp.field fields "chronon") in
-      if chronon <= Group.now (Db.group db gname) then false
+  | P_clock { group; chronon } ->
+      if chronon <= Group.now (Db.group db group) then false
       else begin
-        Db.advance_clock db ~group:gname chronon;
+        Db.advance_clock db ~group chronon;
         true
       end
-  | "add-group" ->
-      let name = name_field () in
+  | P_add_group { name; clock_start } ->
       if List.mem name (Db.group_names db) then false
       else begin
-        let clock_start =
-          Option.map Sexp.to_int (Sexp.field_opt fields "clock-start")
-        in
         ignore (Db.add_group db ?clock_start name);
         true
       end
-  | "add-chronicle" ->
-      let name = name_field () in
+  | P_add_chronicle { name; group; retention; schema } ->
       if List.mem name (Db.chronicle_names db) then false
       else begin
-        let group = group_field () in
-        let retention =
-          Snapshot.retention_of_sexp (Sexp.field fields "retention")
-        in
-        let schema = Snapshot.schema_of_sexp (Sexp.field fields "schema") in
         ignore (Db.add_chronicle db ~group ~retention ~name schema);
         true
       end
-  | "add-relation" ->
-      let name = name_field () in
+  | P_add_relation { name; group; schema; key } ->
       if List.mem name (Db.relation_names db) then false
       else begin
-        let group = group_field () in
-        let schema = Snapshot.schema_of_sexp (Sexp.field fields "schema") in
-        let key =
-          Option.map
-            (fun s -> List.map Sexp.to_atom (Sexp.to_list s))
-            (Sexp.field_opt fields "key")
-        in
         ignore (Db.add_relation db ~group ~name ~schema ?key ());
         true
       end
-  | "define-view" ->
+  | P_define_view { index; def } ->
       let def =
         Snapshot.sca_of_sexp
           ~chronicle:(fun n -> Db.chronicle db n)
           ~relation:(fun n -> Versioned.relation (Db.relation db n))
-          (Sexp.field fields "def")
+          def
       in
       if Option.is_some (Registry.find (Db.registry db) (Sca.name def)) then
         false
       else begin
-        let index =
-          match Sexp.to_atom (Sexp.field fields "index") with
-          | "hash" -> Index.Hash
-          | "ordered" -> Index.Ordered
-          | other -> failwith (Printf.sprintf "bad index kind %S" other)
-        in
         (* the live system already admitted this definition; replay with
            the most permissive tier so recovery cannot re-reject it *)
         ignore (Db.define_view db ~index ~tier_limit:Classify.IM_poly_c def);
         true
       end
-  | "drop-view" ->
-      let name = name_field () in
+  | P_drop_view { name } ->
       if Option.is_none (Registry.find (Db.registry db) name) then false
       else begin
         Db.drop_view db name;
         true
       end
-  | other -> failwith (Printf.sprintf "unknown journal record tag %S" other)
 
 (* ---- the durable handle ---- *)
 
@@ -264,24 +334,70 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
     | None -> (false, Db.create ?jobs ())
   in
   let records, tail = Journal.read storage journal_file in
-  let n = List.length records in
+  (* stage 1: parse every record up front — malformation anywhere in
+     the journal is corruption, reported before any replay begins *)
+  let parsed =
+    Array.of_list (List.mapi (fun i s -> parse_record ~record:i s) records)
+  in
+  let n = Array.length parsed in
   let replayed = ref 0 and skipped = ref 0 and dropped_failed = ref false in
-  List.iteri
-    (fun i sexp ->
-      match replay_record database sexp with
-      | true ->
-          incr replayed;
-          Stats.incr Stats.Journal_replay
-      | false -> incr skipped
-      | exception e ->
-          if i = n - 1 then
-            (* the dying process's final batch: Db's transactional path
-               already rolled its effects back; drop its record below *)
-            dropped_failed := true
-          else
-            raise
-              (Recovery_error { record = i; reason = Printexc.to_string e }))
-    records;
+  let count applied =
+    if applied then begin
+      incr replayed;
+      Stats.incr Stats.Journal_replay
+    end
+    else incr skipped
+  in
+  (* stage 2: replay.  Runs of consecutive append records (the common
+     journal shape) are dispatched as one window through
+     [Db.replay_appends], which schedules independent views' fold
+     chains across the database's pool; catalog/clock records are
+     scheduling barriers replayed one at a time; and the journal's
+     final record always replays alone through the transactional path,
+     keeping the classic semantics of a batch that died with the
+     crashed process (applied-or-dropped, never half-applied).  Every
+     degree — including [jobs = 1], where the pool runs inline — takes
+     this same path, so recovered state is identical across degrees. *)
+  let apply_classic i p =
+    match apply_parsed database p with
+    | applied -> count applied
+    | exception e ->
+        if i = n - 1 then
+          (* the dying process's final batch: Db's transactional path
+             already rolled its effects back; drop its record below *)
+          dropped_failed := true
+        else raise (Recovery_error { record = i; reason = Printexc.to_string e })
+  in
+  let is_append k = match parsed.(k) with P_append _ -> true | _ -> false in
+  let i = ref 0 in
+  while !i < n do
+    if is_append !i && !i < n - 1 then begin
+      (* maximal window of consecutive appends, final record excluded *)
+      let entries = ref [] and j = ref !i in
+      let scan = ref true in
+      while !scan do
+        if !j < n - 1 then
+          match parsed.(!j) with
+          | P_append e ->
+              entries := e :: !entries;
+              incr j
+          | _ -> scan := false
+        else scan := false
+      done;
+      Fault.hit fault p_replay_dispatch;
+      (match Db.replay_appends database (List.rev !entries) with
+      | outcomes -> Array.iter count outcomes
+      | exception Db.Replay_error { index; error } ->
+          raise
+            (Recovery_error
+               { record = !i + index; reason = Printexc.to_string error }));
+      i := !j
+    end
+    else begin
+      apply_classic !i parsed.(!i);
+      incr i
+    end
+  done;
   let wrapped = Fault.wrap_storage fault storage in
   let journal = Journal.open_ ~sync wrapped journal_file in
   if !dropped_failed && Journal.records journal > 0 then

@@ -31,7 +31,9 @@ open Chronicle_core
     Faults: give {!attach}/{!recover} a {!Fault.t} to script crashes
     at the named points (["post-journal-write"],
     ["pre-checkpoint-rename"], ["post-checkpoint-rename"],
-    ["view-fold"]) or torn writes.  After a simulated crash the
+    ["view-fold"], ["replay-dispatch"] — the last hit by {!recover}
+    once per replay window, before its batches are dispatched) or torn
+    writes.  After a simulated crash the
     instance's storage is frozen (a dead process writes nothing more);
     discard the database and {!recover} from the same storage.
 
@@ -94,15 +96,28 @@ val recover :
   unit ->
   t * report
 (** Rebuild the database from checkpoint + journal and re-attach.
-    Each replayed record bumps [Stats.Journal_replay].  Raises
-    {!Journal.Journal_corrupt} on checksum corruption and
-    {!Recovery_error} if a non-final record fails to replay.
+    Each replayed record bumps [Stats.Journal_replay].
 
-    [jobs] is the maintenance parallelism degree of the rebuilt
-    database ({!Db.create}); replayed batches fold their affected
-    views under it just as live appends do.  The recovered state is
-    the same for every degree — each view is folded wholly by one
-    task, in batch order. *)
+    Failures are typed, never a bare [Failure]:
+    {!Journal.Journal_corrupt} for physical corruption (checksum
+    mismatch) {e and} for a CRC-valid but structurally malformed
+    record — unknown tag, missing or ill-shaped field, bad index kind
+    — at any position, final included (the checksum proved the bytes
+    are what was written; gibberish content is corruption, not a died
+    batch); {!Recovery_error} if a well-formed non-final record fails
+    to {e apply}.  A well-formed final record that fails to apply is
+    the batch that died with the crashed process: it is dropped
+    ([dropped_failed]) and its journal record erased.
+
+    Replay is parallel: runs of consecutive append records are
+    dispatched as windows through {!Db.replay_appends}, which records
+    batches in journal order and schedules each view's ordered fold
+    chain across the database's pool ([jobs], as {!Db.create}).
+    Catalog and clock records, history-reading views
+    ({!Ca.reads_history}) and the journal's final record are
+    sequential barriers.  The recovered state is byte-identical at
+    every degree — each view folds its batches wholly and in journal
+    order; only the interleaving across views changes. *)
 
 val has_state : Storage.t -> bool
 (** True if the storage holds a checkpoint or a journal — i.e.

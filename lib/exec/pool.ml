@@ -190,9 +190,41 @@ let map t fns =
     run_exn t
       (Array.mapi (fun i f () -> results.(i) <- Some (f ())) fns);
     Array.map
-      (function Some v -> v | None -> assert false (* run_exn raised *))
+      (function
+        | Some v -> v
+        | None ->
+            (* Unreachable, by two invariants of [run]: (1) the batch
+               cursor hands every index in [0, n) to exactly one domain,
+               and the submitter only proceeds once [remaining = 0], i.e.
+               after every task body has returned or raised; (2) a task
+               body here either stores [Some] or raises, and any raise is
+               captured in [exns] — in which case [run_exn] re-raises
+               before this [Array.map] runs.  So when control reaches
+               this point every slot was written.  (Audited: there is no
+               third path; [run_inline] executes all indices too.) *)
+            assert false)
       results
   end
+
+(* ---- dependency-aware submission: independent sequential chains ----
+
+   The replay scheduler (and any caller with per-key ordering
+   constraints) has tasks that form disjoint linear dependency chains:
+   within a chain the order is mandatory (e.g. one view folding its
+   batches in journal order), across chains there are no edges.  A
+   chain is therefore scheduled as a single claimable unit — the
+   general DAG case degenerates to the work queue we already have, with
+   the same skew-tolerant cursor claiming across chains. *)
+
+let run_chains t chains =
+  run t
+    (Array.map
+       (fun chain () ->
+         (* run the chain's links in order; the first raise aborts the
+            rest of this chain (its successors depend on it) and is
+            reported as the chain's outcome *)
+         Array.iter (fun f -> f ()) chain)
+       chains)
 
 let chunk_ranges ~jobs n =
   if n <= 0 then [||]

@@ -69,6 +69,18 @@ val map : t -> (unit -> 'a) array -> 'a array
 (** Parallel evaluation of thunks; re-raises the lowest-indexed
     failure if any thunk raises. *)
 
+val run_chains : t -> (unit -> unit) array array -> exn option array
+(** Dependency-aware submission for workloads whose tasks form
+    {e disjoint linear chains}: element [i] is a sequence of links that
+    must run in order (each link depends on its predecessor), while
+    distinct chains are independent and are scheduled across domains
+    exactly like {!run} tasks.  Returns one outcome per chain: the
+    first link that raises aborts the remainder of {e that chain only}
+    (its successors depend on it) and becomes the chain's exception;
+    other chains still run to completion.  With [jobs t = 1] the chains
+    run inline in array order — byte-identical to a sequential nested
+    loop. *)
+
 val chunk_ranges : jobs:int -> int -> (int * int) array
 (** [chunk_ranges ~jobs n] partitions [0 .. n-1] into at most [jobs]
     contiguous [(start, length)] ranges of near-equal size (sizes

@@ -110,6 +110,46 @@ let rec rels_of acc = function
 
 (* ---- compilation ---- *)
 
+(* Per-left-tuple kernels, shared verbatim by the sequential plans and
+   the range-split parallel plans below so that both produce identical
+   outputs, in identical order, with identical [Stats] accounting. *)
+
+(* θ-join: all matches of one left tuple against the materialized right
+   side. *)
+let theta_matches keep rt ltu =
+  List.filter_map
+    (fun rtu ->
+      Stats.incr Stats.Tuple_read;
+      let tu = Tuple.concat ltu rtu in
+      if keep tu then Some tu else None)
+    rt
+
+(* Cartesian product: one left tuple against the materialized right
+   side. *)
+let product_matches rt ltu =
+  List.map
+    (fun rtu ->
+      Stats.incr Stats.Tuple_read;
+      Tuple.concat ltu rtu)
+    rt
+
+(* Hash-join probe: all matches of one left tuple against the build
+   table.  ([List.rev_map] restores bucket insertion order: buckets are
+   built by consing.) *)
+let equijoin_probe pairs l r =
+  let ls = Ra.schema_of l and rs = Ra.schema_of r in
+  let lkey = Tuple.projector ls (List.map fst pairs) in
+  let dropped = List.map snd pairs in
+  let keep = List.filter (fun n -> not (List.mem n dropped)) (Schema.names rs) in
+  let rproj = Tuple.projector rs keep in
+  fun table ltu ->
+    let k = Array.to_list (lkey ltu) in
+    Stats.incr Stats.Index_probe;
+    match Tbl.find_opt table k with
+    | None -> []
+    | Some matches ->
+        List.rev_map (fun rtu -> Tuple.concat ltu (rproj rtu)) matches
+
 let rec comp expr : Schema.t * (unit -> Tuple.t list) =
   (* [Ra.schema_of] both resolves this node's schema and performs the
      static checks the interpreter would have raised lazily. *)
@@ -138,29 +178,14 @@ let rec comp expr : Schema.t * (unit -> Tuple.t list) =
         let _, lexec = comp l and _, rexec = comp r in
         fun () ->
           let rt = rexec () in
-          List.concat_map
-            (fun ltu ->
-              List.map
-                (fun rtu ->
-                  Stats.incr Stats.Tuple_read;
-                  Tuple.concat ltu rtu)
-                rt)
-            (lexec ())
+          List.concat_map (product_matches rt) (lexec ())
     | Ra.EquiJoin (pairs, l, r) -> compile_equijoin pairs l r
     | Ra.ThetaJoin (p, l, r) ->
         let keep = Predicate.compile schema p in
         let _, lexec = comp l and _, rexec = comp r in
         fun () ->
           let rt = rexec () in
-          List.concat_map
-            (fun ltu ->
-              List.filter_map
-                (fun rtu ->
-                  Stats.incr Stats.Tuple_read;
-                  let tu = Tuple.concat ltu rtu in
-                  if keep tu then Some tu else None)
-                rt)
-            (lexec ())
+          List.concat_map (theta_matches keep rt) (lexec ())
     | Ra.Union (l, r) ->
         let _, lexec = comp l and _, rexec = comp r in
         fun () -> Tuple.dedup (lexec () @ rexec ())
@@ -212,46 +237,43 @@ and compile_rel_select rel preds =
             keep tu)
           (Relation.to_list rel)
 
-(* Hash join with a version-memoized build side: the build table is
+(* Version-memoized build side of a hash join: the build table is
    rebuilt only when some relation beneath the build expression has
-   changed since the previous execution of this plan. *)
-and compile_equijoin pairs l r =
-  let ls = Ra.schema_of l and rs = Ra.schema_of r in
-  let lkey = Tuple.projector ls (List.map fst pairs) in
+   changed since the previous execution of this plan.  Returned as a
+   fetch thunk so the range-split plan can refresh the table on the
+   submitting domain and hand the (from then on read-only) table to its
+   probe tasks. *)
+and equijoin_build pairs r =
+  let rs = Ra.schema_of r in
   let rkey = Tuple.projector rs (List.map snd pairs) in
-  let dropped = List.map snd pairs in
-  let keep = List.filter (fun n -> not (List.mem n dropped)) (Schema.names rs) in
-  let rproj = Tuple.projector rs keep in
   let build_rels = rels_of [] r in
   let cache : (int list * Tuple.t list Tbl.t) option ref = ref None in
-  let _, lexec = comp l and _, rexec = comp r in
+  let _, rexec = comp r in
   fun () ->
     let versions = List.map Relation.version build_rels in
-    let table =
-      match !cache with
-      | Some (vs, tbl) when List.equal Int.equal vs versions ->
-          Stats.incr Stats.Build_reuse;
-          tbl
-      | _ ->
-          let tbl = Tbl.create 256 in
-          List.iter
-            (fun tu ->
-              let k = Array.to_list (rkey tu) in
-              Tbl.replace tbl k
-                (tu :: Option.value ~default:[] (Tbl.find_opt tbl k)))
-            (rexec ());
-          cache := Some (versions, tbl);
-          tbl
-    in
-    List.concat_map
-      (fun ltu ->
-        let k = Array.to_list (lkey ltu) in
-        Stats.incr Stats.Index_probe;
-        match Tbl.find_opt table k with
-        | None -> []
-        | Some matches ->
-            List.rev_map (fun rtu -> Tuple.concat ltu (rproj rtu)) matches)
-      (lexec ())
+    match !cache with
+    | Some (vs, tbl) when List.equal Int.equal vs versions ->
+        Stats.incr Stats.Build_reuse;
+        tbl
+    | _ ->
+        let tbl = Tbl.create 256 in
+        List.iter
+          (fun tu ->
+            let k = Array.to_list (rkey tu) in
+            Tbl.replace tbl k
+              (tu :: Option.value ~default:[] (Tbl.find_opt tbl k)))
+          (rexec ());
+        cache := Some (versions, tbl);
+        tbl
+
+(* Hash join: memoized build + per-tuple probe over the probe side. *)
+and compile_equijoin pairs l r =
+  let fetch = equijoin_build pairs r in
+  let probe = equijoin_probe pairs l r in
+  let _, lexec = comp l in
+  fun () ->
+    let table = fetch () in
+    List.concat_map (probe table) (lexec ())
 
 let compile expr =
   Stats.incr Stats.Plan_compile;
@@ -262,14 +284,37 @@ let eval expr = run (compile expr)
 
 (* ---- parallel scan/aggregate (bulk materialization) ----
 
-   A top-level GROUPBY over a large backing collection — the initial
-   materialization of a persistent view, not the Δ-path — decomposes
-   into independent partial folds over contiguous input ranges plus an
-   order-preserving merge (Groupby.merge_partials).  When the input is
-   a Select/Project chain over one base Const or Rel, the chain itself
-   is compiled range-wise so the scan and filter run inside the
-   parallel tasks too; any other child shape falls back to a
-   sequential child evaluation with only the fold parallelized. *)
+   Bulk evaluation — the initial materialization of a persistent view
+   over retained history, not the Δ-path — decomposes into independent
+   work over contiguous input ranges.  A top-level GROUPBY folds each
+   range into a partial group table and merges them order-preservingly
+   (Groupby.merge_partials); any other rangeable shape concatenates its
+   per-range outputs, which is the sequential output exactly.
+
+   Which shapes are rangeable?  A Select/Project/Rename/Prefix chain
+   over one base Const or Rel is compiled range-wise (the scan and the
+   filter run inside the parallel tasks).  On top of that:
+
+   - equi-joins and θ-joins/products range-split their probe (left)
+     side: the build table (version-memoized for equi-joins) or the
+     materialized right side is produced once on the submitting domain,
+     then shared read-only by the probe tasks.  Per-range probe outputs
+     concatenate to the sequential probe order because the left split
+     is contiguous and the per-tuple kernel is shared with the
+     sequential plan.
+   - unions, differences and DISTINCT evaluate both inputs as a first
+     parallel phase (each side's own ranges — joins and chains below
+     them parallelize too), then perform the {e global} set operation
+     ([Tuple.dedup]/[Tuple.diff] — first-occurrence semantics need the
+     whole collection, so this stitch is inherently sequential, and
+     costs exactly what the sequential plan's own dedup pass costs) on
+     the submitter and re-split the result for the consumer.
+
+   The two-phase shapes submit their inner phase with [Exec.Pool.map]
+   {e before} the consumer's parallel section starts: every pool
+   interaction happens on the submitting domain inside [mk], range
+   thunks themselves never touch the pool, so parallel sections
+   sequence and never nest (the pool's discipline). *)
 
 let range_thunks ~jobs arr =
   Array.map
@@ -278,9 +323,12 @@ let range_thunks ~jobs arr =
 
 (* Compile [expr] into a function producing per-range input thunks:
    Some (schema, mk) where [mk ()] re-splits the base at call time (a
-   Rel's contents are only known then; a Const's split is hoisted). *)
-let rec comp_ranged ~jobs expr :
+   Rel's contents are only known then; a Const's split is hoisted).
+   The concatenation of the thunks' outputs, in array order, is exactly
+   the sequential plan's output. *)
+let rec comp_ranged ~pool expr :
     (Schema.t * (unit -> (unit -> Tuple.t list) array)) option =
+  let jobs = Exec.Pool.jobs pool in
   match expr with
   | Ra.Const (schema, tuples) ->
       let arr = Array.of_list tuples in
@@ -303,7 +351,7 @@ let rec comp_ranged ~jobs expr :
                       keep tu)
                     (thunk ()))
                 (mk ()) ))
-        (comp_ranged ~jobs e)
+        (comp_ranged ~pool e)
   | Ra.Project (attrs, e) ->
       Option.map
         (fun ((schema : Schema.t), mk) ->
@@ -311,37 +359,144 @@ let rec comp_ranged ~jobs expr :
           ( Ra.schema_of expr,
             fun () ->
               Array.map (fun thunk () -> List.map proj (thunk ())) (mk ()) ))
-        (comp_ranged ~jobs e)
-  | _ -> None
+        (comp_ranged ~pool e)
+  | Ra.Rename (_, e) | Ra.Prefix (_, e) ->
+      (* pure metadata: same rows, renamed schema *)
+      Option.map
+        (fun (_, mk) -> (Ra.schema_of expr, mk))
+        (comp_ranged ~pool e)
+  | Ra.EquiJoin (pairs, l, r) ->
+      Option.map
+        (fun (_, lmk) ->
+          let fetch = equijoin_build pairs r in
+          let probe = equijoin_probe pairs l r in
+          ( Ra.schema_of expr,
+            fun () ->
+              (* refresh the memoized table on the submitter; the probe
+                 tasks only read it *)
+              let table = fetch () in
+              Array.map
+                (fun thunk () -> List.concat_map (probe table) (thunk ()))
+                (lmk ()) ))
+        (comp_ranged ~pool l)
+  | Ra.ThetaJoin (p, l, r) ->
+      Option.map
+        (fun (_, lmk) ->
+          let keep = Predicate.compile (Ra.schema_of expr) p in
+          let _, rexec = comp r in
+          ( Ra.schema_of expr,
+            fun () ->
+              let rt = rexec () in
+              Array.map
+                (fun thunk () ->
+                  List.concat_map (theta_matches keep rt) (thunk ()))
+                (lmk ()) ))
+        (comp_ranged ~pool l)
+  | Ra.Product (l, r) ->
+      Option.map
+        (fun (_, lmk) ->
+          let _, rexec = comp r in
+          ( Ra.schema_of expr,
+            fun () ->
+              let rt = rexec () in
+              Array.map
+                (fun thunk () ->
+                  List.concat_map (product_matches rt) (thunk ()))
+                (lmk ()) ))
+        (comp_ranged ~pool l)
+  | Ra.Union (l, r) ->
+      let lmk = side_thunks ~pool l and rmk = side_thunks ~pool r in
+      Some
+        ( Ra.schema_of expr,
+          fun () ->
+            let slices = Exec.Pool.map pool (Array.append (lmk ()) (rmk ())) in
+            (* global first-occurrence dedup, then re-split for the
+               consumer: identical to the sequential
+               [Tuple.dedup (l @ r)] because slice order is input
+               order *)
+            range_thunks ~jobs
+              (Array.of_list
+                 (Tuple.dedup (List.concat (Array.to_list slices)))) )
+  | Ra.Diff (l, r) ->
+      let lmk = side_thunks ~pool l and rmk = side_thunks ~pool r in
+      Some
+        ( Ra.schema_of expr,
+          fun () ->
+            let lthunks = lmk () and rthunks = rmk () in
+            let k = Array.length lthunks in
+            let slices = Exec.Pool.map pool (Array.append lthunks rthunks) in
+            let ls =
+              List.concat (Array.to_list (Array.sub slices 0 k))
+            in
+            let rs =
+              List.concat
+                (Array.to_list (Array.sub slices k (Array.length slices - k)))
+            in
+            range_thunks ~jobs (Array.of_list (Tuple.diff ls rs)) )
+  | Ra.Distinct e ->
+      Option.map
+        (fun (_, mk) ->
+          ( Ra.schema_of expr,
+            fun () ->
+              let slices = Exec.Pool.map pool (mk ()) in
+              range_thunks ~jobs
+                (Array.of_list
+                   (Tuple.dedup (List.concat (Array.to_list slices)))) ))
+        (comp_ranged ~pool e)
+  | Ra.GroupBy _ -> None
+
+(* A union/difference input: its own ranges when rangeable, else one
+   sequential thunk (still evaluated inside the side's parallel
+   phase). *)
+and side_thunks ~pool expr : unit -> (unit -> Tuple.t list) array =
+  match comp_ranged ~pool expr with
+  | Some (_, mk) -> mk
+  | None ->
+      let _, exec = comp expr in
+      fun () -> [| exec |]
 
 let compile_parallel pool expr =
   let jobs = Exec.Pool.jobs pool in
-  match expr with
-  | Ra.GroupBy (gl, al, child) when jobs > 1 ->
-      Stats.incr Stats.Plan_compile;
-      let schema = Ra.schema_of expr in
-      let ranged =
-        match comp_ranged ~jobs child with
-        | Some (child_schema, mk) -> (child_schema, mk)
-        | None ->
-            (* sequential scan, parallel fold *)
-            let child_schema, exec = comp child in
-            ( child_schema,
-              fun () -> range_thunks ~jobs (Array.of_list (exec ())) )
-      in
-      let child_schema, mk_ranges = ranged in
-      let grouper = Groupby.compiled child_schema ~group_by:gl ~aggs:al in
-      let exec () =
-        let partials =
-          Exec.Pool.map pool
-            (Array.map
-               (fun thunk () -> Groupby.run_compiled_partial grouper (thunk ()))
-               (mk_ranges ()))
+  if jobs <= 1 then compile expr
+  else
+    match expr with
+    | Ra.GroupBy (gl, al, child) ->
+        Stats.incr Stats.Plan_compile;
+        let schema = Ra.schema_of expr in
+        let child_schema, mk_ranges =
+          match comp_ranged ~pool child with
+          | Some (child_schema, mk) -> (child_schema, mk)
+          | None ->
+              (* sequential scan, parallel fold *)
+              let child_schema, exec = comp child in
+              ( child_schema,
+                fun () -> range_thunks ~jobs (Array.of_list (exec ())) )
         in
-        Groupby.merge_partials grouper (Array.to_list partials)
-      in
-      { source = expr; schema; exec }
-  | _ -> compile expr
+        let grouper = Groupby.compiled child_schema ~group_by:gl ~aggs:al in
+        let exec () =
+          let partials =
+            Exec.Pool.map pool
+              (Array.map
+                 (fun thunk () ->
+                   Groupby.run_compiled_partial grouper (thunk ()))
+                 (mk_ranges ()))
+          in
+          Groupby.merge_partials grouper (Array.to_list partials)
+        in
+        { source = expr; schema; exec }
+    | _ -> (
+        (* no top-level fold to merge: parallelize the scan itself and
+           concatenate the per-range outputs (the sequential output,
+           exactly) *)
+        match comp_ranged ~pool expr with
+        | None -> compile expr
+        | Some (_, mk) ->
+            Stats.incr Stats.Plan_compile;
+            let schema = Ra.schema_of expr in
+            let exec () =
+              List.concat (Array.to_list (Exec.Pool.map pool (mk ())))
+            in
+            { source = expr; schema; exec })
 
 (* Make [Ra.eval] the compiled pipeline (see the note in ra.ml). *)
 let () = Ra.internal_set_eval eval

@@ -40,19 +40,39 @@ val eval : Ra.t -> Tuple.t list
 (** [run ∘ compile]; what {!Ra.eval} dispatches to. *)
 
 val compile_parallel : Exec.Pool.t -> Ra.t -> t
-(** Like {!compile}, but when the pool's degree exceeds 1 and the
-    expression is a top-level [GroupBy], the plan executes as a
-    {e parallel scan/aggregate}: the input is split into contiguous
-    ranges (a [Select]/[Project] chain over a base [Const] or [Rel] is
-    itself evaluated range-wise, so the scan and the filter
-    parallelize, not just the fold), each range folds into a partial
-    group table on its own domain, and the partials merge in range
-    order ({!Groupby.merge_partials}) — same result and output order as
-    the sequential plan.  Intended for one-shot bulk evaluation (the
-    initial materialization of a view over a large backing collection),
-    {e not} for the incremental Δ-path, whose batches are far too small
-    to amortize a fork/join.  With degree 1 (or any other expression
-    shape) this is exactly {!compile}. *)
+(** Like {!compile}, but when the pool's degree exceeds 1 the plan
+    executes as {e parallel dataflow} over contiguous input ranges:
+
+    - a [Select]/[Project]/[Rename]/[Prefix] chain over a base [Const]
+      or [Rel] is evaluated range-wise, so scan and filter parallelize;
+    - an [EquiJoin] materializes its (version-memoized) build table
+      once on the submitting domain and range-splits the {e probe}
+      side: each range probes the shared read-only table with the same
+      per-tuple kernel as the sequential plan;
+    - [ThetaJoin]/[Product] likewise materialize the right side once
+      and split the left;
+    - [Union], [Diff] and [Distinct] evaluate their inputs as a first
+      parallel phase (each side's own ranges — joins and chains below
+      them parallelize too), then perform the global first-occurrence
+      set operation sequentially on the submitter and re-split for the
+      consumer;
+    - a top-level [GroupBy] folds each range into a partial group table
+      on its own domain and merges the partials in range order
+      ({!Groupby.merge_partials}); any other rangeable top-level shape
+      concatenates the per-range outputs in range order.
+
+    In every case the result — tuples and their order — is identical to
+    the sequential plan's.  (Work counters can differ in kind, not in
+    asymptotics: the range-wise scan does not use the sequential plan's
+    index-probe pushdown for equality selections over an indexed base
+    relation, so it may count [Tuple_read]s where the sequential plan
+    counts an [Index_scan].)
+    Intended for one-shot bulk evaluation (the initial materialization
+    of a view over a large backing collection), {e not} for the
+    incremental Δ-path, whose batches are far too small to amortize a
+    fork/join.  With degree 1 (or a shape with no rangeable input, e.g.
+    a bare [GroupBy] over another [GroupBy]) this is exactly
+    {!compile}. *)
 
 val schema : t -> Schema.t
 (** Result schema, resolved at compile time. *)

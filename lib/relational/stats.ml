@@ -82,12 +82,25 @@ let get c = Atomic.get counts.(slot c)
 
 type snapshot = int array
 
-(* Each cell is read atomically; the vector as a whole is not a single
-   consistent cut under concurrent bumps (counters may be mid-batch),
-   but every bump lands in exactly one of any two bracketing snapshots,
-   so before/after differencing over a quiescent region stays exact —
-   and with jobs = 1 the snapshot is exact, full stop. *)
-let snapshot () = Array.map Atomic.get counts
+(* Torn-read safety: each cell is read with exactly one atomic load and
+   the loaded value is stored straight into the fresh result array —
+   never re-read, never assembled from partial words.  Consequences,
+   valid at any parallelism degree:
+
+   - every per-counter value in a snapshot is a value the counter
+     actually held at the instant of its load (no phantom values);
+   - counters only grow between [reset]s, so snapshots taken in
+     sequence by one domain are {e pointwise monotone} even while other
+     domains bump concurrently (asserted by the jobs = 4 stress test in
+     test_parallel.ml);
+   - every bump lands in exactly one of any two bracketing snapshots,
+     so before/after differencing over a region that starts and ends
+     quiescent is exact — and with jobs = 1 exact, full stop.
+
+   The vector as a whole is still not a single global cut (loads of
+   different cells happen at slightly different instants); no consumer
+   in this codebase needs one. *)
+let snapshot () = Array.init (Array.length counts) (fun i -> Atomic.get counts.(i))
 let reset () = Array.iter (fun a -> Atomic.set a 0) counts
 
 let diff before after =

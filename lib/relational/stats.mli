@@ -47,14 +47,24 @@ val get : counter -> int
     domain count.  With [jobs = 1] the behaviour (and every observable
     value) is identical to plain mutable integers. *)
 
+val all : counter list
+(** Every counter, in slot order (for exhaustive iteration in tests and
+    benchmark reports). *)
+
 (** A snapshot of all counters, for before/after differencing. *)
 type snapshot
 
 val snapshot : unit -> snapshot
-(** Each counter is read atomically.  Under concurrent bumps the vector
-    is not a single global cut, but any bump is counted in exactly one
-    of two bracketing snapshots, so [diff before after] over a region
-    that starts and ends quiescent is exact. *)
+(** Torn-read-safe at any parallelism degree: each counter is read with
+    exactly one atomic load into the result (never re-read, never
+    assembled from parts), so every reported value is one the counter
+    actually held, and — counters being monotone between {!reset}s —
+    successive snapshots taken by one domain are pointwise
+    non-decreasing even under concurrent bumps from pool domains.
+    Under concurrent bumps the vector is not a single global cut, but
+    any bump is counted in exactly one of two bracketing snapshots, so
+    [diff before after] over a region that starts and ends quiescent is
+    exact. *)
 
 val reset : unit -> unit
 

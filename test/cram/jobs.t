@@ -41,3 +41,39 @@ same state at every degree.
   $ chronicle-cli recover --jobs 4 d > par.out
   $ cmp seq.out par.out && echo identical
   identical
+
+A journal that is one long run of append records exercises the
+windowed replay scheduler: the run is recorded sequentially, then the
+per-view fold chains are handed to the domain pool.  The recovered
+state — and the CLI's byte-for-byte output — is identical at every
+degree, including degrees far above the record count's parallelism.
+
+  $ cat > wide-setup.cdl <<CDL
+  > CREATE CHRONICLE a (acct INT, miles INT);
+  > CREATE CHRONICLE b (acct INT, miles INT);
+  > DEFINE VIEW va AS SELECT acct, SUM(miles) AS total FROM CHRONICLE a GROUP BY acct;
+  > DEFINE VIEW vb AS SELECT acct, COUNT(*) AS n FROM CHRONICLE b GROUP BY acct;
+  > CDL
+  $ cat > wide-appends.cdl <<CDL
+  > APPEND INTO a VALUES (1, 10), (2, 20);
+  > APPEND INTO b VALUES (1, 1);
+  > APPEND INTO a VALUES (3, 30);
+  > APPEND INTO b VALUES (2, 2), (3, 3);
+  > APPEND INTO a VALUES (1, 40);
+  > APPEND INTO b VALUES (1, 5);
+  > APPEND INTO a VALUES (2, 7);
+  > APPEND INTO b VALUES (2, 9);
+  > CDL
+  $ chronicle-cli run --durable w wide-setup.cdl > /dev/null
+  $ chronicle-cli run --durable w --crash-after 7 wide-appends.cdl > /dev/null
+  [2]
+  $ chronicle-cli recover --jobs 2 w
+  recovered w: checkpoint loaded; journal: 8 replayed, 0 skipped
+  view va: 3 row(s)
+  view vb: 3 row(s)
+  $ chronicle-cli recover --jobs 1 w > w1.out
+  $ chronicle-cli recover --jobs 2 w > w2.out
+  $ chronicle-cli recover --jobs 4 w > w4.out
+  $ chronicle-cli recover --jobs 8 w > w8.out
+  $ cmp w1.out w2.out && cmp w1.out w4.out && cmp w1.out w8.out && echo identical
+  identical

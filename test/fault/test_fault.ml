@@ -220,6 +220,63 @@ let test_exhaustive_torn_sweep () =
     done
   done
 
+(* ---- crashes during recovery itself ---- *)
+
+(* The parallel replay scheduler exposes its own crash point,
+   ["replay-dispatch"], hit once per window of consecutive append
+   records just before the window's fold chains are dispatched.  The
+   property: recovery writes nothing to storage until replay is
+   complete, so a crash at any window — at any parallelism degree —
+   leaves the journal and checkpoint exactly as the dying process left
+   them, and a subsequent plain recovery reaches the clean final state.
+   A countdown past the last window must not fire at all. *)
+let replay_workload =
+  (* journal shape A A | C | A A | C | A A A: three append windows
+     separated by clock barriers, final record replayed alone *)
+  [
+    Append [ (1, 100); (2, 40) ];
+    Bonus [ (1, 10) ];
+    Clock 1;
+    Append [ (3, 75) ];
+    Multi ([ (1, 5) ], [ (2, 5) ]);
+    Clock 2;
+    Bonus [ (3, 2); (1, 1) ];
+    Append [ (4, 99) ];
+    Append [ (2, 7) ];
+  ]
+
+let test_replay_dispatch_crash_sweep () =
+  let states = clean_states replay_workload in
+  let final = states.(Array.length states - 1) in
+  List.iter
+    (fun jobs ->
+      for k = 0 to 4 do
+        let what = Printf.sprintf "replay-dispatch after %d hits (jobs=%d)" k jobs in
+        let storage = Storage.mem () in
+        let fault = Fault.create () in
+        let applied, crashed =
+          durable_run replay_workload ~jobs ~storage ~fault ~script:(fun _ -> ())
+        in
+        assert ((not crashed) && applied = List.length replay_workload);
+        let rfault = Fault.create () in
+        Fault.arm rfault ~after:k "replay-dispatch";
+        (match Durable.recover ~jobs ~storage ~fault:rfault () with
+        | d, _ ->
+            (* countdown outlived the journal's windows: no crash, and
+               recovery reached the clean final state *)
+            if Snapshot.save (Durable.db d) <> final then
+              Alcotest.failf "uncrashed recovery diverged (%s)" what
+        | exception Fault.Crash _ ->
+            (* mid-replay crash: storage untouched, so recovering again
+               (any degree; use 1 for the sequential reference) is clean *)
+            let d, report = Durable.recover ~storage () in
+            if report.Durable.dropped_failed then
+              Alcotest.failf "re-recovery dropped a batch (%s)" what;
+            if Snapshot.save (Durable.db d) <> final then
+              Alcotest.failf "re-recovery after replay crash diverged (%s)" what)
+      done)
+    [ 1; 2; 4 ]
+
 let test_clean_run_recovers_exactly () =
   (* no faults at all: recovery reproduces the final state, whatever the
      interleaving of checkpoints *)
@@ -289,6 +346,8 @@ let () =
             test_exhaustive_crash_sweep;
           Alcotest.test_case "exhaustive torn-write sweep" `Quick
             test_exhaustive_torn_sweep;
+          Alcotest.test_case "replay-dispatch crash sweep" `Quick
+            test_replay_dispatch_crash_sweep;
           qcheck_crash_equivalence;
         ] );
     ]

@@ -414,6 +414,97 @@ let test_disk_storage () =
       check_int "suffix replayed from disk" 1 report.Durable.replayed;
       same_state "disk round trip" db (Durable.db d'))
 
+(* ---- typed recovery errors: corruption vs application failure ---- *)
+
+(* Each CRC-valid but structurally malformed record shape must surface
+   as [Journal.Journal_corrupt] with the record index — never a bare
+   [Failure] — even when the malformed record is the journal's final
+   record (structural damage is not "the batch that died with the
+   process"). *)
+let test_malformed_records_typed_at_recovery () =
+  let tagged tag fields = Sexp.List [ Sexp.Atom tag; Sexp.record fields ] in
+  let shapes =
+    [
+      ("bare atom", Sexp.atom "junk");
+      ("unknown tag", tagged "frobnicate" []);
+      ( "malformed append batch entry",
+        tagged "append"
+          [
+            ("group", Sexp.atom "main");
+            ("sn", Sexp.int 1);
+            ("batch", Sexp.List [ Sexp.List [ Sexp.atom "c" ] ]);
+          ] );
+      ("append missing fields", tagged "append" [ ("sn", Sexp.int 1) ]);
+      ( "bad index kind",
+        tagged "define-view"
+          [ ("index", Sexp.atom "btree"); ("def", Sexp.record []) ] );
+    ]
+  in
+  List.iter
+    (fun (what, sexp) ->
+      let st = Storage.mem () in
+      let j = Journal.open_ st Durable.journal_file in
+      Journal.append j sexp;
+      match Durable.recover ~storage:st () with
+      | _ -> Alcotest.failf "%s: recovery must reject the record" what
+      | exception Journal.Journal_corrupt { record = 0; _ } -> ()
+      | exception e ->
+          Alcotest.failf "%s: wanted Journal_corrupt at record 0, got %s" what
+            (Printexc.to_string e))
+    shapes
+
+(* A *well-formed* record the database cannot apply is an application
+   failure, not corruption: tolerated (and erased) when final, raised
+   as [Durable.Recovery_error] when records follow it. *)
+let test_application_failure_vs_malformation () =
+  let tagged tag fields = Sexp.List [ Sexp.Atom tag; Sexp.record fields ] in
+  (* structurally valid append naming a chronicle that never existed *)
+  let orphan sn =
+    tagged "append"
+      [
+        ("group", Sexp.atom "main");
+        ("sn", Sexp.int sn);
+        ( "batch",
+          Sexp.List
+            [
+              Sexp.List
+                [
+                  Sexp.atom "ghost";
+                  Sexp.List [ Snapshot.sexp_of_tuple (post 1 100) ];
+                ];
+            ] );
+      ]
+  in
+  let add_group = tagged "add-group" [ ("name", Sexp.atom "g2") ] in
+  (* final record: dropped as the batch that died with the process *)
+  let st = Storage.mem () in
+  let j = Journal.open_ st Durable.journal_file in
+  Journal.append j add_group;
+  Journal.append j (orphan 1);
+  let d, report = Durable.recover ~storage:st () in
+  check_bool "final application failure is dropped" true
+    report.Durable.dropped_failed;
+  check_bool "preceding record still applied" true
+    (List.mem "g2" (Db.group_names (Durable.db d)));
+  (* recovery on fresh storage ends with a checkpoint, so the journal —
+     failed record included — has been absorbed and reset *)
+  check_int "dropped record erased from journal" 0 (Durable.journal_records d);
+  (* and the recovered state must itself be recoverable *)
+  let d2, report2 = Durable.recover ~storage:st () in
+  check_bool "re-recovery is clean" false report2.Durable.dropped_failed;
+  same_state "re-recovery round-trips" (Durable.db d) (Durable.db d2);
+  (* non-final record: typed Recovery_error carrying the record index *)
+  let st = Storage.mem () in
+  let j = Journal.open_ st Durable.journal_file in
+  Journal.append j (orphan 1);
+  Journal.append j add_group;
+  match Durable.recover ~storage:st () with
+  | _ -> Alcotest.fail "non-final application failure must raise"
+  | exception Durable.Recovery_error { record = 0; _ } -> ()
+  | exception e ->
+      Alcotest.failf "wanted Recovery_error at record 0, got %s"
+        (Printexc.to_string e)
+
 let suite =
   [
     test "crc32 vectors" test_crc32;
@@ -433,5 +524,7 @@ let suite =
     test "crash mid checkpoint (both sides of the rename)" test_crash_mid_checkpoint;
     test "torn write drops exactly the torn batch" test_torn_write_drops_batch;
     test "corrupt journals are rejected at recovery" test_corrupt_journal_rejected_at_recovery;
+    test "malformed records are typed corruption" test_malformed_records_typed_at_recovery;
+    test "application failure vs malformation" test_application_failure_vs_malformation;
     test "disk-backed storage" test_disk_storage;
   ]

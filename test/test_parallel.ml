@@ -231,10 +231,252 @@ let test_parallel_rollback () =
   check_int "post-rollback append maintained" 2
     (List.length (Db.view_contents db "v0"))
 
+(* ---- parallel physical plans: joins, unions, differences ----
+
+   The PR-3 kernel only range-split GROUPBY over Select/Project
+   pipelines; these properties cover the widened shapes — probe-side
+   split hash joins, theta joins and products against a shared
+   materialized right side, and two-phase union/difference/distinct —
+   both standalone and below a top-level GROUPBY.  Fixed expression
+   shapes, random data (including empty and skewed inputs); the oracle
+   is the sequential compiled plan, itself checked against
+   [Ra.eval_naive]. *)
+
+let plan_schema = Schema.make [ ("k", Value.TInt); ("x", Value.TInt) ]
+let t_schema = Schema.make [ ("k", Value.TInt); ("y", Value.TInt) ]
+
+let plan_shapes r1 r2 rt =
+  let open Ra in
+  [
+    ("union of selects",
+     Union (Select (Predicate.("x" >% vi 50), Rel r1), Rel r2));
+    ("difference", Diff (Rel r1, Rel r2));
+    ("distinct of union", Distinct (Union (Rel r1, Rel r2)));
+    ("equijoin (probe-side split)", EquiJoin ([ ("k", "k") ], Rel r1, Rel rt));
+    ("theta join",
+     ThetaJoin (Predicate.attr_eq "k" "t.k", Rel r1, Prefix ("t", Rel rt)));
+    ("select over product",
+     Select
+       (Predicate.attr_eq "k" "t.k", Product (Rel r1, Prefix ("t", Rel rt))));
+    ("union of joins",
+     Union
+       ( Project ([ "k"; "x" ], EquiJoin ([ ("k", "k") ], Rel r1, Rel rt)),
+         Rel r2 ));
+    ("groupby over join",
+     GroupBy
+       ( [ "k" ],
+         [ Aggregate.sum "x" "sx"; Aggregate.count_star "n" ],
+         EquiJoin ([ ("k", "k") ], Rel r1, Rel rt) ));
+    ("groupby over union",
+     GroupBy ([ "k" ], [ Aggregate.sum "x" "sx" ], Union (Rel r1, Rel r2)));
+    ("groupby over difference",
+     GroupBy ([ "k" ], [ Aggregate.count_star "n" ], Diff (Rel r1, Rel r2)));
+  ]
+
+let gen_plan_data =
+  QCheck.Gen.(
+    let rows = list_size (0 -- 60) (pair (0 -- 8) (0 -- 100)) in
+    triple rows rows (list_size (0 -- 20) (pair (0 -- 8) (0 -- 10))))
+
+let plan_data_arb =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Printf.sprintf "r1:%d rows, r2:%d rows, rt:%d rows" (List.length a)
+        (List.length b) (List.length c))
+    gen_plan_data
+
+let prop_parallel_plans (rows1, rows2, rowst) =
+  let fill name schema rows =
+    let r = Relation.create ~name ~schema () in
+    List.iter (fun (k, x) -> ignore (Relation.insert r (tup [ vi k; vi x ]))) rows;
+    r
+  in
+  let r1 = fill "r1" plan_schema rows1
+  and r2 = fill "r2" plan_schema rows2
+  and rt = fill "rt" t_schema rowst in
+  List.for_all
+    (fun (label, e) ->
+      let seq = Plan.run (Plan.compile e) in
+      if not (List.equal Tuple.equal seq (Ra.eval_naive e)) then
+        QCheck.Test.fail_reportf "%s: sequential plan diverged from naive"
+          label
+      else
+        List.for_all
+          (fun jobs ->
+            let pool = Exec.Pool.create ~jobs () in
+            let par = Plan.run (Plan.compile_parallel pool e) in
+            if List.equal Tuple.equal seq par then true
+            else
+              QCheck.Test.fail_reportf
+                "%s: jobs=%d diverged (%d tuples vs %d sequential)" label jobs
+                (List.length par) (List.length seq))
+          [ 2; 4; 8 ])
+    (plan_shapes r1 r2 rt)
+
+(* ---- parallel journal replay ----
+
+   Run a random scenario live under write-ahead journaling, then
+   recover the same storage at several degrees: the recovered snapshot
+   must be byte-identical across jobs ∈ {1,2,4,8} and identical to the
+   live database's snapshot. *)
+
+open Chronicle_durability
+
+let run_scenario_durable s =
+  let st = Storage.mem () in
+  let db = Db.create () in
+  let d = Durable.attach ~sync:Journal.Sync_never ~storage:st db in
+  let chrons =
+    [|
+      Db.add_chronicle db ~retention:Chron.Full ~name:"c0" schema;
+      Db.add_chronicle db ~retention:Chron.Full ~name:"c1" schema;
+    |]
+  in
+  let define v =
+    let base = Ca.Chronicle chrons.(v.chron) in
+    let body =
+      match v.guard with
+      | None -> base
+      | Some a -> Ca.Select (Predicate.("acct" =% vi a), base)
+    in
+    ignore
+      (Db.define_view db
+         (Sca.define ~name:v.vname ~body
+            (Sca.Group_agg
+               ( [ "acct" ],
+                 [ Aggregate.sum "miles" "m"; Aggregate.count_star "n" ] ))))
+  in
+  let apply = function
+    | Append (c, rows) ->
+        ignore (Db.append db (Chron.name chrons.(c)) (List.map row rows))
+    | Append_multi parts ->
+        ignore
+          (Db.append_multi db
+             (List.map
+                (fun (c, rows) -> (Chron.name chrons.(c), List.map row rows))
+                parts))
+  in
+  List.iter define (List.filter (fun v -> v.early) s.views);
+  List.iter apply s.pre;
+  List.iter define (List.filter (fun v -> not v.early) s.views);
+  List.iter apply s.post;
+  Durable.detach d;
+  (st, Snapshot.save db)
+
+let prop_replay_parallel_equals_sequential s =
+  let st, live = run_scenario_durable s in
+  let recovered jobs =
+    let t, _report = Durable.recover ~jobs ~storage:st () in
+    Snapshot.save (Durable.db t)
+  in
+  let reference = recovered 1 in
+  if not (String.equal reference live) then
+    QCheck.Test.fail_reportf "sequential recovery diverged from the live state"
+  else
+    List.for_all
+      (fun jobs ->
+        if String.equal (recovered jobs) reference then true
+        else
+          QCheck.Test.fail_reportf
+            "recovery at jobs=%d diverged from sequential replay" jobs)
+      [ 2; 4; 8 ]
+
+(* A history-reading view (non-CA cross product) forces the replay
+   scheduler's fold barrier: every record flushes before the next one
+   is recorded, and the recovered state still matches sequential
+   replay at every degree. *)
+let test_replay_history_barrier () =
+  let st = Storage.mem () in
+  let db = Db.create () in
+  ignore (Durable.attach ~sync:Journal.Sync_never ~storage:st db);
+  let c0 = Db.add_chronicle db ~retention:(Chron.Window 64) ~name:"c0" schema in
+  let c1 = Db.add_chronicle db ~retention:(Chron.Window 64) ~name:"c1" schema in
+  ignore
+    (Db.define_view db ~tier_limit:Classify.IM_poly_c
+       (Sca.define ~allow_non_ca:true ~name:"cross"
+          ~body:(Ca.CrossChron (Ca.Chronicle c0, Ca.Chronicle c1))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.count_star "n" ]))));
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"plain" ~body:(Ca.Chronicle c0)
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "m" ]))));
+  for i = 1 to 12 do
+    ignore (Db.append db (if i mod 3 = 0 then "c1" else "c0") [ row (i mod 4, i) ])
+  done;
+  let live = Snapshot.save db in
+  let recovered jobs =
+    let t, report = Durable.recover ~jobs ~storage:st () in
+    check_bool "replayed something" true (report.Durable.replayed > 0);
+    Snapshot.save (Durable.db t)
+  in
+  let seq = recovered 1 in
+  check_bool "sequential recovery = live" true (String.equal seq live);
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d recovery = sequential" jobs)
+        true
+        (String.equal (recovered jobs) seq))
+    [ 2; 4; 8 ]
+
+(* ---- Stats snapshots are torn-read-safe under parallel bumps ----
+
+   A dedicated domain snapshots in a tight loop while a jobs = 4
+   database maintains many views; every counter must be pointwise
+   non-decreasing across successive snapshots (each cell is read with
+   exactly one atomic load — no torn or phantom values). *)
+let test_stats_snapshot_monotone () =
+  let db = Db.create ~jobs:4 () in
+  let c = Db.add_chronicle db ~name:"c" schema in
+  for i = 0 to 11 do
+    ignore
+      (Db.define_view db
+         (Sca.define ~name:(Printf.sprintf "v%d" i) ~body:(Ca.Chronicle c)
+            (Sca.Group_agg
+               ([ "acct" ], [ Aggregate.sum "miles" "m"; Aggregate.count_star "n" ]))))
+  done;
+  let stop = Atomic.make false in
+  let watcher =
+    Domain.spawn (fun () ->
+        let bad = ref None in
+        let snaps = ref 0 in
+        let prev = ref (Stats.snapshot ()) in
+        while not (Atomic.get stop) do
+          let s = Stats.snapshot () in
+          incr snaps;
+          List.iter
+            (fun cnt ->
+              let d = Stats.diff_get !prev s cnt in
+              if d < 0 && !bad = None then
+                bad := Some (Stats.counter_name cnt, d))
+            Stats.all;
+          prev := s
+        done;
+        (!snaps, !bad))
+  in
+  for i = 1 to 400 do
+    ignore (Db.append db "c" [ row (i mod 7, i); row ((i + 3) mod 7, i) ])
+  done;
+  Atomic.set stop true;
+  let snaps, bad = Domain.join watcher in
+  check_bool "watcher actually raced the appends" true (snaps > 0);
+  match bad with
+  | None -> ()
+  | Some (name, d) ->
+      Alcotest.failf "counter %s went backwards across snapshots (%d)" name d
+
 let suite =
   [
     qtest ~count:120 "parallel ≡ sequential (state and work)" scenario_arb
       prop_parallel_equals_sequential;
     test "parallel initial materialization" test_parallel_materialization;
     test "parallel fold failure rolls back all views" test_parallel_rollback;
+    qtest ~count:80 "parallel plans ≡ sequential (join/union/diff)"
+      plan_data_arb prop_parallel_plans;
+    qtest ~count:60 "parallel replay ≡ sequential recovery" scenario_arb
+      prop_replay_parallel_equals_sequential;
+    test "replay fold barrier for history-reading views"
+      test_replay_history_barrier;
+    test "stats snapshots are monotone under parallel bumps"
+      test_stats_snapshot_monotone;
   ]
