@@ -1,0 +1,117 @@
+(* E16 — ranged index-probe pushdown: scan vs probe on the parallel
+   plan path.
+
+   PR 3/4 gave {!Plan.compile_parallel} range-split scans; this PR
+   teaches the ranged path the sequential plan's select-pushdown: an
+   equality selection over a base relation with a covering index is
+   answered per range by one {e bounded} index probe
+   ({!Relation.lookup_bounded} / {!Index.find_bounded}) restricted to
+   the range's row-id interval, instead of scanning the slice.
+
+   The experiment runs the same selective query (1% of the rows match)
+   against two byte-identical relations — one carrying a non-unique
+   hash index on the selection attribute, one without — across the
+   parallelism degrees.  The contrast the recorded JSON pins is
+   machine-independent: the probe path reads exactly the matching
+   tuples per execution ([tuple_read] ≈ hits) and fires [index_scan]
+   once per range, while the scan path reads every live row; the
+   wall-clock ratio then follows the counter ratio.  Both paths return
+   byte-identical rows (asserted here, and differentially in
+   test/test_plan.ml and test/test_parallel.ml).
+
+   Machine-readable evidence lands in BENCH_E16.json (recorded copy:
+   bench/results/e16_indexed_ranged.json). *)
+
+open Relational
+
+let schema = Schema.make [ ("k", Value.TInt); ("x", Value.TInt) ]
+let n_rows = 100_000
+let n_keys = 100 (* 1_000 rows per key: 1% selectivity *)
+
+let fill name =
+  let r = Relation.create ~name ~schema () in
+  for i = 0 to n_rows - 1 do
+    ignore
+      (Relation.insert r (Tuple.make [ Value.Int (i mod n_keys); Value.Int i ]))
+  done;
+  r
+
+let degrees () =
+  let limit =
+    if !Measure.jobs_limit = 0 then Domain.recommended_domain_count ()
+    else !Measure.jobs_limit
+  in
+  List.filter (fun j -> j <= max 1 limit) [ 1; 2; 4; 8 ]
+
+let run () =
+  Measure.section "E16: ranged index-probe pushdown (scan vs probe)"
+    "One selective equality query over 100k rows (1% match), compiled \
+     as a parallel plan against an indexed and an unindexed twin \
+     relation: the ranged probe path touches hits only (tuple_read ~ \
+     matches, index_scan = one bounded probe per range) while the \
+     ranged scan path reads every live row.";
+  let cores = Domain.recommended_domain_count () in
+  Measure.note "hardware: %d recommended domain(s)" cores;
+  let indexed = fill "indexed" in
+  Relation.create_index indexed Index.Hash [ "k" ];
+  let plain = fill "plain" in
+  let sel r = Ra.Select (Predicate.("k" =% Value.Int 3), Ra.Rel r) in
+  let reference = Plan.run (Plan.compile (sel indexed)) in
+  let hits = List.length reference in
+  let json =
+    ref
+      [
+        Measure.J_obj
+          [
+            ("hardware_cores", Measure.J_int cores);
+            ("rows", Measure.J_int n_rows);
+            ("keys", Measure.J_int n_keys);
+            ("matching_rows", Measure.J_int hits);
+          ];
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun jobs ->
+        let pool = Exec.Pool.create ~jobs () in
+        List.map
+          (fun (path, rel) ->
+            let plan = Plan.compile_parallel pool (sel rel) in
+            (* correctness first: both paths must reproduce the
+               sequential answer exactly *)
+            if not (List.equal Tuple.equal (Plan.run plan) reference) then
+              failwith
+                (Printf.sprintf "E16: %s path diverged at jobs=%d" path jobs);
+            let r = Measure.per_op ~times:50 (fun _ -> ignore (Plan.run plan)) in
+            let reads = Measure.counter r Stats.Tuple_read in
+            let scans = Measure.counter r Stats.Index_scan in
+            let probes = Measure.counter r Stats.Index_probe in
+            json :=
+              Measure.J_obj
+                [
+                  ("path", Measure.J_str path);
+                  ("jobs", Measure.J_int jobs);
+                  ("micros_per_exec", Measure.J_float r.Measure.micros);
+                  ("tuple_read_per_exec", Measure.J_float reads);
+                  ("index_scan_per_exec", Measure.J_float scans);
+                  ("index_probe_per_exec", Measure.J_float probes);
+                ]
+              :: !json;
+            [
+              path;
+              string_of_int jobs;
+              Measure.f1 r.Measure.micros;
+              Measure.f1 reads;
+              Measure.f1 scans;
+              Measure.f1 probes;
+            ])
+          [ ("probe", indexed); ("scan", plain) ])
+      (degrees ())
+  in
+  Measure.print_table
+    ~title:
+      (Printf.sprintf "SELECT k=3 over %dk rows (%d match)" (n_rows / 1000)
+         hits)
+    ~header:[ "path"; "jobs"; "us/exec"; "tuple_read"; "index_scan"; "index_probe" ]
+    rows;
+  Measure.write_json ~file:"BENCH_E16.json" (List.rev !json)

@@ -23,6 +23,7 @@ let experiments =
     ("E13", E13_durability.run);
     ("E14", E14_parallel.run);
     ("E15", E15_recovery.run);
+    ("E16", E16_indexed_ranged.run);
     ("micro", Micro.run);
   ]
 

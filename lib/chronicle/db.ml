@@ -67,6 +67,7 @@ let create ?(default_group = "main") ?(jobs = 1) () =
   t
 
 let jobs t = Exec.Pool.jobs t.pool
+let pool t = t.pool
 
 let set_txn_sink t sink = t.txn_sink <- sink
 let set_fold_probe t probe = t.fold_probe <- probe

@@ -46,6 +46,12 @@ val jobs : t -> int
 (** The effective parallelism degree ([>= 1]; [?jobs:0] has already
     been resolved to the recommended domain count). *)
 
+val pool : t -> Exec.Pool.t
+(** The database's domain pool.  Exposed so evaluation layers above the
+    database (ad-hoc queries in the language front end) can run
+    {!Plan.compile_parallel} plans on the same pool the maintenance
+    path uses, instead of spinning up their own domains. *)
+
 (** {2 Catalog} *)
 
 val add_group : t -> ?clock_start:Seqnum.chronon -> string -> Group.t

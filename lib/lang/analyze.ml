@@ -192,6 +192,9 @@ let stats_schema =
     [ ("kind", Value.TStr); ("name", Value.TStr); ("metric", Value.TStr);
       ("value", Value.TInt) ]
 
+let counters_schema =
+  Schema.make [ ("counter", Value.TStr); ("value", Value.TInt) ]
+
 let calendar_of_spec (spec : Ast.calendar_spec) =
   match spec.Ast.shape with
   | `Tiling -> Calendar.tiling ~start:spec.Ast.cal_start ~width:spec.Ast.cal_width
@@ -328,10 +331,15 @@ let exec session stmt =
       Advanced chronon
   | Ast.Query q ->
       let expr = compile_query session q in
-      let schema =
-        try Ra.schema_of expr with Ra.Type_error msg -> sem_error "%s" msg
+      (* compile on the database's pool: at [--jobs 1] this is exactly
+         the sequential plan; above it the scan (and, over an indexed
+         relation, the bounded index probes) range-split across the
+         pool's domains with byte-identical output *)
+      let plan =
+        try Plan.compile_parallel (Db.pool db) expr
+        with Ra.Type_error msg -> sem_error "%s" msg
       in
-      Rows (schema, Ra.eval expr)
+      Rows (Plan.schema plan, Plan.run plan)
   | Ast.Show_view name ->
       let v = try Db.view db name with Db.Unknown msg -> sem_error "%s" msg in
       Rows (View.schema v, View.to_list v)
@@ -430,6 +438,15 @@ let exec session stmt =
         ]
       in
       Rows (stats_schema, chron_rows @ rel_rows @ view_rows @ registry_rows)
+  | Ast.Show_counters ->
+      let rows =
+        List.map
+          (fun c ->
+            Tuple.make
+              [ Value.Str (Stats.counter_name c); Value.Int (Stats.get c) ])
+          Stats.all
+      in
+      Rows (counters_schema, rows)
   | Ast.Show_windowed name -> (
       match Session.windowed session name with
       | None -> sem_error "unknown windowed view %s" name

@@ -89,6 +89,7 @@ type stmt =
   | Show_audit
   | Show_plan of string
   | Show_stats
+  | Show_counters
   | Drop_view of string
 
 let operand_to_pred = function
@@ -124,6 +125,7 @@ let pp_stmt ppf = function
   | Show_audit -> Format.fprintf ppf "SHOW AUDIT"
   | Show_plan name -> Format.fprintf ppf "SHOW PLAN %s" name
   | Show_stats -> Format.fprintf ppf "SHOW STATS"
+  | Show_counters -> Format.fprintf ppf "SHOW COUNTERS"
   | Drop_view name -> Format.fprintf ppf "DROP VIEW %s" name
   | Advance_clock c -> Format.fprintf ppf "ADVANCE CLOCK TO %d" c
   | Query { q_from; _ } -> Format.fprintf ppf "SELECT ... FROM %s" q_from

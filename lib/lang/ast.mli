@@ -105,6 +105,11 @@ type stmt =
   | Show_audit
   | Show_plan of string
   | Show_stats
+  | Show_counters
+      (** [SHOW COUNTERS]: the engine-wide {!Stats} work counters
+          (index probes, tuple reads, …) as rows — the observable the
+          differential plan tests and the CLI's [--jobs] runs assert
+          on. *)
   | Drop_view of string
 
 val cond_to_predicate : cond -> Predicate.t

@@ -566,9 +566,13 @@ let stmt st =
       | Token.Kw_stats ->
           advance st;
           Ast.Show_stats
+      | Token.Kw_counters ->
+          advance st;
+          Ast.Show_counters
       | t ->
           error st
-            "expected VIEW, CLASSIFY, PLAN, PERIODIC, WINDOWED, ALERTS, AUDIT or STATS, found %s"
+            "expected VIEW, CLASSIFY, PLAN, PERIODIC, WINDOWED, ALERTS, AUDIT, \
+             STATS or COUNTERS, found %s"
             (Token.to_string t))
   | t -> error st "expected a statement, found %s" (Token.to_string t)
 

@@ -57,6 +57,7 @@ type t =
   | Kw_reset
   | Kw_audit
   | Kw_stats
+  | Kw_counters
   | Kw_drop
   | Kw_plan
   | Lparen
@@ -129,6 +130,7 @@ let keyword_of_string s =
   | "RESET" -> Some Kw_reset
   | "AUDIT" -> Some Kw_audit
   | "STATS" -> Some Kw_stats
+  | "COUNTERS" -> Some Kw_counters
   | "DROP" -> Some Kw_drop
   | "PLAN" -> Some Kw_plan
   | _ -> None
@@ -192,6 +194,7 @@ let to_string = function
   | Kw_reset -> "RESET"
   | Kw_audit -> "AUDIT"
   | Kw_stats -> "STATS"
+  | Kw_counters -> "COUNTERS"
   | Kw_drop -> "DROP"
   | Kw_plan -> "PLAN"
   | Lparen -> "("

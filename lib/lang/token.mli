@@ -60,6 +60,7 @@ type t =
   | Kw_reset
   | Kw_audit
   | Kw_stats
+  | Kw_counters
   | Kw_drop
   | Kw_plan
   (* punctuation *)

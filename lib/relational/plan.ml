@@ -293,7 +293,17 @@ let eval expr = run (compile expr)
 
    Which shapes are rangeable?  A Select/Project/Rename/Prefix chain
    over one base Const or Rel is compiled range-wise (the scan and the
-   filter run inside the parallel tasks).  On top of that:
+   filter run inside the parallel tasks).  A Select chain over a base
+   Rel whose equality conjuncts cover an index does better still: each
+   range performs one *bounded probe* (Relation.lookup_bounded — the
+   index answer sliced to the range's row-id interval) instead of
+   scanning its slice, so the ranged path pays the same
+   O(matches + probe) the sequential select-pushdown pays and fires
+   the same counter kinds (Index_scan / Index_probe / Tuple_read per
+   hit).  Ranges partition the relation's row-id space [0, row_bound);
+   per-key index runs are sorted ascending, so the per-range answers
+   concatenate to the sequential probe's answer — the scan order —
+   exactly.  On top of that:
 
    - equi-joins and θ-joins/products range-split their probe (left)
      side: the build table (version-memoized for equi-joins) or the
@@ -321,6 +331,48 @@ let range_thunks ~jobs arr =
     (fun (start, len) () -> Array.to_list (Array.sub arr start len))
     (Exec.Pool.chunk_ranges ~jobs (Array.length arr))
 
+(* Ranged select-pushdown: the parallel counterpart of
+   [compile_rel_select].  When the peeled Select chain bottoms out in a
+   base relation and a covering index binds every attribute of some
+   index (same analysis, same [choose_index] preference order), each
+   tuple-range probes the index bounded to its own row-id interval and
+   filters the residual conjuncts over the hits — per-hit kernel
+   identical to the sequential probe, so tuples, order and counter
+   kinds all match the sequential plan.  [None] when no covering index
+   exists (callers fall back to the ranged scan + filter). *)
+let ranged_rel_select ~jobs preds expr =
+  match select_target preds expr with
+  | None -> None
+  | Some (rel, preds) -> (
+      let rschema = Relation.schema rel in
+      let atoms = List.fold_left conjuncts [] preds in
+      match choose_index rel atoms with
+      | None -> None
+      | Some (attrs, key, residual) ->
+          let keep =
+            match residual with
+            | [] -> None
+            | ps -> Some (Predicate.compile rschema (Predicate.conj ps))
+          in
+          Some
+            ( rschema,
+              fun () ->
+                Array.map
+                  (fun (start, len) () ->
+                    Stats.incr Stats.Index_scan;
+                    let hits =
+                      Relation.lookup_bounded rel ~attrs key ~lo:start
+                        ~hi:(start + len)
+                    in
+                    List.filter
+                      (fun tu ->
+                        Stats.incr Stats.Tuple_read;
+                        match keep with
+                        | None -> true
+                        | Some keep -> keep tu)
+                      hits)
+                  (Exec.Pool.chunk_ranges ~jobs (Relation.row_bound rel)) ))
+
 (* Compile [expr] into a function producing per-range input thunks:
    Some (schema, mk) where [mk ()] re-splits the base at call time (a
    Rel's contents are only known then; a Const's split is hoisted).
@@ -337,21 +389,25 @@ let rec comp_ranged ~pool expr :
       Some
         ( Relation.schema r,
           fun () -> range_thunks ~jobs (Array.of_list (Relation.to_list r)) )
-  | Ra.Select (p, e) ->
-      Option.map
-        (fun (schema, mk) ->
-          let keep = Predicate.compile schema p in
-          ( schema,
-            fun () ->
-              Array.map
-                (fun thunk () ->
-                  List.filter
-                    (fun tu ->
-                      Stats.incr Stats.Tuple_read;
-                      keep tu)
-                    (thunk ()))
-                (mk ()) ))
-        (comp_ranged ~pool e)
+  | Ra.Select (p, e) -> (
+      match ranged_rel_select ~jobs [ p ] e with
+      | Some _ as pushed -> pushed
+      | None ->
+          (* generic ranged filter: each range keeps its own matches *)
+          Option.map
+            (fun (schema, mk) ->
+              let keep = Predicate.compile schema p in
+              ( schema,
+                fun () ->
+                  Array.map
+                    (fun thunk () ->
+                      List.filter
+                        (fun tu ->
+                          Stats.incr Stats.Tuple_read;
+                          keep tu)
+                        (thunk ()))
+                    (mk ()) ))
+            (comp_ranged ~pool e))
   | Ra.Project (attrs, e) ->
       Option.map
         (fun ((schema : Schema.t), mk) ->

@@ -45,6 +45,11 @@ val compile_parallel : Exec.Pool.t -> Ra.t -> t
 
     - a [Select]/[Project]/[Rename]/[Prefix] chain over a base [Const]
       or [Rel] is evaluated range-wise, so scan and filter parallelize;
+      a conjunctive-equality [Select] chain over a [Rel] with a covering
+      index uses the same index-probe pushdown as the sequential plan,
+      restricted per range to its own row-id interval
+      ({!Relation.lookup_bounded}): each range pays one bounded probe
+      ([Stats.Index_scan] + [Index_probe]) and touches hits only;
     - an [EquiJoin] materializes its (version-memoized) build table
       once on the submitting domain and range-splits the {e probe}
       side: each range probes the shared read-only table with the same
@@ -62,11 +67,11 @@ val compile_parallel : Exec.Pool.t -> Ra.t -> t
       concatenates the per-range outputs in range order.
 
     In every case the result — tuples and their order — is identical to
-    the sequential plan's.  (Work counters can differ in kind, not in
-    asymptotics: the range-wise scan does not use the sequential plan's
-    index-probe pushdown for equality selections over an indexed base
-    relation, so it may count [Tuple_read]s where the sequential plan
-    counts an [Index_scan].)
+    the sequential plan's, and the work counters fire in the {e same
+    kinds} as the sequential plan (the ranged pushdown included —
+    [Index_scan]/[Index_probe] per range instead of once, [Tuple_read]
+    per hit either way; only the probe {e counts} scale with the
+    degree, never the per-tuple work).
     Intended for one-shot bulk evaluation (the initial materialization
     of a view over a large backing collection), {e not} for the
     incremental Δ-path, whose batches are far too small to amortize a

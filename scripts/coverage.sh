@@ -1,0 +1,25 @@
+#!/bin/sh
+# Gate for the opt-in bisect_ppx coverage variant.
+#
+# Every library carries an `(instrumentation (backend bisect_ppx))`
+# stanza, which dune keeps inert unless a build explicitly opts in with
+# `--instrument-with bisect_ppx`.  This script is the single entry
+# point (`dune build @coverage` runs it):
+#
+#   - when bisect_ppx is installed it prints the two commands of the
+#     instrumented run (dune forbids recursive invocations from inside
+#     a rule, so the run itself stays a top-level command);
+#   - when it is not installed — the supported baseline environment —
+#     it says so and exits 0, keeping `@coverage` (and the `@ci` gate
+#     that builds it) green without the dependency.
+#
+# See docs/COVERAGE.md for the recorded baseline summary.
+set -eu
+
+if ocamlfind query bisect_ppx >/dev/null 2>&1; then
+  echo "coverage: bisect_ppx found — run the instrumented suite with:"
+  echo "  dune runtest --instrument-with bisect_ppx --force"
+  echo "  bisect-ppx-report summary --coverage-path=_build/default"
+else
+  echo "coverage: bisect_ppx not installed; instrumentation stanzas stay inert (skipped, ok)"
+fi

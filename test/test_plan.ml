@@ -134,6 +134,58 @@ let prop_compiled_equals_naive () =
       Alcotest.failf "tree %d: second run diverged for %a" i Ra.pp expr
   done
 
+(* ---- randomized trees over indexed bases: ranged ≡ sequential ≡ naive ----
+
+   The differential layer for the ranged index-probe pushdown.  The
+   base relation carries a non-unique hash index on "kind" and an
+   ordered (B+-tree) index on "acct", and every tree's base is an
+   equality selection on one of the two — the shape the pushdown
+   answers with bounded probes.  Each tree is checked, tuples AND
+   order, against the naive interpreter and the sequential compiled
+   plan at jobs ∈ {1, 2, 4, 8}; across the corpus the ranged runs must
+   actually have taken the probe path ([Index_scan] fired — the
+   per-shape read-economics assertions live in test_parallel's
+   [plan_shapes] property and its directed counter tests). *)
+
+let indexed_txn_rel rng =
+  let rel = txn_rel rng in
+  Relation.create_index rel Index.Hash [ "kind" ];
+  Relation.create_index rel Index.Ordered [ "acct" ];
+  rel
+
+let prop_ranged_equals_naive_indexed () =
+  let rng = Rng.create 816 in
+  let pools = List.map (fun jobs -> Exec.Pool.create ~jobs ()) [ 1; 2; 4; 8 ] in
+  let scans = ref 0 in
+  for i = 1 to 120 do
+    let data_rng = Rng.split rng in
+    let accounts = account_rel data_rng in
+    let rel = indexed_txn_rel data_rng in
+    (* the tree's base: an equality-selective predicate on an indexed
+       attribute (hash on "kind", ordered on "acct") *)
+    let base =
+      if Rng.bool rng then
+        Ra.Select (Predicate.("kind" =% vs (Rng.pick rng kinds)), Ra.Rel rel)
+      else Ra.Select (Predicate.("acct" =% vi (Rng.int rng 45)), Ra.Rel rel)
+    in
+    let expr = gen_expr rng ~accounts ~base ~depth:(1 + Rng.int rng 4) in
+    let expected = Ra.eval_naive expr in
+    if not (List.equal Tuple.equal (Plan.run (Plan.compile expr)) expected)
+    then Alcotest.failf "tree %d: sequential plan ≠ naive for %a" i Ra.pp expr;
+    List.iter
+      (fun pool ->
+        let before = Stats.snapshot () in
+        let got = Plan.run (Plan.compile_parallel pool expr) in
+        let after = Stats.snapshot () in
+        if Exec.Pool.jobs pool > 1 then
+          scans := !scans + Stats.diff_get before after Stats.Index_scan;
+        if not (List.equal Tuple.equal got expected) then
+          Alcotest.failf "tree %d: jobs=%d ≠ naive for %a" i
+            (Exec.Pool.jobs pool) Ra.pp expr)
+      pools
+  done;
+  check_bool "ranged pushdown fired across the corpus" true (!scans > 0)
+
 (* ---- Ra.eval dispatches to the compiled pipeline ---- *)
 
 let ra_eval_is_compiled () =
@@ -276,6 +328,8 @@ let maintenance_equals_recompute () =
 let suite =
   [
     test "compiled ≡ naive on random trees" prop_compiled_equals_naive;
+    test "ranged ≡ sequential ≡ naive on indexed trees"
+      prop_ranged_equals_naive_indexed;
     test "Ra.eval is the compiled pipeline" ra_eval_is_compiled;
     test "select pushdown uses the index" index_pushdown;
     test "build table reuse + invalidation" build_table_reuse;
