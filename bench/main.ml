@@ -24,6 +24,7 @@ let experiments =
     ("E14", E14_parallel.run);
     ("E15", E15_recovery.run);
     ("E16", E16_indexed_ranged.run);
+    ("E17", E17_group_commit.run);
     ("micro", Micro.run);
   ]
 

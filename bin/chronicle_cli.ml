@@ -49,7 +49,8 @@ let report_recovery_error = function
       1
   | exn -> raise exn
 
-let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs path =
+let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
+    path =
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -84,37 +85,62 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs path =
   (match (durable, crash_after) with
   | Some d, Some n -> Fault.arm (Durable.fault d) ~after:n "post-journal-write"
   | _ -> ());
+  (try Session.set_batch session batch
+   with Invalid_argument msg ->
+     Format.eprintf "%s@." msg;
+     exit 1);
   match Parser.parse src with
   | exception e -> report_error e
   | stmts ->
-      (* execute statement by statement so partial progress is visible *)
+      (* execute statement by statement so partial progress is visible;
+         under --batch N an APPEND's ack is deferred until its group
+         commits, so staged results queue here and print — in staging
+         order, which is watermark order — as soon as the next flush
+         resolves them, keeping the output byte-identical to --batch 1 *)
+      let pending = Queue.create () in
+      let drain_pending () =
+        while not (Queue.is_empty pending) do
+          print_result (Analyze.resolve_staged session (Queue.pop pending))
+        done
+      in
       let rec go = function
         | [] -> (
-            (match durable with
-            | Some d -> (
-                match Durable.checkpoint d with
-                | () ->
-                    Format.printf "checkpointed %s@." (Option.get durable_dir)
-                | exception Chronicle_core.Snapshot.Snapshot_error msg ->
-                    Format.eprintf "checkpoint error: %s@." msg;
-                    exit 1)
-            | None -> ());
-            match snapshot_out with
-            | None -> 0
-            | Some snap -> (
-                match Session_snapshot.save_file session snap with
-                | () ->
-                    Format.printf "saved snapshot %s@." snap;
-                    0
-                | exception Chronicle_core.Snapshot.Snapshot_error msg
-                | exception Session_snapshot.Session_snapshot_error msg ->
-                    Format.eprintf "snapshot error: %s@." msg;
-                    1))
+            match drain_pending () with
+            | exception Fault.Crash point ->
+                Format.printf "simulated crash at %s@." point;
+                2
+            | exception e -> report_error e
+            | () -> (
+                (match durable with
+                | Some d -> (
+                    match Durable.checkpoint d with
+                    | () ->
+                        Format.printf "checkpointed %s@."
+                          (Option.get durable_dir)
+                    | exception Chronicle_core.Snapshot.Snapshot_error msg ->
+                        Format.eprintf "checkpoint error: %s@." msg;
+                        exit 1)
+                | None -> ());
+                match snapshot_out with
+                | None -> 0
+                | Some snap -> (
+                    match Session_snapshot.save_file session snap with
+                    | () ->
+                        Format.printf "saved snapshot %s@." snap;
+                        0
+                    | exception Chronicle_core.Snapshot.Snapshot_error msg
+                    | exception Session_snapshot.Session_snapshot_error msg ->
+                        Format.eprintf "snapshot error: %s@." msg;
+                        1)))
         | stmt :: rest -> (
-            match Analyze.exec session stmt with
-            | result ->
-                print_result result;
-                go rest
+            match
+              match Analyze.exec session stmt with
+              | Analyze.Staged _ as staged -> Queue.add staged pending
+              | result ->
+                  drain_pending ();
+                  print_result result
+            with
+            | () -> go rest
             | exception Fault.Crash point ->
                 (* the process "dies" here: no checkpoint, no snapshot —
                    the journal keeps the batch's write-ahead record *)
@@ -267,14 +293,27 @@ let run_cmd =
       & info [ "crash-after" ] ~docv:"N"
           ~doc:
             "Simulate a crash at the post-journal-write fault point after \
-             $(docv) appends (requires $(b,--durable)); the process stops \
-             with exit status 2, leaving the journal for $(b,recover).")
+             $(docv) journal records (requires $(b,--durable)); the process \
+             stops with exit status 2, leaving the journal for \
+             $(b,recover).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Group commit: stage appends and commit up to $(docv) of them \
+             as one journal record and one sync ($(b,1) = every append \
+             commits immediately). Output is byte-identical for every \
+             value; only the journal's record grouping — and the appends \
+             lost to a mid-group crash — changes.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
     Term.(
       const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
-      $ crash_after $ jobs_arg $ path)
+      $ crash_after $ jobs_arg $ batch_arg $ path)
 
 let recover_cmd =
   let dir =

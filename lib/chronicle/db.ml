@@ -13,6 +13,10 @@ type txn_event =
       sn : Seqnum.t;
       batch : (string * Tuple.t list) list;
     }
+  | Ev_group of {
+      group : string;
+      entries : (Seqnum.t * (string * Tuple.t list) list) list;
+    }
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
   | Ev_add_chronicle of {
@@ -180,6 +184,7 @@ let classify_view t name = Classify.sca (View.def (view t name))
 let registry t = t.registry
 
 let on_batch t hook = t.batch_hooks <- hook :: t.batch_hooks
+let has_batch_hooks t = t.batch_hooks <> []
 
 (* ---- the transaction path ----
 
@@ -530,6 +535,297 @@ let replay_appends t entries =
       entries;
     flush ()
   end;
+  outcomes
+
+(* ---- the group-commit path ----
+
+   [append_group] / [replay_group] apply a *group* of append batches as
+   one atomic unit under one write-ahead record ([Ev_group]): the
+   durability layer turns the whole group into a single journal append
+   and a single sync, amortizing the fsync that dominates per-append
+   cost under [Sync_always].  The protocol is the transactional path
+   stretched over n batches:
+
+     validate every batch up front (nothing unjournalable is ever
+     journaled) → emit [Ev_group] (write-ahead) → mark every chronicle
+     the group touches, every relation, and the group watermark once →
+     record + fold → commit all marks together → notify subscribers and
+     batch hooks per batch, in record order, strictly post-commit.
+
+   Any failure between mark and commit rolls the *whole* group back —
+   every begun view, every chronicle and relation mark, the watermark —
+   emits [Ev_abort] (the journal erases the group record) and re-raises:
+   a group is never partially visible, in memory or on disk.
+
+   Fold scheduling mirrors [replay_appends]: normally all batches are
+   recorded first and the folds grouped into per-view chains on the
+   pool (the combined-Δ fan-out; a view folds its batches in record
+   order, distinct views in parallel), with a flush barrier whenever an
+   affected view's Δ reads retained history.  Pending future-effective
+   relation updates force the interleaved record-then-fold order (a
+   later batch's [flush_pending] must not be visible to an earlier
+   batch's fold).  Batch hooks do not force a mode: they are deferred
+   to post-commit by the group protocol itself — callers for whom
+   per-batch hook timing is observable (e.g. the staging queue fronting
+   periodic/windowed views) should fall back to per-append commits via
+   {!has_batch_hooks}. *)
+
+exception Group_fold of { gindex : int; error : exn }
+
+let group_apply t g entries =
+  (* [entries : (sn * (Chron.t * tuples) list) list] — non-empty,
+     batches validated, sequence numbers strictly increasing and all
+     above the watermark (checked by both callers). *)
+  let wm = Group.watermark g in
+  let first_sn = match entries with (sn, _) :: _ -> sn | [] -> assert false in
+  emit t
+    (Ev_group
+       {
+         group = Group.name g;
+         entries =
+           List.map
+             (fun (sn, batch) ->
+               (sn, List.map (fun (c, tuples) -> (Chron.name c, tuples)) batch))
+             entries;
+       });
+  let chron_marks =
+    let seen = Hashtbl.create 8 in
+    List.concat_map
+      (fun (_, batch) ->
+        List.filter_map
+          (fun (c, _) ->
+            let name = Chron.name c in
+            if Hashtbl.mem seen name then None
+            else begin
+              Hashtbl.add seen name ();
+              Some (c, Chron.mark c)
+            end)
+          batch)
+      entries
+  in
+  let rel_marks =
+    Hashtbl.fold (fun _ r acc -> (r, Versioned.mark r) :: acc) t.relations []
+  in
+  let begun = ref [] and begun_names = Hashtbl.create 8 in
+  let begin_view v =
+    let name = View.name v in
+    if not (Hashtbl.mem begun_names name) then begin
+      Hashtbl.add begun_names name ();
+      View.begin_txn v;
+      begun := v :: !begun
+    end
+  in
+  let probe name sn =
+    match t.fold_probe with Some p -> p ~view:name ~sn | None -> ()
+  in
+  let record_one sn batch =
+    Group.claim_sn g sn;
+    let tagged =
+      List.map (fun (c, tuples) -> (c, Chron.record c sn tuples)) batch
+    in
+    Hashtbl.iter (fun _ r -> Versioned.flush_pending r ~upto:(sn - 1)) t.relations;
+    let affected =
+      dedup_affected
+        (List.concat_map
+           (fun (c, tg) -> Registry.affected t.registry c tg)
+           tagged)
+    in
+    (tagged, affected)
+  in
+  match
+    let order_sensitive =
+      Hashtbl.fold
+        (fun _ r acc -> acc || Versioned.pending_count r > 0)
+        t.relations false
+    in
+    if order_sensitive then
+      (* record + fold batch by batch, inside the group-wide bracket *)
+      List.map
+        (fun (sn, batch) ->
+          let tagged, affected = record_one sn batch in
+          List.iter begin_view affected;
+          List.iter
+            (fun v ->
+              probe (View.name v) sn;
+              View.maintain v ~sn ~batch:tagged)
+            affected;
+          (sn, tagged))
+        entries
+    else begin
+      (* windowed: record everything, then hand per-view fold chains to
+         the pool — the combined-Δ fan-out *)
+      let recorded = ref [] in
+      let flush () =
+        match List.rev !recorded with
+        | [] -> ()
+        | recs ->
+            recorded := [];
+            (* chains in order of first appearance: deterministic, since
+               recording runs in group order and [Registry.affected]
+               lists views in registration order *)
+            let order = ref [] and links = Hashtbl.create 8 in
+            List.iter
+              (fun (i, sn, tagged, affected) ->
+                List.iter
+                  (fun v ->
+                    let name = View.name v in
+                    let cell =
+                      match Hashtbl.find_opt links name with
+                      | Some cell -> cell
+                      | None ->
+                          let cell = ref [] in
+                          Hashtbl.add links name cell;
+                          order := (name, v) :: !order;
+                          cell
+                    in
+                    cell := (i, sn, tagged) :: !cell)
+                  affected)
+              recs;
+            let order = List.rev !order in
+            (* txn brackets are per-view bookkeeping: open them on the
+               submitting domain before the pool touches anything *)
+            List.iter (fun (_, v) -> begin_view v) order;
+            let chains =
+              Array.of_list
+                (List.map
+                   (fun (name, v) ->
+                     Array.of_list
+                       (List.rev_map
+                          (fun (i, sn, tagged) () ->
+                            try
+                              probe name sn;
+                              View.maintain v ~sn ~batch:tagged
+                            with e -> raise (Group_fold { gindex = i; error = e }))
+                          !(Hashtbl.find links name)))
+                   order)
+            in
+            let failures = Exec.Pool.run_chains t.pool chains in
+            (* deterministic at every degree: re-raise the failure of
+               the lowest-indexed batch (chains are independent, so the
+               failure set does not depend on the parallelism) *)
+            let worst = ref None in
+            Array.iter
+              (function
+                | None -> ()
+                | Some (Group_fold { gindex; _ } as e) -> (
+                    match !worst with
+                    | Some (Group_fold { gindex = j; _ }) when j <= gindex -> ()
+                    | _ -> worst := Some e)
+                | Some e -> (
+                    (* chain links always wrap; defensive *)
+                    match !worst with None -> worst := Some e | Some _ -> ()))
+              failures;
+            (match !worst with
+            | Some (Group_fold { error; _ }) -> raise error
+            | Some e -> raise e
+            | None -> ())
+      in
+      let tagged_entries =
+        List.mapi
+          (fun i (sn, batch) ->
+            let tagged, affected = record_one sn batch in
+            recorded := (i, sn, tagged, affected) :: !recorded;
+            if List.exists reads_history_view affected then
+              (* a history-reading fold must run before any later batch
+                 is recorded (recording could evict the ring-retained
+                 tuples it still needs) *)
+              flush ();
+            (sn, tagged))
+          entries
+      in
+      flush ();
+      tagged_entries
+    end
+  with
+  | tagged_entries ->
+      List.iter View.commit_txn !begun;
+      List.iter (fun (r, _) -> Versioned.commit r) rel_marks;
+      List.iter (fun (c, _) -> Chron.commit c) chron_marks;
+      Stats.incr Stats.Group_commit;
+      Stats.record_max Stats.Group_size_max (List.length entries);
+      (* post-commit observers, in record order — first all subscriber
+         notifications, then the batch hooks, each walking the group in
+         order *)
+      List.iter
+        (fun (sn, tagged) ->
+          List.iter (fun (c, tg) -> Chron.notify c sn tg) tagged)
+        tagged_entries;
+      List.iter
+        (fun (sn, tagged) ->
+          List.iter
+            (fun hook -> hook ~sn ~batch:tagged)
+            (List.rev t.batch_hooks))
+        tagged_entries
+  | exception e ->
+      List.iter View.rollback_txn !begun;
+      List.iter (fun (r, m) -> Versioned.rollback r m) rel_marks;
+      List.iter (fun (c, m) -> Chron.rollback c m) chron_marks;
+      Group.rollback_watermark g wm;
+      Stats.incr Stats.Rollback;
+      emit t (Ev_abort { group = Group.name g; sn = first_sn });
+      raise e
+
+let validate_group_batch ~ctx g batch =
+  if batch = [] then invalid_arg (Printf.sprintf "Db.%s: empty batch" ctx);
+  List.iter
+    (fun (c, tuples) ->
+      if not (Group.same (Chron.group c) g) then
+        invalid_arg
+          (Printf.sprintf "Db.%s: chronicle %s is not in group %s" ctx
+             (Chron.name c) (Group.name g));
+      Chron.check_batch c tuples)
+    batch
+
+let append_group t ?group:gname batches =
+  let g = group t (Option.value ~default:t.default_group gname) in
+  if batches = [] then invalid_arg "Db.append_group: empty group";
+  let batches = List.map (resolve_batch t) batches in
+  List.iter (validate_group_batch ~ctx:"append_group" g) batches;
+  let wm = Group.watermark g in
+  let entries = List.mapi (fun i batch -> (wm + 1 + i, batch)) batches in
+  group_apply t g entries;
+  List.map fst entries
+
+let replay_group t entries =
+  let n = List.length entries in
+  if n = 0 then invalid_arg "Db.replay_group: empty group";
+  let gname = (List.hd entries).rgroup in
+  let g = group t gname in
+  List.iter
+    (fun { rgroup; _ } ->
+      if rgroup <> gname then
+        invalid_arg
+          (Printf.sprintf
+             "Db.replay_group: mixed groups in one record (%s vs %s)" gname
+             rgroup))
+    entries;
+  let outcomes = Array.make n false in
+  let wm = Group.watermark g in
+  (* entries at or below the watermark are already covered by the
+     checkpoint (recovery idempotence); the rest must apply in order *)
+  let live =
+    List.filteri (fun i { rsn; _ } -> rsn > wm && (outcomes.(i) <- true; true))
+      entries
+  in
+  (match live with
+  | [] -> ()
+  | live ->
+      ignore
+        (List.fold_left
+           (fun prev { rsn; _ } ->
+             if rsn <= prev then
+               raise (Group.Stale_sequence_number { given = rsn; watermark = prev });
+             rsn)
+           wm live);
+      let resolved =
+        List.map
+          (fun { rsn; rbatch; _ } ->
+            let batch = resolve_batch t rbatch in
+            validate_group_batch ~ctx:"replay_group" g batch;
+            (rsn, batch))
+          live
+      in
+      group_apply t g resolved);
   outcomes
 
 let advance_clock t ?group:gname chronon =

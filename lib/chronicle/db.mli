@@ -120,6 +120,26 @@ val append_at : t -> ?group:string -> sn:Seqnum.t -> (string * Tuple.t list) lis
     original numbers).  Raises [Group.Stale_sequence_number] if [sn]
     does not exceed the group watermark. *)
 
+val append_group : t -> ?group:string -> (string * Tuple.t list) list list -> Seqnum.t list
+(** Group commit: apply several append batches as {e one atomic unit}
+    under a single write-ahead record ([Ev_group] — one journal append,
+    one sync for the whole group).  Each batch receives its own fresh
+    consecutive sequence number (returned in order), is recorded into
+    its chronicles and folded into the affected views exactly as if
+    appended alone; the per-view fold chains of the combined Δ are
+    fanned out across the maintenance pool.  Commit is all-or-nothing:
+    a failure anywhere rolls the entire group back (chronicles,
+    relations, views, watermark), emits [Ev_abort], and re-raises —
+    never a partial group.  Chronicle subscribers and batch hooks run
+    strictly post-commit, walking the group in record order; callers
+    for whom {e per-batch} hook timing is observable should check
+    {!has_batch_hooks} and fall back to per-append commits.
+    Raises [Invalid_argument] on an empty group, an empty batch, or a
+    chronicle outside [group] — before anything is journaled. *)
+
+val has_batch_hooks : t -> bool
+(** Whether any {!on_batch} hook is registered (see {!append_group}). *)
+
 val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
 
 (** {2 Replay}
@@ -166,6 +186,15 @@ val replay_appends : t -> replay_entry list -> bool array
     database partially replayed — the intended caller (recovery)
     discards the in-memory database on failure. *)
 
+val replay_group : t -> replay_entry list -> bool array
+(** Recovery twin of {!append_group}: re-apply a journaled group record
+    atomically under its original sequence numbers.  Entries at or
+    below the group watermark are skipped ([false] — the idempotent
+    recovery case); the remainder applies as one unit.  All entries
+    must name the same chronicle group.  On failure the whole group is
+    rolled back and the exception re-raised, so recovery can treat a
+    dying process's final group as applied-or-dropped, never torn. *)
+
 (** {2 Transaction events}
 
     The durability layer observes the database through a single sink.
@@ -180,6 +209,13 @@ type txn_event =
       group : string;
       sn : Seqnum.t;
       batch : (string * Tuple.t list) list;  (** user tuples, untagged *)
+    }
+  | Ev_group of {
+      group : string;
+      entries : (Seqnum.t * (string * Tuple.t list) list) list;
+          (** one group commit: per-batch (sequence number, user tuples);
+              emitted write-ahead like [Ev_append], erased by the
+              [Ev_abort] that follows a group rollback *)
     }
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }

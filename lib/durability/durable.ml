@@ -9,12 +9,24 @@ let checkpoint_tmp_file = "checkpoint.tmp"
 
 (* crash-point names (see Fault) *)
 let p_post_journal_write = "post-journal-write"
+let p_post_group_write = "post-group-write"
 let p_pre_checkpoint_rename = "pre-checkpoint-rename"
 let p_post_checkpoint_rename = "post-checkpoint-rename"
 let p_view_fold = "view-fold"
 let p_replay_dispatch = "replay-dispatch"
 
 (* ---- transaction-event (de)serialization ---- *)
+
+let sexp_of_batch batch =
+  Sexp.List
+    (List.map
+       (fun (cname, tuples) ->
+         Sexp.List
+           [
+             Sexp.atom cname;
+             Sexp.List (List.map Snapshot.sexp_of_tuple tuples);
+           ])
+       batch)
 
 let sexp_of_event (ev : Db.txn_event) =
   let tagged tag fields = Sexp.List [ Sexp.Atom tag; Sexp.record fields ] in
@@ -24,16 +36,21 @@ let sexp_of_event (ev : Db.txn_event) =
         [
           ("group", Sexp.atom group);
           ("sn", Sexp.int sn);
-          ( "batch",
+          ("batch", sexp_of_batch batch);
+        ]
+  | Db.Ev_group { group; entries } ->
+      (* a whole group commit framed as ONE journal record: one storage
+         append, one sync, however many batches the group carries *)
+      tagged "group"
+        [
+          ("group", Sexp.atom group);
+          ( "entries",
             Sexp.List
               (List.map
-                 (fun (cname, tuples) ->
-                   Sexp.List
-                     [
-                       Sexp.atom cname;
-                       Sexp.List (List.map Snapshot.sexp_of_tuple tuples);
-                     ])
-                 batch) );
+                 (fun (sn, batch) ->
+                   Sexp.record
+                     [ ("sn", Sexp.int sn); ("batch", sexp_of_batch batch) ])
+                 entries) );
         ]
   | Db.Ev_clock { group; chronon } ->
       tagged "clock" [ ("group", Sexp.atom group); ("chronon", Sexp.int chronon) ]
@@ -105,6 +122,11 @@ let sexp_of_event (ev : Db.txn_event) =
 
 type parsed =
   | P_append of Db.replay_entry
+  | P_group of Db.replay_entry list
+      (* one group-commit record: applied atomically when it is the
+         journal's final record, flattened into the replay window
+         otherwise (a non-final group is fully committed by
+         construction — its record survived the next write) *)
   | P_clock of { group : string; chronon : Seqnum.chronon }
   | P_add_group of { name : string; clock_start : Seqnum.chronon option }
   | P_add_chronicle of {
@@ -132,22 +154,37 @@ let parse_record ~record sexp =
   | Sexp.List [ Sexp.Atom tag; fields ] -> (
       let name_field () = Sexp.to_atom (Sexp.field fields "name") in
       let group_field () = Sexp.to_atom (Sexp.field fields "group") in
+      let batch_of_sexp sexp =
+        List.map
+          (fun entry ->
+            match entry with
+            | Sexp.List [ cname; tuples ] ->
+                ( Sexp.to_atom cname,
+                  List.map Snapshot.tuple_of_sexp (Sexp.to_list tuples) )
+            | _ -> fail "malformed append batch")
+          (Sexp.to_list sexp)
+      in
       try
         match tag with
         | "append" ->
             let rgroup = group_field () in
             let rsn = Sexp.to_int (Sexp.field fields "sn") in
-            let rbatch =
+            let rbatch = batch_of_sexp (Sexp.field fields "batch") in
+            P_append { Db.rgroup; rsn; rbatch }
+        | "group" ->
+            let rgroup = group_field () in
+            let entries =
               List.map
                 (fun entry ->
-                  match entry with
-                  | Sexp.List [ cname; tuples ] ->
-                      ( Sexp.to_atom cname,
-                        List.map Snapshot.tuple_of_sexp (Sexp.to_list tuples) )
-                  | _ -> fail "malformed append batch")
-                (Sexp.to_list (Sexp.field fields "batch"))
+                  {
+                    Db.rgroup;
+                    rsn = Sexp.to_int (Sexp.field entry "sn");
+                    rbatch = batch_of_sexp (Sexp.field entry "batch");
+                  })
+                (Sexp.to_list (Sexp.field fields "entries"))
             in
-            P_append { Db.rgroup; rsn; rbatch }
+            if entries = [] then fail "empty group record";
+            P_group entries
         | "clock" ->
             P_clock
               {
@@ -205,6 +242,11 @@ let apply_parsed db = function
         Db.append_at db ~group:rgroup ~sn:rsn rbatch;
         true
       end
+  | P_group entries ->
+      (* atomic: the whole group applies or none of it does — this is
+         the path the journal's *final* record takes, so a process that
+         died mid-group recovers to pre-group or post-group state *)
+      Array.exists Fun.id (Db.replay_group db entries)
   | P_clock { group; chronon } ->
       if chronon <= Group.now (Db.group db group) then false
       else begin
@@ -281,6 +323,12 @@ let sink t ev =
         Journal.append t.journal (sexp_of_event ev);
         (match ev with
         | Db.Ev_append _ -> Fault.hit t.fault p_post_journal_write
+        | Db.Ev_group _ ->
+            (* groups are write-ahead records too, so the generic point
+               fires; the dedicated point lets fault sweeps target the
+               half-committed-group window specifically *)
+            Fault.hit t.fault p_post_journal_write;
+            Fault.hit t.fault p_post_group_write
         | _ -> ())
 
 let do_checkpoint t =
@@ -368,29 +416,61 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
           dropped_failed := true
         else raise (Recovery_error { record = i; reason = Printexc.to_string e })
   in
-  let is_append k = match parsed.(k) with P_append _ -> true | _ -> false in
+  let is_append k =
+    match parsed.(k) with P_append _ | P_group _ -> true | _ -> false
+  in
   let i = ref 0 in
   while !i < n do
     if is_append !i && !i < n - 1 then begin
-      (* maximal window of consecutive appends, final record excluded *)
-      let entries = ref [] and j = ref !i in
+      (* maximal window of consecutive append/group records, final
+         record excluded.  Group records flatten into the entry run —
+         a non-final group is fully committed (its record survived the
+         next write), so entry-at-a-time replay is exact — while
+         [spans] remembers which entries came from which source record,
+         keeping the report's replayed/skipped counts and any failure
+         index record-granular. *)
+      let entries = ref [] and spans = ref [] in
+      let j = ref !i and flat = ref 0 in
       let scan = ref true in
       while !scan do
         if !j < n - 1 then
           match parsed.(!j) with
           | P_append e ->
-              entries := e :: !entries;
+              entries := [ e ] :: !entries;
+              spans := (!j, !flat, 1) :: !spans;
+              incr flat;
+              incr j
+          | P_group es ->
+              let len = List.length es in
+              entries := es :: !entries;
+              spans := (!j, !flat, len) :: !spans;
+              flat := !flat + len;
               incr j
           | _ -> scan := false
         else scan := false
       done;
       Fault.hit fault p_replay_dispatch;
-      (match Db.replay_appends database (List.rev !entries) with
-      | outcomes -> Array.iter count outcomes
+      (match Db.replay_appends database (List.concat (List.rev !entries)) with
+      | outcomes ->
+          List.iter
+            (fun (_, start, len) ->
+              let applied = ref false in
+              for k = start to start + len - 1 do
+                if outcomes.(k) then applied := true
+              done;
+              count !applied)
+            !spans
       | exception Db.Replay_error { index; error } ->
-          raise
-            (Recovery_error
-               { record = !i + index; reason = Printexc.to_string error }));
+          let record =
+            match
+              List.find_opt
+                (fun (_, start, len) -> index >= start && index < start + len)
+                !spans
+            with
+            | Some (r, _, _) -> r
+            | None -> !i + index
+          in
+          raise (Recovery_error { record; reason = Printexc.to_string error }));
       i := !j
     end
     else begin

@@ -28,9 +28,24 @@ open Chronicle_core
        crash between checkpoint-rename and journal-reset is
        harmless.}}
 
+    Group commit: a {!Db.append_group} reaches the sink as one
+    [Ev_group] and is framed as {e one} journal record — one storage
+    append, one sync for the whole group, which is the entire
+    throughput story of batched appends under [Sync_always].  On
+    recovery a non-final group record is flattened into the replay
+    window (it is fully committed — its record survived the next
+    write); the journal's {e final} record, if a group, is re-applied
+    atomically through {!Db.replay_group}, so a process that died
+    mid-group recovers to pre-group or post-group state, never a
+    partial group.  Report counts stay record-granular: a group record
+    counts once, replayed if any of its batches applied.
+
     Faults: give {!attach}/{!recover} a {!Fault.t} to script crashes
-    at the named points (["post-journal-write"],
-    ["pre-checkpoint-rename"], ["post-checkpoint-rename"],
+    at the named points (["post-journal-write"] — hit after every
+    write-ahead record, single appends and groups alike;
+    ["post-group-write"] — hit after group records only, targeting the
+    half-committed-group window; ["pre-checkpoint-rename"],
+    ["post-checkpoint-rename"],
     ["view-fold"], ["replay-dispatch"] — the last hit by {!recover}
     once per replay window, before its batches are dispatched) or torn
     writes.  After a simulated crash the

@@ -2,6 +2,7 @@ open Relational
 open Chronicle_core
 open Chronicle_temporal
 open Chronicle_events
+module Staging = Chronicle_durability.Group
 
 exception Semantic_error of string
 
@@ -13,6 +14,7 @@ type exec_result =
   | Defined_periodic of { view : string; live : int }
   | Defined_windowed of { view : string; buckets : int }
   | Appended of { chronicle : string; sn : Seqnum.t; count : int }
+  | Staged of { chronicle : string; count : int; ticket : Staging.ticket }
   | Inserted of { relation : string; count : int }
   | Defined_rule of { rule : string; chronicle : string }
   | Info of string
@@ -204,6 +206,12 @@ let calendar_of_spec (spec : Ast.calendar_spec) =
 
 let exec session stmt =
   let db = Session.db session in
+  (* Group-commit barrier: every statement except a staged append
+     flushes the session's staging queue first, so nothing — reads,
+     relation updates, clock advances, definitions — can observe the
+     database with a staged append missing.  Under the default batch
+     threshold of 1 the queue is always empty and this is free. *)
+  (match stmt with Ast.Append_into _ -> () | _ -> Session.flush session);
   match stmt with
   | Ast.Create_chronicle { name; columns; retain } ->
       let retention =
@@ -247,8 +255,22 @@ let exec session stmt =
         try Db.chronicle db chronicle with Db.Unknown msg -> sem_error "%s" msg
       in
       let tuples = rows_to_tuples chronicle (Chron.user_schema c) rows in
-      let sn = Db.append db chronicle tuples in
-      Appended { chronicle; sn; count = List.length tuples }
+      let stager = Session.stager session in
+      let ticket =
+        try
+          Staging.stage stager
+            ~group:(Group.name (Chron.group c))
+            [ (chronicle, tuples) ]
+        with Invalid_argument msg -> sem_error "%s" msg
+      in
+      let count = List.length tuples in
+      if Staging.batch stager <= 1 then
+        (* committed by the stage call itself (threshold 1): resolve
+           synchronously — indistinguishable from an unstaged append *)
+        match Staging.await stager ticket with
+        | Ok sn -> Appended { chronicle; sn; count }
+        | Error e -> raise e
+      else Staged { chronicle; count; ticket }
   | Ast.Insert_into { relation; rows } ->
       let r =
         try Db.relation db relation with Db.Unknown msg -> sem_error "%s" msg
@@ -271,9 +293,25 @@ let exec session stmt =
                   message
             | Sys_error msg -> sem_error "%s" msg
           in
-          let last_sn = ref Seqnum.zero in
-          List.iter (fun tu -> last_sn := Db.append db target [ tu ]) tuples;
-          Appended { chronicle = target; sn = !last_sn; count = List.length tuples }
+          let stager = Session.stager session in
+          let gname = Group.name (Chron.group c) in
+          let last =
+            List.fold_left
+              (fun _ tu ->
+                Some (Staging.stage stager ~group:gname [ (target, [ tu ]) ]))
+              None tuples
+          in
+          let sn =
+            match last with
+            | None -> Seqnum.zero
+            | Some ticket -> (
+                (* awaiting the last ticket flushes and resolves the
+                   whole load *)
+                match Staging.await stager ticket with
+                | Ok sn -> sn
+                | Error e -> raise e)
+          in
+          Appended { chronicle = target; sn; count = List.length tuples }
       | exception Db.Unknown _ -> (
           match Db.relation db target with
           | r ->
@@ -452,8 +490,23 @@ let exec session stmt =
       | None -> sem_error "unknown windowed view %s" name
       | Some wv ->
           Rows (Sca.schema (Windowed_view.def wv), Windowed_view.to_list wv))
+  | Ast.Set_batch n ->
+      (try Session.set_batch session n
+       with Invalid_argument msg -> sem_error "%s" msg);
+      Info (Printf.sprintf "batch size set to %d" n)
+  | Ast.Flush ->
+      (* the barrier above already drained the queue *)
+      Info "flushed"
 
-let run_script session src = List.map (exec session) (Parser.parse src)
+let resolve_staged session = function
+  | Staged { chronicle; count; ticket } -> (
+      match Staging.await (Session.stager session) ticket with
+      | Ok sn -> Appended { chronicle; sn; count }
+      | Error e -> raise e)
+  | r -> r
+
+let run_script session src =
+  List.map (resolve_staged session) (List.map (exec session) (Parser.parse src))
 
 let pp_result ppf = function
   | Created name -> Format.fprintf ppf "created %s" name
@@ -469,6 +522,8 @@ let pp_result ppf = function
   | Appended { chronicle; sn; count } ->
       Format.fprintf ppf "appended %d row(s) to %s at sn %a" count chronicle
         Seqnum.pp sn
+  | Staged { chronicle; count; _ } ->
+      Format.fprintf ppf "staged %d row(s) for %s" count chronicle
   | Inserted { relation; count } ->
       Format.fprintf ppf "inserted %d row(s) into %s" count relation
   | Defined_rule { rule; chronicle } ->

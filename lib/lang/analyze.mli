@@ -23,6 +23,14 @@ type exec_result =
   | Defined_periodic of { view : string; live : int }
   | Defined_windowed of { view : string; buckets : int }
   | Appended of { chronicle : string; sn : Seqnum.t; count : int }
+  | Staged of {
+      chronicle : string;
+      count : int;
+      ticket : Chronicle_durability.Group.ticket;
+    }
+      (** An [APPEND INTO] held in the session's group-commit staging
+          queue ([SET BATCH n], [n > 1]); resolve it to {!Appended}
+          with {!resolve_staged} once its group commits. *)
   | Inserted of { relation : string; count : int }
   | Defined_rule of { rule : string; chronicle : string }
   | Info of string
@@ -39,7 +47,20 @@ val compile_query : Session.t -> Ast.query -> Ra.t
     relations. *)
 
 val exec : Session.t -> Ast.stmt -> exec_result
+(** Every statement except [APPEND INTO] first flushes the session's
+    group-commit staging queue, so staged appends are never observable
+    out of statement order.  [APPEND INTO] itself commits synchronously
+    under batch threshold 1 (returning {!Appended}, byte-identical to
+    the unstaged path) and stages under a larger threshold (returning
+    {!Staged}). *)
+
+val resolve_staged : Session.t -> exec_result -> exec_result
+(** {!Staged} → {!Appended} (flushing the queue if the ticket is still
+    pending; re-raises the group's failure if it aborted); every other
+    result passes through. *)
+
 val run_script : Session.t -> string -> exec_result list
-(** Parse and execute a whole script. *)
+(** Parse and execute a whole script; staged appends are resolved, so
+    the results are always {!Staged}-free. *)
 
 val pp_result : Format.formatter -> exec_result -> unit

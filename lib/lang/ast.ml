@@ -91,6 +91,8 @@ type stmt =
   | Show_stats
   | Show_counters
   | Drop_view of string
+  | Set_batch of int
+  | Flush
 
 let operand_to_pred = function
   | Attr a -> Predicate.Attr a
@@ -141,3 +143,5 @@ let pp_stmt ppf = function
       Format.fprintf ppf "INSERT INTO %s (%d rows)" relation (List.length rows)
   | Show_view name -> Format.fprintf ppf "SHOW VIEW %s" name
   | Show_classify name -> Format.fprintf ppf "SHOW CLASSIFY %s" name
+  | Set_batch n -> Format.fprintf ppf "SET BATCH %d" n
+  | Flush -> Format.fprintf ppf "FLUSH"

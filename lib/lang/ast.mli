@@ -111,6 +111,11 @@ type stmt =
           differential plan tests and the CLI's [--jobs] runs assert
           on. *)
   | Drop_view of string
+  | Set_batch of int
+      (** [SET BATCH n]: group-commit threshold of the session's
+          staging queue — up to [n] appends commit as one journal
+          record ([n = 1]: every append commits immediately). *)
+  | Flush  (** [FLUSH]: commit everything staged now. *)
 
 val cond_to_predicate : cond -> Predicate.t
 val conjuncts : cond -> cond list

@@ -48,6 +48,9 @@ let soft_keyword = function
   | Token.Kw_retain -> Some "retain"
   | Token.Kw_periodic -> Some "periodic"
   | Token.Kw_repeat -> Some "repeat"
+  | Token.Kw_set -> Some "set"
+  | Token.Kw_batch -> Some "batch"
+  | Token.Kw_flush -> Some "flush"
   | _ -> None
 
 let ident st =
@@ -516,6 +519,13 @@ let stmt st =
       expect st Token.Kw_clock;
       expect st Token.Kw_to;
       Ast.Advance_clock (int_lit st)
+  | Token.Kw_set ->
+      advance st;
+      expect st Token.Kw_batch;
+      Ast.Set_batch (int_lit st)
+  | Token.Kw_flush ->
+      advance st;
+      Ast.Flush
   | Token.Kw_select -> Ast.Query (query st)
   | Token.Kw_append ->
       advance st;

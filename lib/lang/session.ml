@@ -1,9 +1,11 @@
 open Chronicle_core
 open Chronicle_temporal
 open Chronicle_events
+module Staging = Chronicle_durability.Group
 
 type t = {
   db : Db.t;
+  stager : Staging.t;
   periodics : (string, Periodic.t) Hashtbl.t;
   windows : (string, Windowed_view.t) Hashtbl.t;
   detectors : (string, Detector.t) Hashtbl.t; (* by chronicle name *)
@@ -12,6 +14,7 @@ type t = {
 let of_db db =
   {
     db;
+    stager = Staging.create db;
     periodics = Hashtbl.create 8;
     windows = Hashtbl.create 8;
     detectors = Hashtbl.create 8;
@@ -20,6 +23,10 @@ let of_db db =
 let create ?jobs () = of_db (Db.create ?jobs ())
 
 let db t = t.db
+let stager t = t.stager
+let batch t = Staging.batch t.stager
+let set_batch t n = Staging.set_batch t.stager n
+let flush t = Staging.flush t.stager
 
 let add_periodic t name family =
   if Hashtbl.mem t.periodics name then

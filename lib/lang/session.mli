@@ -19,6 +19,27 @@ val of_db : Db.t -> t
 
 val db : t -> Db.t
 
+(** {2 Group commit}
+
+    Every session owns a staging queue ({!Chronicle_durability.Group})
+    in front of the database's transaction path.  [APPEND INTO] goes
+    through it; with the default batch threshold of 1 every append
+    commits immediately (byte-identical to an unstaged {!Db.append}),
+    while [SET BATCH n] lets up to [n] staged appends commit as one
+    group — one journal record and one sync under a durability layer.
+    {!Analyze.exec} flushes the queue before any statement that could
+    observe database state, so staged appends are never visible out of
+    order. *)
+
+val stager : t -> Chronicle_durability.Group.t
+
+val batch : t -> int
+val set_batch : t -> int -> unit
+(** Raises [Invalid_argument] if the threshold is below 1. *)
+
+val flush : t -> unit
+(** Commit everything staged (no-op when nothing is). *)
+
 val add_periodic : t -> string -> Periodic.t -> unit
 (** Raises [Invalid_argument] on a duplicate name. *)
 

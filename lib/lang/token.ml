@@ -60,6 +60,9 @@ type t =
   | Kw_counters
   | Kw_drop
   | Kw_plan
+  | Kw_set
+  | Kw_batch
+  | Kw_flush
   | Lparen
   | Rparen
   | Comma
@@ -133,6 +136,9 @@ let keyword_of_string s =
   | "COUNTERS" -> Some Kw_counters
   | "DROP" -> Some Kw_drop
   | "PLAN" -> Some Kw_plan
+  | "SET" -> Some Kw_set
+  | "BATCH" -> Some Kw_batch
+  | "FLUSH" -> Some Kw_flush
   | _ -> None
 
 let to_string = function
@@ -197,6 +203,9 @@ let to_string = function
   | Kw_counters -> "COUNTERS"
   | Kw_drop -> "DROP"
   | Kw_plan -> "PLAN"
+  | Kw_set -> "SET"
+  | Kw_batch -> "BATCH"
+  | Kw_flush -> "FLUSH"
   | Lparen -> "("
   | Rparen -> ")"
   | Comma -> ","

@@ -63,6 +63,9 @@ type t =
   | Kw_counters
   | Kw_drop
   | Kw_plan
+  | Kw_set
+  | Kw_batch
+  | Kw_flush
   (* punctuation *)
   | Lparen
   | Rparen

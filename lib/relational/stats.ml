@@ -18,13 +18,16 @@ type counter =
   | Journal_replay
   | Checkpoint
   | Rollback
+  | Staged_appends
+  | Group_commit
+  | Group_size_max
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
     Group_lookup; Chronicle_scan; Plan_compile; Plan_cache_hit;
     Plan_cache_miss; Index_scan; Build_reuse; Predicate_compile;
     Projector_compile; Journal_append; Journal_bytes; Journal_replay;
-    Checkpoint; Rollback ]
+    Checkpoint; Rollback; Staged_appends; Group_commit; Group_size_max ]
 
 let slot = function
   | Index_probe -> 0
@@ -46,6 +49,9 @@ let slot = function
   | Journal_replay -> 16
   | Checkpoint -> 17
   | Rollback -> 18
+  | Staged_appends -> 19
+  | Group_commit -> 20
+  | Group_size_max -> 21
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -67,6 +73,9 @@ let counter_name = function
   | Journal_replay -> "journal_replay"
   | Checkpoint -> "checkpoint"
   | Rollback -> "rollback"
+  | Staged_appends -> "staged_appends"
+  | Group_commit -> "group_commit"
+  | Group_size_max -> "group_size_max"
 
 (* One atomic cell per counter: the transaction path folds the deltas
    of independent views on several domains at once, and every fold
@@ -74,11 +83,22 @@ let counter_name = function
    that parallelism (no lost updates); on the jobs = 1 path the cost is
    one uncontended atomic RMW, and the observable values are identical
    to the old plain-int implementation. *)
-let counts = Array.init 19 (fun _ -> Atomic.make 0)
+let counts = Array.init 22 (fun _ -> Atomic.make 0)
 
 let incr c = Atomic.incr counts.(slot c)
 let add c n = ignore (Atomic.fetch_and_add counts.(slot c) n)
 let get c = Atomic.get counts.(slot c)
+
+(* High-water counters (Group_size_max): a CAS loop so concurrent
+   recorders can never shrink the maximum; monotone between [reset]s
+   like every other cell, so snapshot monotonicity still holds. *)
+let record_max c n =
+  let cell = counts.(slot c) in
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if n > cur && not (Atomic.compare_and_set cell cur n) then loop ()
+  in
+  loop ()
 
 type snapshot = int array
 

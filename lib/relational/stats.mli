@@ -37,6 +37,14 @@ type counter =
                          journal truncation) completed *)
   | Rollback         (** one transactional append rolled back after a
                          mid-batch failure (no partial state observable) *)
+  | Staged_appends   (** one append accepted into a group-commit staging
+                         queue (acked later, in watermark order) *)
+  | Group_commit     (** one multi-append group committed under a single
+                         write-ahead record (one journal append + one
+                         sync for the whole group) *)
+  | Group_size_max   (** high-water mark: the largest group (in appends)
+                         committed since the last {!reset} — maintained
+                         with {!record_max}, not additive *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -46,6 +54,12 @@ val get : counter -> int
     lost, so totals over a quiescent region are exact regardless of the
     domain count.  With [jobs = 1] the behaviour (and every observable
     value) is identical to plain mutable integers. *)
+
+val record_max : counter -> int -> unit
+(** [record_max c n] raises counter [c] to [n] if [n] is larger (atomic
+    CAS loop, never shrinks).  For high-water counters such as
+    {!Group_size_max}; differencing such a counter across a region
+    yields a bound, not a sum. *)
 
 val all : counter list
 (** Every counter, in slot order (for exhaustive iteration in tests and

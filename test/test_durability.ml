@@ -7,6 +7,10 @@ open Chronicle_core
 open Chronicle_durability
 open Util
 
+(* durability's [Group] is the commit-group stager; the chronicle
+   group of Chronicle_core is what these tests mean by [Group] *)
+module Group = Chronicle_core.Group
+
 (* ---- crc32 ---- *)
 
 let test_crc32 () =
