@@ -25,6 +25,7 @@ let experiments =
     ("E15", E15_recovery.run);
     ("E16", E16_indexed_ranged.run);
     ("E17", E17_group_commit.run);
+    ("E18", E18_scrub_salvage.run);
     ("micro", Micro.run);
   ]
 

@@ -28,14 +28,26 @@ let report_error = function
   | Chronicle_core.Db.Unknown message ->
       Format.eprintf "catalog error: %s@." message;
       1
+  | Chronicle_core.Db.Read_only message ->
+      Format.eprintf "%s@." message;
+      1
   | exn -> raise exn
 
 let pp_recovery ppf (r : Durable.report) =
-  Format.fprintf ppf "checkpoint %s; journal: %d replayed, %d skipped%s%s"
-    (if r.checkpoint_loaded then "loaded" else "absent")
+  Format.fprintf ppf "checkpoint %s; journal: %d replayed, %d skipped%s%s%s%s%s"
+    (match r.generation with
+    | Some g -> Printf.sprintf "generation %d loaded" g
+    | None -> if r.checkpoint_loaded then "loaded" else "absent")
     r.replayed r.skipped
     (if r.dropped_torn then ", torn tail dropped" else "")
     (if r.dropped_failed then ", failed final record dropped" else "")
+    (if r.fallbacks > 0 then
+       Printf.sprintf ", %d checkpoint fallback(s)" r.fallbacks
+     else "")
+    (if r.quarantined > 0 then
+       Printf.sprintf ", %d quarantined" r.quarantined
+     else "")
+    (if r.degraded then "; DEGRADED (read-only)" else "")
 
 let report_recovery_error = function
   | Journal.Journal_corrupt { record; reason } ->
@@ -44,13 +56,21 @@ let report_recovery_error = function
   | Durable.Recovery_error { record; reason } ->
       Format.eprintf "recovery failed at record %d: %s@." record reason;
       1
+  | Durable.Checkpoint_corrupt { generation; reason } ->
+      Format.eprintf "checkpoint corrupt%s: %s@."
+        (match generation with
+        | Some g -> Printf.sprintf " (generation %d)" g
+        | None -> "")
+        reason;
+      1
   | Chronicle_core.Snapshot.Snapshot_error msg ->
       Format.eprintf "checkpoint error: %s@." msg;
       1
   | exn -> raise exn
 
 let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
-    path =
+    salvage keep_checkpoints segment_bytes path =
+  let mode = if salvage then Durable.Salvage else Durable.Strict in
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -73,14 +93,20 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
     | Some dir -> (
         let storage = Storage.disk ~dir in
         if Durable.has_state storage then
-          match Durable.recover ~sync ~jobs ~storage () with
+          match
+            Durable.recover ~sync ~jobs ~mode ~keep_checkpoints ?segment_bytes
+              ~storage ()
+          with
           | d, report ->
               Format.printf "recovered %s: %a@." dir pp_recovery report;
               (Session.of_db (Durable.db d), Some d)
           | exception e -> exit (report_recovery_error e)
         else
           let session = base_session () in
-          (session, Some (Durable.attach ~sync ~storage (Session.db session))))
+          ( session,
+            Some
+              (Durable.attach ~sync ~keep_checkpoints ?segment_bytes ~storage
+                 (Session.db session)) ))
   in
   (match (durable, crash_after) with
   | Some d, Some n -> Fault.arm (Durable.fault d) ~after:n "post-journal-write"
@@ -113,13 +139,19 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
             | () -> (
                 (match durable with
                 | Some d -> (
-                    match Durable.checkpoint d with
-                    | () ->
-                        Format.printf "checkpointed %s@."
-                          (Option.get durable_dir)
-                    | exception Chronicle_core.Snapshot.Snapshot_error msg ->
-                        Format.eprintf "checkpoint error: %s@." msg;
-                        exit 1)
+                    match Durable.health d with
+                    | Durable.Degraded reason ->
+                        Format.printf "degraded (%s): checkpoint skipped@."
+                          reason
+                    | Durable.Healthy -> (
+                        match Durable.checkpoint d with
+                        | () ->
+                            Format.printf "checkpointed %s@."
+                              (Option.get durable_dir)
+                        | exception Chronicle_core.Snapshot.Snapshot_error msg
+                          ->
+                            Format.eprintf "checkpoint error: %s@." msg;
+                            exit 1))
                 | None -> ());
                 match snapshot_out with
                 | None -> 0
@@ -150,14 +182,18 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
       in
       go stmts
 
-let recover_dir sync jobs dir =
+let recover_dir sync jobs salvage keep_checkpoints segment_bytes dir =
+  let mode = if salvage then Durable.Salvage else Durable.Strict in
   let storage = Storage.disk ~dir in
   if not (Durable.has_state storage) then begin
     Format.eprintf "no durable state in %s@." dir;
     1
   end
   else
-    match Durable.recover ~sync ~jobs ~storage () with
+    match
+      Durable.recover ~sync ~jobs ~mode ~keep_checkpoints ?segment_bytes
+        ~storage ()
+    with
     | d, report ->
         Format.printf "recovered %s: %a@." dir pp_recovery report;
         let db = Durable.db d in
@@ -169,6 +205,25 @@ let recover_dir sync jobs dir =
           (Chronicle_core.Db.views db);
         0
     | exception e -> report_recovery_error e
+
+let scrub_dir dir =
+  let storage = Storage.disk ~dir in
+  if not (Durable.has_state storage) then begin
+    Format.eprintf "no durable state in %s@." dir;
+    1
+  end
+  else begin
+    let inventory = Scrub.run storage in
+    Format.printf "%a" Scrub.pp inventory;
+    if Scrub.clean inventory then begin
+      Format.printf "scrub %s: clean@." dir;
+      0
+    end
+    else begin
+      Format.printf "scrub %s: DAMAGED@." dir;
+      1
+    end
+  end
 
 let repl () =
   let session = Session.create () in
@@ -253,6 +308,36 @@ let jobs_arg =
            Results are identical for every value; only wall-clock time \
            changes.")
 
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Recover the maximal consistent prefix instead of raising on \
+           damage: quarantine damaged journal/checkpoint bytes to \
+           $(b,.quarantine) sidecars and open the database read-only \
+           (degraded).")
+
+let keep_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "keep-checkpoints" ] ~docv:"K"
+        ~doc:
+          "Checkpoint generations to retain. $(b,1) (default) keeps the \
+           legacy single-file layout; $(b,K >= 2) rotates CRC-headed \
+           $(b,checkpoint.N) generations, falling back one generation at a \
+           time on recovery if the newest is damaged.")
+
+let segment_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "segment-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Rotate the journal into sealed $(b,journal.N) segments once the \
+           active file would exceed $(docv) bytes (default: unbounded, \
+           single file). Corruption is isolated per segment.")
+
 let run_cmd =
   let path =
     Arg.(
@@ -313,7 +398,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
     Term.(
       const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
-      $ crash_after $ jobs_arg $ batch_arg $ path)
+      $ crash_after $ jobs_arg $ batch_arg $ salvage_arg $ keep_arg
+      $ segment_arg $ path)
 
 let recover_cmd =
   let dir =
@@ -327,7 +413,23 @@ let recover_cmd =
        ~doc:
          "Rebuild a database from checkpoint + journal and report what was \
           replayed.")
-    Term.(const recover_dir $ sync_arg $ jobs_arg $ dir)
+    Term.(
+      const recover_dir $ sync_arg $ jobs_arg $ salvage_arg $ keep_arg
+      $ segment_arg $ dir)
+
+let scrub_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Durable state directory to verify.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Read-only CRC verification of every checkpoint generation and \
+          journal record; exit 0 if clean, 1 if damage was found.")
+    Term.(const scrub_dir $ dir)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive statement loop.") Term.(const repl $ const ())
@@ -342,4 +444,6 @@ let () =
     Cmd.info "chronicle-cli"
       ~doc:"The chronicle data model: declarative persistent views over transaction streams."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; recover_cmd; repl_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; recover_cmd; scrub_cmd; repl_cmd; demo_cmd ]))

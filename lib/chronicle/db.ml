@@ -1,6 +1,7 @@
 open Relational
 
 exception Unknown of string
+exception Read_only of string
 
 (* Catalog changes and transactions, as seen by a durability layer.  The
    sink (when installed — see {!set_txn_sink}) receives [Ev_append]
@@ -48,6 +49,11 @@ type t = {
   mutable batch_hooks : (sn:Seqnum.t -> batch:Delta.batch -> unit) list;
   mutable txn_sink : (txn_event -> unit) option;
   mutable fold_probe : (view:string -> sn:Seqnum.t -> unit) option;
+  mutable read_only : string option;
+      (* degraded mode: [Some reason] rejects every mutation with
+         [Read_only] while queries keep serving — set by salvage
+         recovery and by the durability layer when it can no longer
+         guarantee that writes reach stable storage *)
 }
 
 let unknown kind name =
@@ -65,6 +71,7 @@ let create ?(default_group = "main") ?(jobs = 1) () =
       batch_hooks = [];
       txn_sink = None;
       fold_probe = None;
+      read_only = None;
     }
   in
   Hashtbl.add t.groups default_group (Group.create default_group);
@@ -77,7 +84,18 @@ let set_txn_sink t sink = t.txn_sink <- sink
 let set_fold_probe t probe = t.fold_probe <- probe
 let emit t ev = match t.txn_sink with Some f -> f ev | None -> ()
 
+let set_read_only t reason = t.read_only <- reason
+let read_only t = t.read_only
+
+let check_writable t op =
+  match t.read_only with
+  | Some reason ->
+      raise
+        (Read_only (Printf.sprintf "Db.%s: database is read-only (%s)" op reason))
+  | None -> ()
+
 let add_group t ?clock_start name =
+  check_writable t "add_group";
   if Hashtbl.mem t.groups name then
     invalid_arg (Printf.sprintf "Db.add_group: group %S already exists" name);
   let g = Group.create ?clock_start name in
@@ -93,6 +111,7 @@ let group t name =
 let default_group t = group t t.default_group
 
 let add_chronicle t ?group:gname ?retention ~name schema =
+  check_writable t "add_chronicle";
   if Hashtbl.mem t.chronicles name then
     invalid_arg (Printf.sprintf "Db.add_chronicle: %S already exists" name);
   let gname = Option.value ~default:t.default_group gname in
@@ -110,6 +129,7 @@ let chronicle t name =
   | None -> unknown "chronicle" name
 
 let add_relation t ?group:gname ~name ~schema ?key () =
+  check_writable t "add_relation";
   if Hashtbl.mem t.relations name then
     invalid_arg (Printf.sprintf "Db.add_relation: %S already exists" name);
   let gname = Option.value ~default:t.default_group gname in
@@ -132,6 +152,7 @@ let chronicle_names t = names_of t.chronicles
 let relation_names t = names_of t.relations
 
 let define_view t ?index ?(tier_limit = Classify.IM_poly_r) def =
+  check_writable t "define_view";
   let report = Classify.sca def in
   if not (Classify.im_subseteq report.Classify.view_im tier_limit) then
     raise
@@ -173,6 +194,7 @@ let view t name =
   | None -> unknown "view" name
 
 let drop_view t name =
+  check_writable t "drop_view";
   match Registry.find t.registry name with
   | Some _ ->
       Registry.unregister t.registry name;
@@ -209,6 +231,7 @@ let dedup_affected views =
     views
 
 let transactional_append t g batch ~claim =
+  check_writable t "append";
   (* 1. validate: batch shape, group membership, tuple types, sequence
         number — all before the write-ahead record is emitted, so a batch
         that can never commit is never journaled. *)
@@ -401,6 +424,7 @@ type replay_entry = {
 let reads_history_view v = Ca.reads_history (Sca.body (View.def v))
 
 let replay_appends t entries =
+  check_writable t "replay_appends";
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let outcomes = Array.make n false in
@@ -777,6 +801,7 @@ let validate_group_batch ~ctx g batch =
     batch
 
 let append_group t ?group:gname batches =
+  check_writable t "append_group";
   let g = group t (Option.value ~default:t.default_group gname) in
   if batches = [] then invalid_arg "Db.append_group: empty group";
   let batches = List.map (resolve_batch t) batches in
@@ -787,6 +812,7 @@ let append_group t ?group:gname batches =
   List.map fst entries
 
 let replay_group t entries =
+  check_writable t "replay_group";
   let n = List.length entries in
   if n = 0 then invalid_arg "Db.replay_group: empty group";
   let gname = (List.hd entries).rgroup in
@@ -829,6 +855,7 @@ let replay_group t entries =
   outcomes
 
 let advance_clock t ?group:gname chronon =
+  check_writable t "advance_clock";
   let gname = Option.value ~default:t.default_group gname in
   Group.advance_clock (group t gname) chronon;
   emit t (Ev_clock { group = gname; chronon })

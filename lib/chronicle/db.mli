@@ -25,6 +25,11 @@ type t
 
 exception Unknown of string
 
+exception Read_only of string
+(** A mutation was attempted on a database in degraded (read-only)
+    mode — carries the operation name and the reason the mode was
+    entered.  See {!set_read_only}. *)
+
 val create : ?default_group:string -> ?jobs:int -> unit -> t
 (** A database starts with one chronicle group (named "main" unless
     overridden).
@@ -242,6 +247,19 @@ val set_fold_probe : t -> (view:string -> sn:Seqnum.t -> unit) option -> unit
 (** Install a probe called immediately before each affected view's fold
     — the fault-injection hook: a probe that raises aborts the batch
     mid-maintenance, exercising the rollback path. *)
+
+val set_read_only : t -> string option -> unit
+(** [set_read_only t (Some reason)] puts the database in degraded
+    mode: every mutating entry point — appends, group commits, replay,
+    clock advances, catalog changes — raises {!Read_only} before
+    touching any state, while queries keep serving.  [None] restores
+    normal operation.  Set by salvage recovery (damaged storage was
+    quarantined, so accepting new writes could silently diverge from
+    what a later repair restores) and by the durability layer when
+    storage sync failures exhaust their retry budget. *)
+
+val read_only : t -> string option
+(** The degraded-mode reason, if the database is read-only. *)
 
 val on_batch : t -> (sn:Seqnum.t -> batch:Delta.batch -> unit) -> unit
 (** Register a hook that sees every append batch after the registered

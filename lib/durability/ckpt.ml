@@ -1,0 +1,76 @@
+(* Checkpoint generation container: a CRC'd header in front of the
+   snapshot payload, so recovery can verify a generation before
+   trusting it and fall back to an older one.
+
+   On-disk format (all integers big-endian):
+
+     "CHRONCKP1\n"          10-byte magic
+     u32 generation         monotone per checkpoint
+     u32 first_segment      first journal segment NOT covered by this
+                            generation (replay starts there)
+     u32 payload length
+     u32 CRC-32 of payload
+     u32 CRC-32 of the 26 header bytes above
+     payload                Snapshot.save document
+
+   The bare legacy name ["checkpoint"] (keep_checkpoints = 1) carries
+   no header — its bytes are exactly the snapshot document, identical
+   to the pre-generation layout. *)
+
+let file = "checkpoint"
+let tmp_file = "checkpoint.tmp"
+let magic = "CHRONCKP1\n"
+let gen_name g = Printf.sprintf "%s.%d" file g
+
+type header = { generation : int; first_segment : int }
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.unsafe_to_string b
+
+let get_be32 s off = Int32.to_int (String.get_int32_be s off) land 0xFFFFFFFF
+
+(* magic + generation + first_segment + payload length + payload CRC *)
+let crced_len = String.length magic + 16
+let header_len = crced_len + 4
+
+let encode ~generation ~first_segment payload =
+  let crced =
+    String.concat ""
+      [
+        magic;
+        be32 generation;
+        be32 first_segment;
+        be32 (String.length payload);
+        be32 (Crc32.string payload);
+      ]
+  in
+  String.concat "" [ crced; be32 (Crc32.string crced); payload ]
+
+let decode contents =
+  let len = String.length contents in
+  if len < header_len then Error "truncated header"
+  else if String.sub contents 0 (String.length magic) <> magic then
+    Error "bad magic"
+  else if
+    get_be32 contents crced_len <> Crc32.string (String.sub contents 0 crced_len)
+  then Error "header checksum mismatch"
+  else begin
+    let generation = get_be32 contents (String.length magic) in
+    let first_segment = get_be32 contents (String.length magic + 4) in
+    let plen = get_be32 contents (String.length magic + 8) in
+    let pcrc = get_be32 contents (String.length magic + 12) in
+    if len - header_len <> plen then
+      Error
+        (Printf.sprintf "payload length mismatch (header says %d, found %d)"
+           plen (len - header_len))
+    else
+      let payload = String.sub contents header_len plen in
+      if Crc32.string payload <> pcrc then Error "payload checksum mismatch"
+      else Ok ({ generation; first_segment }, payload)
+  end
+
+(* Existing generations, (generation, storage-name) ascending —
+   discovered by naming convention, like journal segments. *)
+let generations storage = Journal.segments storage file

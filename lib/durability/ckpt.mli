@@ -1,0 +1,44 @@
+(** Checkpoint generation container format.
+
+    With [keep_checkpoints >= 2] the durability layer writes each
+    checkpoint under ["checkpoint.<generation>"], prefixed by a CRC'd
+    header that lets recovery {e verify} a generation before trusting
+    it — and fall back, generation by generation, when verification
+    fails.  The header also records [first_segment], the first journal
+    segment the generation does {e not} cover, so an older generation
+    knows to replay a correspondingly longer journal suffix.
+
+    On-disk format (integers big-endian):
+    {v
+    "CHRONCKP1\n"                        10-byte magic
+    [u32 generation][u32 first_segment]
+    [u32 payload length][u32 payload CRC-32]
+    [u32 CRC-32 of the 26 bytes above]
+    payload                              the Snapshot.save document
+    v}
+
+    The bare legacy name ["checkpoint"] ([keep_checkpoints = 1])
+    carries no header: its bytes are exactly the snapshot document,
+    byte-identical to the pre-generation layout. *)
+
+val file : string  (** ["checkpoint"] — the legacy bare name *)
+
+val tmp_file : string  (** ["checkpoint.tmp"] *)
+
+val gen_name : int -> string
+(** [gen_name g] = ["checkpoint.<g>"]. *)
+
+type header = { generation : int; first_segment : int }
+
+val encode : generation:int -> first_segment:int -> string -> string
+(** Wrap a snapshot document in a generation header. *)
+
+val decode : string -> (header * string, string) result
+(** Verify and strip the header; [Error reason] on a truncated or
+    foreign header, a header-CRC mismatch, a payload-length mismatch,
+    or a payload-CRC mismatch.  Never raises. *)
+
+val generations : Storage.t -> (int * string) list
+(** Existing generations, [(generation, storage-name)] ascending —
+    discovered by naming convention over [Storage.list], exactly like
+    journal segments (so ["checkpoint.tmp"] never matches). *)

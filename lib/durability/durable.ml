@@ -2,10 +2,12 @@ open Relational
 open Chronicle_core
 
 exception Recovery_error of { record : int; reason : string }
+exception Checkpoint_corrupt of { generation : int option; reason : string }
 
 let journal_file = "journal"
-let checkpoint_file = "checkpoint"
-let checkpoint_tmp_file = "checkpoint.tmp"
+let checkpoint_file = Ckpt.file
+let checkpoint_tmp_file = Ckpt.tmp_file
+let quarantine_name name = name ^ ".quarantine"
 
 (* crash-point names (see Fault) *)
 let p_post_journal_write = "post-journal-write"
@@ -295,12 +297,17 @@ let apply_parsed db = function
 
 (* ---- the durable handle ---- *)
 
+type health = Healthy | Degraded of string
+
 type t = {
   database : Db.t;
-  storage : Storage.t; (* fault-wrapped *)
+  storage : Storage.t; (* retry- and fault-wrapped *)
   fault : Fault.t;
   journal : Journal.t;
   sync : Journal.sync_policy;
+  keep : int; (* checkpoint generations retained *)
+  segment_bytes : int option;
+  mutable health : health;
 }
 
 let db t = t.database
@@ -308,6 +315,70 @@ let fault t = t.fault
 let sync_policy t = t.sync
 let journal_records t = Journal.records t.journal
 let journal_bytes t = Journal.byte_size t.journal
+let health t = t.health
+let keep_checkpoints t = t.keep
+
+let degrade t reason =
+  match t.health with
+  | Degraded _ -> ()
+  | Healthy ->
+      t.health <- Degraded reason;
+      Db.set_read_only t.database (Some reason)
+
+(* ---- bounded sync retry ----
+
+   A transient sync failure (EIO-style, or [Fault.Sync_failed] injected
+   by the harness) is retried with exponential backoff; if the budget
+   is exhausted the instance degrades to read-only instead of raising
+   mid-append — the write-ahead record is on storage (perhaps
+   unflushed), in-memory state is consistent, and every further
+   mutation is rejected with [Db.Read_only] until an operator
+   intervenes.  The wrapper sits {e outside} the fault wrapper, so
+   injected failures are retried exactly as real ones would be. *)
+
+let sync_attempts = 5
+
+let with_sync_retry ~on_exhausted (s : Storage.t) =
+  {
+    s with
+    Storage.sync =
+      (fun name ->
+        let transient = function
+          | Fault.Sync_failed _ | Unix.Unix_error _ -> true
+          | _ -> false
+        in
+        let rec go attempt =
+          try s.Storage.sync name
+          with e when transient e ->
+            if attempt >= sync_attempts then on_exhausted name
+            else begin
+              Stats.incr Stats.Sync_retry;
+              Unix.sleepf
+                (Float.min 0.05 (0.001 *. float_of_int (1 lsl (attempt - 1))));
+              go (attempt + 1)
+            end
+        in
+        go 1);
+  }
+
+let exhausted_reason name =
+  Printf.sprintf "sync of %S failed %d times; writes no longer reach stable storage"
+    name sync_attempts
+
+(* [attach]/[recover] build the storage stack before the handle exists;
+   the cell forward-references the handle so exhaustion can degrade
+   it. *)
+let wrap_with_retry fault storage =
+  let cell = ref (fun (_ : string) -> ()) in
+  let wrapped =
+    with_sync_retry
+      ~on_exhausted:(fun name -> !cell name)
+      (Fault.wrap_storage fault storage)
+  in
+  (wrapped, cell)
+
+let arm_degrade cell t =
+  cell := fun name -> degrade t (exhausted_reason name)
 
 let alive t name =
   if Fault.is_dead t.fault then
@@ -331,15 +402,83 @@ let sink t ev =
             Fault.hit t.fault p_post_group_write
         | _ -> ())
 
+(* Retire old checkpoint generations and the journal segments no
+   retained generation needs.  [min_first] is the smallest
+   [first_segment] over the retained generations — a generation whose
+   header no longer reads is treated as needing everything
+   (conservative: never delete bytes a fallback might replay). *)
+let prune_generations t ~newest_gen ~newest_first_segment =
+  let retained, dropped =
+    let rec split n = function
+      | [] -> ([], [])
+      | x :: rest when n > 0 ->
+          let r, d = split (n - 1) rest in
+          (x :: r, d)
+      | rest -> ([], rest)
+    in
+    split t.keep (List.rev (Ckpt.generations t.storage))
+  in
+  List.iter (fun (_, name) -> t.storage.Storage.remove name) dropped;
+  (* a bare legacy checkpoint is superseded by any generation *)
+  t.storage.Storage.remove checkpoint_file;
+  let min_first =
+    List.fold_left
+      (fun acc (g, name) ->
+        if g = newest_gen then min acc newest_first_segment
+        else
+          match t.storage.Storage.read name with
+          | None -> 0
+          | Some contents -> (
+              match Ckpt.decode contents with
+              | Ok (h, _) -> min acc h.Ckpt.first_segment
+              | Error _ -> 0))
+      newest_first_segment retained
+  in
+  List.iter
+    (fun (seq, name) -> if seq < min_first then t.storage.Storage.remove name)
+    (Journal.segments t.storage journal_file)
+
 let do_checkpoint t =
   let doc = Snapshot.save t.database in
-  t.storage.Storage.write checkpoint_tmp_file doc;
-  t.storage.Storage.sync checkpoint_tmp_file;
-  Fault.hit t.fault p_pre_checkpoint_rename;
-  t.storage.Storage.rename checkpoint_tmp_file checkpoint_file;
-  t.storage.Storage.sync checkpoint_file;
-  Fault.hit t.fault p_post_checkpoint_rename;
-  Journal.reset t.journal;
+  if t.keep <= 1 then begin
+    (* legacy layout: the raw snapshot under the bare name,
+       byte-identical to the single-generation format *)
+    t.storage.Storage.write checkpoint_tmp_file doc;
+    t.storage.Storage.sync checkpoint_tmp_file;
+    Fault.hit t.fault p_pre_checkpoint_rename;
+    t.storage.Storage.rename checkpoint_tmp_file checkpoint_file;
+    t.storage.Storage.sync checkpoint_file;
+    Fault.hit t.fault p_post_checkpoint_rename;
+    Journal.reset t.journal;
+    (* leftovers from an earlier multi-generation configuration are all
+       redundant now: the bare checkpoint covers everything *)
+    List.iter
+      (fun (_, name) -> t.storage.Storage.remove name)
+      (Ckpt.generations t.storage);
+    List.iter
+      (fun (_, name) -> t.storage.Storage.remove name)
+      (Journal.segments t.storage journal_file)
+  end
+  else begin
+    (* seal first so the fresh active segment is exactly the journal
+       this generation does not cover *)
+    Journal.seal t.journal;
+    let first_segment = Journal.active_seq t.journal in
+    let generation =
+      match List.rev (Ckpt.generations t.storage) with
+      | (g, _) :: _ -> g + 1
+      | [] -> 0
+    in
+    t.storage.Storage.write checkpoint_tmp_file
+      (Ckpt.encode ~generation ~first_segment doc);
+    t.storage.Storage.sync checkpoint_tmp_file;
+    Fault.hit t.fault p_pre_checkpoint_rename;
+    let name = Ckpt.gen_name generation in
+    t.storage.Storage.rename checkpoint_tmp_file name;
+    t.storage.Storage.sync name;
+    Fault.hit t.fault p_post_checkpoint_rename;
+    prune_generations t ~newest_gen:generation ~newest_first_segment:first_segment
+  end;
   Stats.incr Stats.Checkpoint
 
 let checkpoint t =
@@ -355,40 +494,158 @@ let detach t =
   Db.set_txn_sink t.database None;
   Db.set_fold_probe t.database None
 
-let attach ?fault ?(sync = Journal.Sync_always) ~storage db =
+let next_seal_seq storage =
+  match List.rev (Journal.segments storage journal_file) with
+  | (seq, _) :: _ -> seq + 1
+  | [] -> 0
+
+let attach ?fault ?(sync = Journal.Sync_always) ?(keep_checkpoints = 1)
+    ?segment_bytes ~storage db =
+  if keep_checkpoints < 1 then
+    invalid_arg "Durable.attach: keep_checkpoints must be at least 1";
   let fault = Option.value fault ~default:(Fault.create ()) in
-  let storage = Fault.wrap_storage fault storage in
-  let journal = Journal.open_ ~sync storage journal_file in
-  let t = { database = db; storage; fault; journal; sync } in
+  let storage, cell = wrap_with_retry fault storage in
+  (* a crash between checkpoint write and rename leaves a stale temp;
+     deleted here so it can never shadow a future checkpoint *)
+  storage.Storage.remove checkpoint_tmp_file;
+  let journal =
+    Journal.open_ ~sync ?segment_bytes ~seq:(next_seal_seq storage) storage
+      journal_file
+  in
+  let t =
+    {
+      database = db;
+      storage;
+      fault;
+      journal;
+      sync;
+      keep = keep_checkpoints;
+      segment_bytes;
+      health = Healthy;
+    }
+  in
+  arm_degrade cell t;
   (* without a checkpoint, recovery could not reconstruct catalog state
      that predates journaling (including the default group's name) *)
-  if not (storage.Storage.exists checkpoint_file) then do_checkpoint t;
+  if
+    (not (storage.Storage.exists checkpoint_file))
+    && Ckpt.generations storage = []
+  then do_checkpoint t;
   install t;
   t
 
+type mode = Strict | Salvage
+
 type report = {
   checkpoint_loaded : bool;
+  generation : int option;
+  fallbacks : int;
   replayed : int;
   skipped : int;
   dropped_torn : bool;
   dropped_failed : bool;
+  quarantined : int;
+  degraded : bool;
 }
 
-let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
+let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?(mode = Strict)
+    ?(keep_checkpoints = 1) ?segment_bytes ~storage () =
+  if keep_checkpoints < 1 then
+    invalid_arg "Durable.recover: keep_checkpoints must be at least 1";
   let fault = Option.value fault ~default:(Fault.create ()) in
-  let checkpoint_loaded, database =
-    match storage.Storage.read checkpoint_file with
-    | Some doc -> (true, Snapshot.load ?jobs doc)
-    | None -> (false, Db.create ?jobs ())
+  (* a crash between checkpoint write and rename leaves a stale temp *)
+  storage.Storage.remove checkpoint_tmp_file;
+  let quarantined = ref 0 in
+  let quarantine name bytes =
+    (* never silently drop damaged bytes: park them in a sidecar the
+       operator (or a future repair tool) can inspect *)
+    storage.Storage.write (quarantine_name name) bytes;
+    storage.Storage.sync (quarantine_name name);
+    incr quarantined;
+    Stats.incr Stats.Salvage_quarantined
   in
-  let records, tail = Journal.read storage journal_file in
-  (* stage 1: parse every record up front — malformation anywhere in
-     the journal is corruption, reported before any replay begins *)
-  let parsed =
-    Array.of_list (List.mapi (fun i s -> parse_record ~record:i s) records)
+  (* ---- checkpoint: newest verifiable generation, falling back
+     generation by generation, then the bare legacy name ---- *)
+  let candidates =
+    List.rev_map (fun (g, name) -> (Some g, name)) (Ckpt.generations storage)
+    @ (if storage.Storage.exists checkpoint_file then
+         [ (None, checkpoint_file) ]
+       else [])
   in
-  let n = Array.length parsed in
-  let replayed = ref 0 and skipped = ref 0 and dropped_failed = ref false in
+  let fallbacks = ref 0 in
+  let rec load_checkpoint first_failure = function
+    | [] -> (
+        match first_failure with
+        | None -> `Fresh
+        | Some (generation, reason) -> `All_failed (generation, reason))
+    | (generation, name) :: rest -> (
+        let verdict =
+          match storage.Storage.read name with
+          | None -> Error "vanished during recovery"
+          | Some contents -> (
+              match generation with
+              | None -> (
+                  match Snapshot.load ?jobs contents with
+                  | db -> Ok (0, db)
+                  | exception e ->
+                      Error ("snapshot does not load: " ^ Printexc.to_string e))
+              | Some _ -> (
+                  match Ckpt.decode contents with
+                  | Error reason -> Error reason
+                  | Ok (h, payload) -> (
+                      match Snapshot.load ?jobs payload with
+                      | db -> Ok (h.Ckpt.first_segment, db)
+                      | exception e ->
+                          Error
+                            ("snapshot does not load: " ^ Printexc.to_string e))))
+        in
+        match verdict with
+        | Ok (first_segment, db) -> `Loaded (generation, first_segment, db)
+        | Error reason ->
+            Stats.incr Stats.Checkpoint_fallback;
+            incr fallbacks;
+            if mode = Salvage then begin
+              (* self-heal: keep the damaged generation's bytes, but out
+                 of the fallback path *)
+              (match storage.Storage.read name with
+              | Some contents -> quarantine name contents
+              | None -> ());
+              storage.Storage.remove name
+            end;
+            load_checkpoint
+              (match first_failure with
+              | None -> Some (generation, reason)
+              | s -> s)
+              rest)
+  in
+  let checkpoint_loaded, generation, first_segment, database, ck_failed =
+    match load_checkpoint None candidates with
+    | `Loaded (generation, first_segment, db) ->
+        (true, generation, first_segment, db, false)
+    | `Fresh -> (false, None, 0, Db.create ?jobs (), false)
+    | `All_failed (generation, reason) ->
+        if mode = Strict then raise (Checkpoint_corrupt { generation; reason })
+        else (false, None, 0, Db.create ?jobs (), true)
+  in
+  (* ---- journal: sealed segments the checkpoint does not cover, in
+     sequence order, then the active segment ---- *)
+  let scans =
+    List.map
+      (fun (kind, name) ->
+        let recs, ended =
+          match storage.Storage.read name with
+          | None -> ([], Journal.Complete)
+          | Some contents -> Journal.scan contents
+        in
+        (kind, name, recs, ended))
+      (List.filter_map
+         (fun (seq, name) ->
+           if seq >= first_segment then Some (`Sealed seq, name) else None)
+         (Journal.segments storage journal_file)
+      @ [ (`Active, journal_file) ])
+  in
+  let replayed = ref 0 and skipped = ref 0 in
+  let dropped_failed = ref false and dropped_torn = ref false in
   let count applied =
     if applied then begin
       incr replayed;
@@ -396,17 +653,58 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
     end
     else incr skipped
   in
-  (* stage 2: replay.  Runs of consecutive append records (the common
-     journal shape) are dispatched as one window through
-     [Db.replay_appends], which schedules independent views' fold
-     chains across the database's pool; catalog/clock records are
-     scheduling barriers replayed one at a time; and the journal's
-     final record always replays alone through the transactional path,
-     keeping the classic semantics of a batch that died with the
-     crashed process (applied-or-dropped, never half-applied).  Every
-     degree — including [jobs = 1], where the pool runs inline — takes
-     this same path, so recovered state is identical across degrees. *)
-  let apply_classic i p =
+  let salvage_stopped = ref false in
+  (match mode with
+  | Strict -> begin
+      (* stage 1: flatten the segments into the global record sequence,
+         verifying as we go — damage anywhere (a checksum mismatch, or
+         a torn {e sealed} segment, which a clean rotation can never
+         produce) is corruption, reported before any replay begins.  A
+         torn tail on the active segment stays the tolerated
+         died-mid-append case. *)
+      let rev_records = ref [] (* (sexp, segment-name, offset, active?) *) in
+      let base = ref 0 in
+      List.iter
+        (fun (kind, name, recs, ended) ->
+          List.iter
+            (fun (sexp, off) ->
+              rev_records := (sexp, name, off, kind = `Active) :: !rev_records)
+            recs;
+          let here = List.length recs in
+          (match (ended, kind) with
+          | Journal.Complete, _ -> ()
+          | Journal.Torn _, `Active -> dropped_torn := true
+          | Journal.Torn _, `Sealed _ ->
+              raise
+                (Journal.Journal_corrupt
+                   { record = !base + here; reason = "sealed segment torn" })
+          | Journal.Damaged { index; reason; _ }, _ ->
+              raise
+                (Journal.Journal_corrupt { record = !base + index; reason }));
+          base := !base + here)
+        scans;
+      let located = Array.of_list (List.rev !rev_records) in
+      (* stage 2: parse every record up front — a CRC-valid but
+         malformed record is corruption too, reported with its global
+         index *)
+      let parsed =
+        Array.mapi
+          (fun i (sexp, _, _, _) -> parse_record ~record:i sexp)
+          located
+      in
+      let n = Array.length parsed in
+      (* stage 3: replay.  Runs of consecutive append records (the
+         common journal shape) are dispatched as one window through
+         [Db.replay_appends], which schedules independent views' fold
+         chains across the database's pool; catalog/clock records are
+         scheduling barriers replayed one at a time; and the journal's
+         final record always replays alone through the transactional
+         path, keeping the classic semantics of a batch that died with
+         the crashed process (applied-or-dropped, never half-applied).
+         Every degree — including [jobs = 1], where the pool runs
+         inline — takes this same path, so recovered state is identical
+         across degrees. *)
+      let apply_classic i p =
     match apply_parsed database p with
     | applied -> count applied
     | exception e ->
@@ -478,22 +776,123 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ~storage () =
       incr i
     end
   done;
-  let wrapped = Fault.wrap_storage fault storage in
-  let journal = Journal.open_ ~sync wrapped journal_file in
+      if !dropped_failed then
+        (* erase the dropped record wherever it lives; when it sits in
+           the active segment the reopened journal erases it below *)
+        match located.(n - 1) with
+        | _, name, off, false -> storage.Storage.truncate name off
+        | _ -> ()
+    end
+  | Salvage ->
+      (* Sequential, transactional, stop-at-first-damage: each record
+         re-applies through the per-record transactional path, so when
+         replay stops the database is {e exactly} the journal prefix
+         before the damage.  The damaged suffix — and every later
+         segment wholesale — is quarantined to sidecars, never silently
+         dropped; the instance then opens read-only (Degraded). *)
+      let n_total =
+        List.fold_left
+          (fun acc (_, _, recs, _) -> acc + List.length recs)
+          0 scans
+      in
+      let gi = ref 0 in
+      let stop_at name off rest =
+        salvage_stopped := true;
+        (match storage.Storage.read name with
+        | Some contents when String.length contents > off ->
+            quarantine name
+              (String.sub contents off (String.length contents - off))
+        | _ -> ());
+        if off = 0 then storage.Storage.remove name
+        else storage.Storage.truncate name off;
+        List.iter
+          (fun (_, n2, recs2, ended2) ->
+            (if recs2 <> [] || ended2 <> Journal.Complete then
+               match storage.Storage.read n2 with
+               | Some contents -> quarantine n2 contents
+               | None -> ());
+            storage.Storage.remove n2)
+          rest
+      in
+      let rec go = function
+        | [] -> ()
+        | (kind, name, recs, ended) :: rest ->
+            let failed = ref None in
+            List.iter
+              (fun (sexp, off) ->
+                if !failed = None then
+                  match
+                    apply_parsed database (parse_record ~record:!gi sexp)
+                  with
+                  | applied ->
+                      count applied;
+                      incr gi
+                  | exception (Journal.Journal_corrupt _ as _e) ->
+                      (* CRC-valid gibberish: damage, not a died batch *)
+                      failed := Some off
+                  | exception _ when !gi = n_total - 1 ->
+                      (* the dying process's final batch: dropped, as in
+                         strict recovery *)
+                      dropped_failed := true;
+                      if kind <> `Active then storage.Storage.truncate name off;
+                      incr gi
+                  | exception _ -> failed := Some off)
+              recs;
+            (match !failed with
+            | Some off -> stop_at name off rest
+            | None -> (
+                match (ended, kind) with
+                | Journal.Complete, _ -> go rest
+                | Journal.Torn _, `Active -> dropped_torn := true
+                | Journal.Torn off, `Sealed _ -> stop_at name off rest
+                | Journal.Damaged { offset; _ }, _ -> stop_at name offset rest))
+      in
+      go scans);
+  let wrapped, cell = wrap_with_retry fault storage in
+  let journal =
+    Journal.open_ ~sync ?segment_bytes ~seq:(next_seal_seq storage) wrapped
+      journal_file
+  in
   if !dropped_failed && Journal.records journal > 0 then
     Journal.truncate_last journal;
-  let t = { database; storage = wrapped; fault; journal; sync } in
-  if not (wrapped.Storage.exists checkpoint_file) then do_checkpoint t;
+  let degraded_reason =
+    if !salvage_stopped then
+      Some "salvage recovery quarantined damaged journal records"
+    else if ck_failed then
+      Some "salvage recovery could not verify any checkpoint generation"
+    else None
+  in
+  let t =
+    {
+      database;
+      storage = wrapped;
+      fault;
+      journal;
+      sync;
+      keep = keep_checkpoints;
+      segment_bytes;
+      health = Healthy;
+    }
+  in
+  arm_degrade cell t;
+  (match degraded_reason with Some r -> degrade t r | None -> ());
+  if candidates = [] && degraded_reason = None then do_checkpoint t;
   install t;
   ( t,
     {
       checkpoint_loaded;
+      generation;
+      fallbacks = !fallbacks;
       replayed = !replayed;
       skipped = !skipped;
-      dropped_torn = (tail = `Torn);
+      dropped_torn = !dropped_torn;
       dropped_failed = !dropped_failed;
+      quarantined = !quarantined;
+      degraded = degraded_reason <> None;
     } )
 
 let has_state (storage : Storage.t) =
   storage.Storage.exists checkpoint_file
   || storage.Storage.exists journal_file
+  || Ckpt.generations storage <> []
+  || Journal.segments storage journal_file <> []

@@ -61,20 +61,53 @@ exception Recovery_error of { record : int; reason : string }
 (** A non-final journal record failed to replay — the journal is
     logically damaged beyond the tolerated torn tail. *)
 
+exception Checkpoint_corrupt of { generation : int option; reason : string }
+(** Strict recovery found checkpoints but could verify none of them —
+    every generation (and the bare legacy file, if present) failed its
+    CRC or would not load.  Carries the newest candidate's generation
+    ([None] for the bare legacy file) and failure reason.  Salvage
+    recovery never raises this: it degrades instead. *)
+
 val journal_file : string  (** ["journal"] *)
 
 val checkpoint_file : string  (** ["checkpoint"] *)
 
 val checkpoint_tmp_file : string  (** ["checkpoint.tmp"] *)
 
+val quarantine_name : string -> string
+(** [quarantine_name n] = ["<n>.quarantine"] — the sidecar salvage
+    recovery parks damaged bytes under. *)
+
 type t
 
+(** Self-reported condition of a durable instance.  [Degraded] — set
+    when salvage recovery quarantined damage, or when storage syncs
+    exhausted their retry budget — makes the database read-only
+    (mutations raise {!Db.Read_only}; queries keep serving). *)
+type health = Healthy | Degraded of string
+
 val attach :
-  ?fault:Fault.t -> ?sync:Journal.sync_policy -> storage:Storage.t -> Db.t -> t
+  ?fault:Fault.t ->
+  ?sync:Journal.sync_policy ->
+  ?keep_checkpoints:int ->
+  ?segment_bytes:int ->
+  storage:Storage.t ->
+  Db.t ->
+  t
 (** Start journaling the database's transaction path into [storage].
     If no checkpoint exists yet, an initial checkpoint is written
-    first (capturing any catalog state that predates attachment).
-    Default [sync] is {!Journal.Sync_always}. *)
+    first (capturing any catalog state that predates attachment).  A
+    stale ["checkpoint.tmp"] (crash between write and rename) is
+    deleted.  Default [sync] is {!Journal.Sync_always}.
+
+    [keep_checkpoints] (default [1]) is the number of checkpoint
+    generations retained: [1] keeps the legacy layout — one bare
+    ["checkpoint"] file holding the raw snapshot, byte-identical to
+    the pre-generation format; [>= 2] writes CRC-headed generations
+    ["checkpoint.<g>"] and prunes to the newest [K] at each
+    checkpoint.  [segment_bytes] bounds journal segments (default:
+    unbounded, single ["journal"] file as before); see {!Journal}.
+    Raises [Invalid_argument] if [keep_checkpoints < 1]. *)
 
 val db : t -> Db.t
 val fault : t -> Fault.t
@@ -82,6 +115,14 @@ val sync_policy : t -> Journal.sync_policy
 
 val journal_records : t -> int
 val journal_bytes : t -> int
+
+val health : t -> health
+(** Transient sync failures are retried with bounded backoff (each
+    retry bumps [Stats.Sync_retry]); when the budget is exhausted the
+    instance flips to [Degraded] — and the database to read-only —
+    instead of raising mid-append. *)
+
+val keep_checkpoints : t -> int
 
 val checkpoint : t -> unit
 (** Snapshot → temp write → atomic rename → journal reset; bumps
@@ -93,25 +134,62 @@ val detach : t -> unit
 (** Uninstall the sink and the fold probe; the database keeps running
     without durability. *)
 
+(** How recovery treats damage beyond the tolerated torn tail.
+    [Strict] (the default) raises — {!Journal.Journal_corrupt},
+    {!Recovery_error} or {!Checkpoint_corrupt} — leaving storage
+    untouched for forensics.  [Salvage] recovers the maximal
+    consistent prefix: replay is sequential and per-record
+    transactional, stops at the first damaged or unreplayable record,
+    quarantines the damaged suffix (and every later segment) to
+    [".quarantine"] sidecars — never silently dropping bytes — and
+    opens the database read-only ([Degraded]); queries serve, appends
+    raise {!Db.Read_only}. *)
+type mode = Strict | Salvage
+
 type report = {
   checkpoint_loaded : bool;
+  generation : int option;
+      (** the generation that served ([None]: bare legacy file, or no
+          checkpoint at all) *)
+  fallbacks : int;
+      (** damaged checkpoint candidates skipped before one verified
+          (each bumps [Stats.Checkpoint_fallback]) *)
   replayed : int;  (** records re-applied through the delta path *)
   skipped : int;  (** records already covered by the checkpoint *)
   dropped_torn : bool;  (** a torn final record was cut off *)
   dropped_failed : bool;
       (** a complete final record failed to replay and was dropped
           (its batch died with the crashed process) *)
+  quarantined : int;
+      (** quarantine sidecars written by salvage (each bumps
+          [Stats.Salvage_quarantined]) *)
+  degraded : bool;  (** the instance opened read-only *)
 }
 
 val recover :
   ?fault:Fault.t ->
   ?sync:Journal.sync_policy ->
   ?jobs:int ->
+  ?mode:mode ->
+  ?keep_checkpoints:int ->
+  ?segment_bytes:int ->
   storage:Storage.t ->
   unit ->
   t * report
 (** Rebuild the database from checkpoint + journal and re-attach.
     Each replayed record bumps [Stats.Journal_replay].
+
+    Checkpoint selection is {e layout-driven}, independent of the
+    parameters: the newest generation that verifies (header CRC,
+    payload CRC, snapshot loads) wins; each failure falls back one
+    generation — replaying the correspondingly longer journal suffix,
+    from the older generation's [first_segment] — then to the bare
+    legacy file.  If every candidate fails, [Strict] raises
+    {!Checkpoint_corrupt}; [Salvage] starts from an empty database,
+    replays what it can and degrades.  [keep_checkpoints] and
+    [segment_bytes] only shape {e future} checkpoints and rotation of
+    the re-attached instance.  A stale ["checkpoint.tmp"] is deleted
+    before anything else.
 
     Failures are typed, never a bare [Failure]:
     {!Journal.Journal_corrupt} for physical corruption (checksum
@@ -135,5 +213,6 @@ val recover :
     order; only the interleaving across views changes. *)
 
 val has_state : Storage.t -> bool
-(** True if the storage holds a checkpoint or a journal — i.e.
-    {!recover} has something to work from. *)
+(** True if the storage holds a checkpoint (bare or generation) or a
+    journal (active or sealed segment) — i.e. {!recover} has something
+    to work from. *)

@@ -1,4 +1,5 @@
 exception Crash of string
+exception Sync_failed of string
 
 (* [hit] is called from the transaction path, which at [jobs > 1] folds
    affected views on several domains concurrently — the [view-fold]
@@ -12,6 +13,10 @@ type t = {
   armed : (string, int ref) Hashtbl.t; (* remaining hits before firing *)
   counts : (string, int) Hashtbl.t;
   mutable torn : (int ref * int) option; (* appends before firing, bytes kept *)
+  mutable sync_fail : (int ref * int ref) option;
+      (* (healthy syncs left, failures left): transient — the storage
+         raises [Sync_failed] instead of crashing, modelling an I/O
+         error the durability layer may retry through *)
   mutable dead : bool;
 }
 
@@ -21,7 +26,7 @@ let locked t f =
 
 let create () =
   { lock = Mutex.create (); armed = Hashtbl.create 8;
-    counts = Hashtbl.create 8; torn = None; dead = false }
+    counts = Hashtbl.create 8; torn = None; sync_fail = None; dead = false }
 
 let arm t ?(after = 0) name =
   if after < 0 then invalid_arg "Fault.arm: negative countdown";
@@ -32,7 +37,8 @@ let disarm t name = locked t (fun () -> Hashtbl.remove t.armed name)
 let disarm_all t =
   locked t (fun () ->
       Hashtbl.reset t.armed;
-      t.torn <- None)
+      t.torn <- None;
+      t.sync_fail <- None)
 
 let hit_count t name =
   locked t (fun () ->
@@ -67,6 +73,10 @@ let arm_torn_write ?(after = 0) t ~keep =
   if after < 0 || keep < 0 then invalid_arg "Fault.arm_torn_write";
   locked t (fun () -> t.torn <- Some (ref after, keep))
 
+let arm_sync_failures ?(after = 0) t ~fails =
+  if after < 0 || fails <= 0 then invalid_arg "Fault.arm_sync_failures";
+  locked t (fun () -> t.sync_fail <- Some (ref after, ref fails))
+
 let wrap_storage t (s : Storage.t) =
   {
     s with
@@ -91,6 +101,24 @@ let wrap_storage t (s : Storage.t) =
               (String.sub data 0 (min keep (String.length data)));
             raise (Crash "torn-write")
         | None -> s.Storage.append name data);
+    Storage.sync =
+      (fun name ->
+        let fail =
+          locked t (fun () ->
+              match t.sync_fail with
+              | Some (healthy, remaining) when not t.dead ->
+                  if !healthy > 0 then begin
+                    decr healthy;
+                    false
+                  end
+                  else begin
+                    decr remaining;
+                    if !remaining <= 0 then t.sync_fail <- None;
+                    true
+                  end
+              | _ -> false)
+        in
+        if fail then raise (Sync_failed name) else s.Storage.sync name);
   }
 
 let flip_bit (s : Storage.t) ~name ~byte ~bit =

@@ -29,6 +29,12 @@ exception Crash of string
 (** The simulated process death, carrying the crash-point name (or
     ["torn-write"]). *)
 
+exception Sync_failed of string
+(** A transient storage-sync failure injected by {!arm_sync_failures},
+    carrying the storage name being synced.  Unlike {!Crash} this does
+    not kill the plan — it models an [EIO]-style error the durability
+    layer is expected to retry through (or degrade on). *)
+
 type t
 
 val create : unit -> t
@@ -70,9 +76,18 @@ val arm_torn_write : ?after:int -> t -> keep:int -> unit
     payload (clamped to the payload length), marks the plan dead and
     raises {!Crash "torn-write"}. *)
 
+val arm_sync_failures : ?after:int -> t -> fails:int -> unit
+(** Arm transient sync failures against {!wrap_storage}-intercepted
+    [sync]s: after [after] more healthy syncs, the next [fails] syncs
+    each raise {!Sync_failed} (then the fault disarms itself).  The
+    plan stays alive throughout — retrying code observes [fails]
+    consecutive failures followed by success.  [fails] must be
+    positive. *)
+
 val wrap_storage : t -> Storage.t -> Storage.t
-(** Interpose on [append] to realize armed torn writes.  All other
-    operations pass through. *)
+(** Interpose on [append] to realize armed torn writes and on [sync]
+    to realize armed sync failures.  All other operations pass
+    through. *)
 
 val flip_bit : Storage.t -> name:string -> byte:int -> bit:int -> unit
 (** Corrupt one bit of a stored name in place (read–flip–write) — for

@@ -40,64 +40,94 @@ let frame payload =
   String.concat ""
     [ be32 (String.length payload); be32 (Crc32.string payload); payload ]
 
-(* Decode [contents] into (records, offsets-most-recent-first, end-of-
-   complete-prefix, torn?).  Shared by [read] and [open_]. *)
-let decode contents =
+type damage = { index : int; offset : int; reason : string }
+type ended = Complete | Torn of int | Damaged of damage
+
+(* Decode [contents] into the maximal well-formed prefix — (sexp,
+   start-offset) pairs in journal order — plus how the scan ended.
+   Total: damage is reported in the [ended] value, never raised, so
+   scrub and salvage can inventory a broken segment without
+   exceptions. *)
+let scan contents =
   let len = String.length contents in
-  if len < String.length magic then
+  let mlen = String.length magic in
+  if len < mlen then
     if String.sub contents 0 len = String.sub magic 0 len then
       (* magic itself torn: an empty journal that died during creation *)
-      ([], [], 0, true)
-    else corrupt 0 "bad magic"
-  else if String.sub contents 0 (String.length magic) <> magic then
-    corrupt 0 "bad magic"
+      ([], Torn 0)
+    else ([], Damaged { index = 0; offset = 0; reason = "bad magic" })
+  else if String.sub contents 0 mlen <> magic then
+    ([], Damaged { index = 0; offset = 0; reason = "bad magic" })
   else begin
     let records = ref [] in
-    let offsets = ref [] in
     let idx = ref 0 in
-    let pos = ref (String.length magic) in
-    let torn = ref false in
+    let pos = ref mlen in
+    let ended = ref Complete in
+    let stop e = ended := e; raise Exit in
     (try
        while !pos < len do
          let o = !pos in
-         if len - o < 8 then begin
-           torn := true;
-           raise Exit
-         end;
+         if len - o < 8 then stop (Torn o);
          let plen = get_be32 contents o in
          let crc = get_be32 contents (o + 4) in
-         if o + 8 + plen > len then begin
-           torn := true;
-           raise Exit
-         end;
+         if o + 8 + plen > len then stop (Torn o);
          let payload = String.sub contents (o + 8) plen in
          if Crc32.string payload <> crc then
-           corrupt !idx "checksum mismatch";
-         let sexp =
-           try Sexp.of_string payload
-           with Sexp.Parse_error { message; _ } ->
-             corrupt !idx "checksummed payload does not parse: %s" message
-         in
-         records := sexp :: !records;
-         offsets := o :: !offsets;
-         incr idx;
-         pos := o + 8 + plen
+           stop (Damaged { index = !idx; offset = o; reason = "checksum mismatch" });
+         (match Sexp.of_string payload with
+         | sexp ->
+             records := (sexp, o) :: !records;
+             incr idx;
+             pos := o + 8 + plen
+         | exception Sexp.Parse_error { message; _ } ->
+             stop
+               (Damaged
+                  {
+                    index = !idx;
+                    offset = o;
+                    reason = "checksummed payload does not parse: " ^ message;
+                  }))
        done
      with Exit -> ());
-    (List.rev !records, !offsets, !pos, !torn)
+    (List.rev !records, !ended)
   end
 
 let read (storage : Storage.t) name =
   match storage.Storage.read name with
   | None -> ([], `Clean)
-  | Some contents ->
-      let records, _, _, torn = decode contents in
-      (records, if torn then `Torn else `Clean)
+  | Some contents -> (
+      match scan contents with
+      | records, Complete -> (List.map fst records, `Clean)
+      | records, Torn _ -> (List.map fst records, `Torn)
+      | _, Damaged { index; reason; _ } -> corrupt index "%s" reason)
+
+(* ---- segment naming ---- *)
+
+let segment_name name seq = Printf.sprintf "%s.%d" name seq
+
+(* Sealed segments of [name], (seq, storage-name) sorted by seq.
+   Discovery is purely by naming convention over [Storage.list] — no
+   manifest, so a crash can never leave the manifest and the files
+   disagreeing.  Non-numeric suffixes ([checkpoint.tmp],
+   [journal.quarantine]) never match. *)
+let segments (storage : Storage.t) name =
+  let prefix = name ^ "." in
+  let plen = String.length prefix in
+  storage.Storage.list ()
+  |> List.filter_map (fun n ->
+         if String.length n > plen && String.sub n 0 plen = prefix then
+           match int_of_string_opt (String.sub n plen (String.length n - plen)) with
+           | Some seq when seq >= 0 -> Some (seq, n)
+           | _ -> None
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 type t = {
   storage : Storage.t;
   name : string;
   sync : sync_policy;
+  segment_bytes : int option; (* rotate before an append would pass this *)
+  mutable seq : int; (* storage name the active segment seals to *)
   mutable count : int;
   mutable size : int; (* bytes of magic + complete records *)
   mutable offsets : int list; (* record start offsets, most recent first *)
@@ -115,7 +145,12 @@ let maybe_sync t =
         t.unsynced <- 0
       end
 
-let open_ ?(sync = Sync_always) (storage : Storage.t) name =
+let open_ ?(sync = Sync_always) ?segment_bytes ?(seq = 0) (storage : Storage.t)
+    name =
+  (match segment_bytes with
+  | Some n when n <= String.length magic ->
+      invalid_arg "Journal.open_: segment_bytes smaller than the magic header"
+  | _ -> ());
   match storage.Storage.read name with
   | None ->
       storage.Storage.append name magic;
@@ -124,13 +159,20 @@ let open_ ?(sync = Sync_always) (storage : Storage.t) name =
         storage;
         name;
         sync;
+        segment_bytes;
+        seq;
         count = 0;
         size = String.length magic;
         offsets = [];
         unsynced = 0;
       }
   | Some contents ->
-      let records, offsets, end_, torn = decode contents in
+      let records, end_, torn =
+        match scan contents with
+        | records, Complete -> (records, String.length contents, false)
+        | records, Torn e -> (records, e, true)
+        | _, Damaged { index; reason; _ } -> corrupt index "%s" reason
+      in
       if torn then storage.Storage.truncate name end_;
       if end_ = 0 then begin
         (* torn magic: start over *)
@@ -141,14 +183,42 @@ let open_ ?(sync = Sync_always) (storage : Storage.t) name =
         storage;
         name;
         sync;
+        segment_bytes;
+        seq;
         count = List.length records;
         size = (if end_ = 0 then String.length magic else end_);
-        offsets;
+        offsets = List.rev_map snd records;
         unsynced = 0;
       }
 
+(* Seal the active segment: flush it, rename it to [name.seq], and
+   start a fresh active segment under the bare [name].  The rename is
+   the commit point — a crash before it leaves one (longer) active
+   segment, a crash after it leaves a sealed segment plus a missing or
+   fresh active one; recovery reads both layouts identically because
+   record order is (segments by seq) ++ active.  No-op on an empty
+   journal, so sealing never manufactures record-free segments. *)
+let seal t =
+  if t.count > 0 then begin
+    (match t.sync with Sync_never -> () | _ -> t.storage.Storage.sync t.name);
+    t.storage.Storage.rename t.name (segment_name t.name t.seq);
+    t.seq <- t.seq + 1;
+    t.storage.Storage.write t.name magic;
+    (match t.sync with Sync_never -> () | _ -> t.storage.Storage.sync t.name);
+    t.count <- 0;
+    t.size <- String.length magic;
+    t.offsets <- [];
+    t.unsynced <- 0
+  end
+
+let active_seq t = t.seq
+
 let append t record =
   let framed = frame (Sexp.to_string record) in
+  (match t.segment_bytes with
+  | Some limit when t.count > 0 && t.size + String.length framed > limit ->
+      seal t
+  | _ -> ());
   t.storage.Storage.append t.name framed;
   t.offsets <- t.size :: t.offsets;
   t.size <- t.size + String.length framed;

@@ -1,7 +1,7 @@
 open Relational
 
-(** The write-ahead journal: a single append-only storage name holding
-    a magic header followed by length-prefixed, CRC-32-checksummed
+(** The write-ahead journal: an append-only storage name holding a
+    magic header followed by length-prefixed, CRC-32-checksummed
     records, one per transaction event, written {e before} the
     corresponding state mutation.
 
@@ -17,7 +17,17 @@ open Relational
     and tolerated: readers report it and writers cut it off.  A record
     whose checksum does not match its bytes is {e corruption}, reported
     as {!Journal_corrupt} — recovery must not silently skip it, because
-    every later record depends on the state it describes. *)
+    every later record depends on the state it describes.
+
+    {b Segments.}  A journal may be bounded ([segment_bytes]): when an
+    append would push the active segment past the bound, the active
+    name is {e sealed} — synced, renamed to [name.seq] — and a fresh
+    active segment starts under the bare [name].  The logical record
+    sequence is the concatenation of sealed segments in [seq] order
+    followed by the active segment; corruption inside one segment is
+    thereby isolated — every earlier segment still verifies on its own
+    checksums.  An unbounded journal (the default) never rotates and
+    its storage layout is byte-identical to the pre-segment format. *)
 
 exception Journal_corrupt of { record : int; reason : string }
 (** [record] is the zero-based index of the offending record. *)
@@ -32,6 +42,26 @@ val sync_policy_to_string : sync_policy -> string
 
 (** {2 Reading} *)
 
+type damage = { index : int; offset : int; reason : string }
+(** Where a scan stopped believing the bytes: the zero-based index of
+    the first bad record, its byte offset within the segment, and a
+    human-readable reason. *)
+
+type ended =
+  | Complete  (** every byte accounted for *)
+  | Torn of int
+      (** truncated mid-record (or mid-magic); the offset is the end
+          of the complete prefix *)
+  | Damaged of damage
+      (** checksum mismatch, unparseable checksummed payload, or
+          foreign magic *)
+
+val scan : string -> (Sexp.t * int) list * ended
+(** Decode raw segment contents into the maximal well-formed prefix —
+    each record paired with its byte offset — plus how the scan ended.
+    Total: never raises, whatever the bytes.  This is the primitive
+    under {!read}, {!open_}, scrub and salvage. *)
+
 val read : Storage.t -> string -> Sexp.t list * [ `Clean | `Torn ]
 (** Decode every complete record.  An absent name reads as
     [([], `Clean)]; a torn tail (truncated header, truncated payload,
@@ -39,20 +69,50 @@ val read : Storage.t -> string -> Sexp.t list * [ `Clean | `Torn ]
     Raises {!Journal_corrupt} on a checksum mismatch, unparseable
     payload, or foreign magic. *)
 
+(** {2 Segments} *)
+
+val segment_name : string -> int -> string
+(** [segment_name name seq] = ["<name>.<seq>"] — the storage name a
+    sealed segment of journal [name] lives under. *)
+
+val segments : Storage.t -> string -> (int * string) list
+(** Sealed segments of a journal, [(seq, storage-name)] sorted by
+    [seq], discovered purely by naming convention over
+    [Storage.list] (no manifest to disagree with the files).  Names
+    with non-numeric suffixes — [checkpoint.tmp], quarantine sidecars
+    — never match. *)
+
 (** {2 Writing} *)
 
 type t
 
-val open_ : ?sync:sync_policy -> Storage.t -> string -> t
+val open_ :
+  ?sync:sync_policy -> ?segment_bytes:int -> ?seq:int -> Storage.t -> string -> t
 (** Open for appending, creating the name (with its magic header) if
     absent.  An existing journal is scanned to rebuild record
     boundaries; a torn tail is cut off.  Raises {!Journal_corrupt} as
-    {!read} does.  Default policy: {!Sync_always}. *)
+    {!read} does.  Default policy: {!Sync_always}.
+
+    [segment_bytes] bounds the active segment: an append that would
+    push past the bound first {!seal}s (default: unbounded — never
+    rotates).  [seq] is the sequence number the active segment will
+    seal to (default [0]); recovery passes one past the highest
+    existing sealed segment. *)
+
+val seal : t -> unit
+(** Sync, rename the active segment to {!segment_name}[ name seq],
+    and start a fresh active segment ([seq] increments).  No-op on an
+    empty journal.  The rename is the commit point: recovery reads
+    pre- and post-rename layouts identically. *)
+
+val active_seq : t -> int
+(** The sequence number the active segment will seal to. *)
 
 val append : t -> Sexp.t -> unit
 (** Frame, checksum and append one record in a single storage append
-    (so a torn write tears within this record), then sync per policy.
-    Bumps [Stats.Journal_append] and adds the framed size to
+    (so a torn write tears within this record), then sync per policy;
+    rotates first if the append would pass [segment_bytes].  Bumps
+    [Stats.Journal_append] and adds the framed size to
     [Stats.Journal_bytes]. *)
 
 val truncate_last : t -> unit

@@ -8,6 +8,7 @@ type t = {
   exists : string -> bool;
   size : string -> int option;
   sync : string -> unit;
+  list : unit -> string list;
 }
 
 (* ---- in-memory backend ---- *)
@@ -51,6 +52,10 @@ let mem () =
     exists = (fun name -> Hashtbl.mem files name);
     size = (fun name -> Option.map Buffer.length (get name));
     sync = (fun _ -> ());
+    list =
+      (fun () ->
+        List.sort String.compare
+          (Hashtbl.fold (fun name _ acc -> name :: acc) files []));
   }
 
 (* ---- directory-of-files backend ---- *)
@@ -118,4 +123,11 @@ let disk ~dir =
         let p = path name in
         if Sys.file_exists p then
           with_fd name Unix.[ O_RDWR ] 0o644 Unix.fsync);
+    list =
+      (fun () ->
+        let entries = Array.to_list (Sys.readdir dir) in
+        List.sort String.compare
+          (List.filter
+             (fun name -> not (Sys.is_directory (Filename.concat dir name)))
+             entries));
   }

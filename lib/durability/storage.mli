@@ -28,6 +28,10 @@ type t = {
   sync : string -> unit;
       (** Flush the name to stable storage ([fsync]); no-op for
           memory. *)
+  list : unit -> string list;
+      (** Every existing name, sorted — how recovery and scrub discover
+          checkpoint generations ([checkpoint.N]) and sealed journal
+          segments ([journal.N]) without a separate manifest. *)
 }
 
 val mem : unit -> t

@@ -21,13 +21,18 @@ type counter =
   | Staged_appends
   | Group_commit
   | Group_size_max
+  | Sync_retry
+  | Scrub_record
+  | Checkpoint_fallback
+  | Salvage_quarantined
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
     Group_lookup; Chronicle_scan; Plan_compile; Plan_cache_hit;
     Plan_cache_miss; Index_scan; Build_reuse; Predicate_compile;
     Projector_compile; Journal_append; Journal_bytes; Journal_replay;
-    Checkpoint; Rollback; Staged_appends; Group_commit; Group_size_max ]
+    Checkpoint; Rollback; Staged_appends; Group_commit; Group_size_max;
+    Sync_retry; Scrub_record; Checkpoint_fallback; Salvage_quarantined ]
 
 let slot = function
   | Index_probe -> 0
@@ -52,6 +57,10 @@ let slot = function
   | Staged_appends -> 19
   | Group_commit -> 20
   | Group_size_max -> 21
+  | Sync_retry -> 22
+  | Scrub_record -> 23
+  | Checkpoint_fallback -> 24
+  | Salvage_quarantined -> 25
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -76,6 +85,10 @@ let counter_name = function
   | Staged_appends -> "staged_appends"
   | Group_commit -> "group_commit"
   | Group_size_max -> "group_size_max"
+  | Sync_retry -> "sync_retry"
+  | Scrub_record -> "scrub_record"
+  | Checkpoint_fallback -> "checkpoint_fallback"
+  | Salvage_quarantined -> "salvage_quarantined"
 
 (* One atomic cell per counter: the transaction path folds the deltas
    of independent views on several domains at once, and every fold
@@ -83,7 +96,7 @@ let counter_name = function
    that parallelism (no lost updates); on the jobs = 1 path the cost is
    one uncontended atomic RMW, and the observable values are identical
    to the old plain-int implementation. *)
-let counts = Array.init 22 (fun _ -> Atomic.make 0)
+let counts = Array.init 26 (fun _ -> Atomic.make 0)
 
 let incr c = Atomic.incr counts.(slot c)
 let add c n = ignore (Atomic.fetch_and_add counts.(slot c) n)

@@ -45,6 +45,16 @@ type counter =
   | Group_size_max   (** high-water mark: the largest group (in appends)
                          committed since the last {!reset} — maintained
                          with {!record_max}, not additive *)
+  | Sync_retry       (** one transient storage-sync failure absorbed by the
+                         durability layer's bounded retry/backoff loop *)
+  | Scrub_record     (** one journal record CRC-verified by a read-only
+                         {!Scrub} pass *)
+  | Checkpoint_fallback
+                     (** one damaged checkpoint generation skipped during
+                         recovery in favour of an older one *)
+  | Salvage_quarantined
+                     (** one damaged journal suffix moved to a quarantine
+                         sidecar by salvage recovery *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit

@@ -1,0 +1,108 @@
+Self-healing storage: `scrub` CRC-verifies every checkpoint generation
+and journal record read-only; `recover` falls back across checkpoint
+generations; `--salvage` quarantines damaged bytes and opens the
+database read-only.
+
+  $ cat > setup.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > DEFINE VIEW balance AS SELECT acct, SUM(miles) AS total FROM CHRONICLE mileage GROUP BY acct;
+  > APPEND INTO mileage VALUES (1, 100), (2, 40);
+  > CDL
+
+With --keep-checkpoints 2 the run writes CRC-headed generations and
+seals the journal at each checkpoint:
+
+  $ chronicle-cli run --durable gen --keep-checkpoints 2 setup.cdl
+  created mileage
+  defined view balance: CA_1 (IM-Constant)
+  appended 2 row(s) to mileage at sn 1
+  checkpointed gen
+
+  $ chronicle-cli scrub gen
+  checkpoint.0: ok (generation 0)
+  checkpoint.1: ok (generation 1)
+  journal.0: 3 record(s), ok
+  journal: 0 record(s), ok
+  scrub gen: clean
+
+Corrupt the newest generation's payload: scrub pinpoints it, and strict
+recovery falls back to the older generation, replaying the longer
+journal suffix instead of failing:
+
+  $ printf 'Z' | dd of=gen/checkpoint.1 bs=1 seek=40 conv=notrunc status=none
+  $ chronicle-cli scrub gen
+  checkpoint.0: ok (generation 0)
+  checkpoint.1: DAMAGED: payload checksum mismatch
+  journal.0: 3 record(s), ok
+  journal: 0 record(s), ok
+  scrub gen: DAMAGED
+  [1]
+  $ chronicle-cli recover gen
+  recovered gen: checkpoint generation 0 loaded; journal: 3 replayed, 0 skipped, 1 checkpoint fallback(s)
+  view balance: 2 row(s)
+
+A damaged journal record is fatal to strict recovery, but --salvage
+recovers the maximal consistent prefix, quarantines the damaged suffix
+and opens the database read-only — queries serve, appends are rejected:
+
+  $ cat > more.cdl <<CDL
+  > APPEND INTO mileage VALUES (1, 60);
+  > APPEND INTO mileage VALUES (3, 75);
+  > APPEND INTO mileage VALUES (2, 5);
+  > CDL
+  $ chronicle-cli run --durable sick setup.cdl > /dev/null
+  $ chronicle-cli run --durable sick --crash-after 2 more.cdl > /dev/null
+  [2]
+  $ printf 'Z' | dd of=sick/journal bs=1 seek=18 conv=notrunc status=none
+  $ chronicle-cli recover sick
+  journal corrupt at record 0: checksum mismatch
+  [1]
+  $ cat > probe.cdl <<CDL
+  > SHOW VIEW balance;
+  > APPEND INTO mileage VALUES (9, 9);
+  > CDL
+  $ chronicle-cli run --salvage --durable sick probe.cdl
+  recovered sick: checkpoint loaded; journal: 0 replayed, 0 skipped, 1 quarantined; DEGRADED (read-only)
+  (acct:int,
+  total:int)
+  (acct=1, total=100)
+  (acct=2, total=40)
+  Db.append: database is read-only (salvage recovery quarantined damaged journal records)
+  [1]
+
+The damaged bytes were parked in a sidecar, never silently dropped, and
+the surviving storage is healed — scrub is clean and recovery is normal
+again:
+
+  $ ls sick
+  checkpoint
+  journal
+  journal.quarantine
+  $ chronicle-cli scrub sick
+  checkpoint: ok (legacy)
+  journal: 0 record(s), ok
+  scrub sick: clean
+  $ chronicle-cli recover sick
+  recovered sick: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view balance: 2 row(s)
+
+--keep-checkpoints 1 (the default) restores the legacy single-file
+layout on the next checkpoint, pruning generations and sealed segments:
+
+  $ cat > noop.cdl <<CDL
+  > SHOW VIEW balance;
+  > CDL
+  $ chronicle-cli run --durable gen --keep-checkpoints 1 noop.cdl
+  recovered gen: checkpoint generation 0 loaded; journal: 3 replayed, 0 skipped, 1 checkpoint fallback(s)
+  (acct:int,
+  total:int)
+  (acct=1, total=100)
+  (acct=2, total=40)
+  checkpointed gen
+  $ ls gen
+  checkpoint
+  journal
+
+  $ chronicle-cli scrub nosuch
+  no durable state in nosuch
+  [1]

@@ -355,6 +355,221 @@ let test_clean_run_recovers_exactly () =
       [];
     ]
 
+(* ---- self-healing storage: fallback, salvage, sync retry ---- *)
+
+(* Run a workload durably to completion (no crash script) under a
+   generation/segment configuration, leaving its layout in [storage]. *)
+let durable_clean_run ?(jobs = 1) ?keep_checkpoints ?segment_bytes ops ~storage
+    =
+  let db = mk_db ~jobs () in
+  let d = Durable.attach ?keep_checkpoints ?segment_bytes ~storage db in
+  List.iter (fun op -> apply ~durable:d db op) ops;
+  Durable.detach d
+
+let clone_storage (src : Storage.t) =
+  let dst = Storage.mem () in
+  List.iter
+    (fun name ->
+      match src.Storage.read name with
+      | Some bytes -> dst.Storage.write name bytes
+      | None -> ())
+    (src.Storage.list ());
+  dst
+
+(* Checkpoint-corruption fallback: corrupt the newest generation(s) and
+   recover (strict) — recovery skips each damaged generation, replays
+   the correspondingly longer journal suffix from an older one, and
+   still reaches the exact clean final state. *)
+let test_checkpoint_fallback_sweep () =
+  let states = clean_states fixed_workload in
+  let final = states.(Array.length states - 1) in
+  List.iter
+    (fun jobs ->
+      let storage = Storage.mem () in
+      durable_clean_run ~keep_checkpoints:3 fixed_workload ~storage;
+      let gens = List.rev (Ckpt.generations storage) (* newest first *) in
+      if List.length gens < 2 then
+        Alcotest.failf "workload left %d generation(s), need >= 2"
+          (List.length gens);
+      List.iteri
+        (fun i (_, name) ->
+          (* keep the oldest generation intact as the final fallback *)
+          if i < List.length gens - 1 then begin
+            Fault.flip_bit storage ~name ~byte:40 ~bit:3;
+            let corrupted = i + 1 in
+            let before = Stats.snapshot () in
+            let d, report = Durable.recover ~jobs ~storage () in
+            let after = Stats.snapshot () in
+            if Snapshot.save (Durable.db d) <> final then
+              Alcotest.failf
+                "fallback diverged (jobs=%d, %d generation(s) corrupted)" jobs
+                corrupted;
+            Alcotest.(check int)
+              (Printf.sprintf "fallbacks (jobs=%d, %d corrupted)" jobs
+                 corrupted)
+              corrupted report.Durable.fallbacks;
+            Alcotest.(check int)
+              "Checkpoint_fallback counter" corrupted
+              (Stats.diff_get before after Stats.Checkpoint_fallback);
+            Alcotest.(check bool) "not degraded" false report.Durable.degraded;
+            Durable.detach d
+          end)
+        gens;
+      (* every candidate damaged: strict recovery must raise typed *)
+      let _, oldest = List.nth gens (List.length gens - 1) in
+      Fault.flip_bit storage ~name:oldest ~byte:40 ~bit:3;
+      match Durable.recover ~jobs ~storage () with
+      | _ -> Alcotest.fail "strict recovery accepted all-damaged checkpoints"
+      | exception Durable.Checkpoint_corrupt _ -> ())
+    [ 1; 2; 4 ]
+
+(* Segment-corruption salvage: a group-heavy workload rotated into tiny
+   segments (consecutive group records land in different segments), one
+   segment corrupted mid-record.  Strict recovery raises; salvage
+   recovers exactly the strict recovery of a manually-cut clone — the
+   maximal consistent prefix — quarantines the damaged suffix, and opens
+   the database read-only. *)
+let seg_workload =
+  [
+    Append [ (1, 100); (2, 40) ];
+    Group [ ([ (2, 40) ], []); ([ (3, 75) ], [ (1, 10) ]) ];
+    Clock 1;
+    Bonus [ (1, 10) ];
+    Group [ ([ (1, 60); (3, 51) ], [ (3, 2) ]); ([], [ (2, 8) ]) ];
+    Multi ([ (3, 75) ], [ (2, 5) ]);
+    Group [ ([ (4, 99) ], [ (4, 2) ]); ([ (5, 120) ], [ (5, 1) ]) ];
+    Append [ (2, 7) ];
+  ]
+
+let test_segment_salvage_sweep () =
+  List.iter
+    (fun jobs ->
+      (* discover the segment layout once (it is deterministic) *)
+      let probe = Storage.mem () in
+      durable_clean_run ~segment_bytes:256 seg_workload ~storage:probe;
+      let sealed = List.map snd (Journal.segments probe "journal") in
+      if List.length sealed < 2 then
+        Alcotest.failf "workload sealed %d segment(s), need >= 2"
+          (List.length sealed);
+      let sources = sealed @ [ "journal" ] in
+      List.iteri
+        (fun si victim ->
+          let what = Printf.sprintf "jobs=%d victim=%s" jobs victim in
+          let storage = Storage.mem () in
+          durable_clean_run ~segment_bytes:256 seg_workload ~storage;
+          let contents = Option.get (storage.Storage.read victim) in
+          (* flip a bit in the last record's payload: a deterministic
+             CRC mismatch, never a torn-tail ambiguity *)
+          Fault.flip_bit storage ~name:victim
+            ~byte:(String.length contents - 3)
+            ~bit:5;
+          let corrupted = Option.get (storage.Storage.read victim) in
+          let cut_off =
+            match Journal.scan corrupted with
+            | _, Journal.Damaged d -> d.Journal.offset
+            | _ -> Alcotest.failf "flip did not damage a record (%s)" what
+          in
+          (* strict recovery refuses, typed *)
+          (match Durable.recover ~jobs ~storage () with
+          | _ -> Alcotest.failf "strict recovery accepted damage (%s)" what
+          | exception Journal.Journal_corrupt _ -> ());
+          (* the oracle: strict recovery of a clone cut at the damage *)
+          let oracle =
+            let clone = clone_storage storage in
+            clone.Storage.truncate victim cut_off;
+            List.iteri
+              (fun sj name -> if sj > si then clone.Storage.remove name)
+              sources;
+            let d, _ = Durable.recover ~storage:clone () in
+            Snapshot.save (Durable.db d)
+          in
+          let before = Stats.snapshot () in
+          let d, report =
+            Durable.recover ~jobs ~mode:Durable.Salvage ~storage ()
+          in
+          let after = Stats.snapshot () in
+          let db = Durable.db d in
+          if Snapshot.save db <> oracle then
+            Alcotest.failf "salvage diverged from cut-clone oracle (%s)" what;
+          Alcotest.(check bool)
+            (Printf.sprintf "degraded (%s)" what)
+            true report.Durable.degraded;
+          Alcotest.(check bool)
+            (Printf.sprintf "quarantined (%s)" what)
+            true
+            (report.Durable.quarantined >= 1);
+          Alcotest.(check int)
+            (Printf.sprintf "Salvage_quarantined counter (%s)" what)
+            report.Durable.quarantined
+            (Stats.diff_get before after Stats.Salvage_quarantined);
+          Alcotest.(check bool)
+            (Printf.sprintf "sidecar written (%s)" what)
+            true
+            (storage.Storage.exists (Durable.quarantine_name victim));
+          (* degraded: appends rejected with the typed error … *)
+          (match Db.append db "mileage" [ row (9, 9) ] with
+          | _ -> Alcotest.failf "append accepted while degraded (%s)" what
+          | exception Db.Read_only _ -> ());
+          (* … while queries keep serving (salvaging the very first
+             segment legitimately leaves the view empty) *)
+          (match Db.view_contents db "balance" with
+          | _ -> ()
+          | exception e ->
+              Alcotest.failf "degraded database stopped serving queries (%s): %s"
+                what (Printexc.to_string e));
+          Durable.detach d)
+        sources)
+    [ 1; 2; 4 ]
+
+(* Transient sync failures are retried with backoff and leave no trace
+   in the recovered state; exhaustion degrades instead of raising. *)
+let test_sync_retry_absorbs_transients () =
+  let states = clean_states fixed_workload in
+  let final = states.(Array.length states - 1) in
+  let storage = Storage.mem () in
+  let fault = Fault.create () in
+  let db = mk_db () in
+  let d = Durable.attach ~fault ~storage db in
+  Fault.arm_sync_failures fault ~after:2 ~fails:3;
+  let before = Stats.snapshot () in
+  List.iter (fun op -> apply ~durable:d db op) fixed_workload;
+  let after = Stats.snapshot () in
+  Alcotest.(check int) "retries counted" 3
+    (Stats.diff_get before after Stats.Sync_retry);
+  (match Durable.health d with
+  | Durable.Healthy -> ()
+  | Durable.Degraded reason ->
+      Alcotest.failf "degraded after transient failures: %s" reason);
+  let d2, _ = Durable.recover ~storage () in
+  if Snapshot.save (Durable.db d2) <> final then
+    Alcotest.fail "state diverged across retried syncs"
+
+let test_sync_exhaustion_degrades () =
+  let storage = Storage.mem () in
+  let fault = Fault.create () in
+  let db = mk_db () in
+  let d = Durable.attach ~fault ~storage db in
+  ignore (Db.append db "mileage" [ row (1, 100) ]);
+  Fault.arm_sync_failures fault ~fails:10;
+  (* more consecutive failures than the retry budget: the next
+     journaled append exhausts it; the instance degrades mid-append
+     instead of raising out of [Db.append] *)
+  ignore (Db.append db "mileage" [ row (2, 40) ]);
+  (match Durable.health d with
+  | Durable.Degraded _ -> ()
+  | Durable.Healthy -> Alcotest.fail "expected degraded after exhaustion");
+  (match Db.append db "mileage" [ row (3, 1) ] with
+  | _ -> Alcotest.fail "append accepted on degraded instance"
+  | exception Db.Read_only _ -> ());
+  Alcotest.(check bool)
+    "queries serve" true
+    (Db.view_contents db "balance" <> []);
+  (* the write-ahead record of the degrading append reached storage
+     before its syncs failed: recovery sees both appends *)
+  let d2, _ = Durable.recover ~storage () in
+  if Snapshot.save (Durable.db d2) <> Snapshot.save db then
+    Alcotest.fail "recovered state diverged from the degraded instance"
+
 (* ---- randomized workloads (QCheck) ---- *)
 
 let op_gen =
@@ -420,6 +635,14 @@ let () =
             test_exhaustive_torn_sweep;
           Alcotest.test_case "replay-dispatch crash sweep" `Quick
             test_replay_dispatch_crash_sweep;
+          Alcotest.test_case "checkpoint-corruption fallback sweep" `Quick
+            test_checkpoint_fallback_sweep;
+          Alcotest.test_case "segment-corruption salvage sweep" `Quick
+            test_segment_salvage_sweep;
+          Alcotest.test_case "sync retry absorbs transients" `Quick
+            test_sync_retry_absorbs_transients;
+          Alcotest.test_case "sync exhaustion degrades" `Quick
+            test_sync_exhaustion_degrades;
           qcheck_crash_equivalence;
         ] );
     ]

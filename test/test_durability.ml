@@ -509,6 +509,134 @@ let test_application_failure_vs_malformation () =
       Alcotest.failf "wanted Recovery_error at record 0, got %s"
         (Printexc.to_string e)
 
+(* ---- self-healing storage: generations, segments, scrub ---- *)
+
+let test_stale_checkpoint_tmp_removed () =
+  let st = Storage.mem () in
+  st.Storage.write Durable.checkpoint_tmp_file "half-written garbage";
+  let db = mk_db () in
+  let _d = Durable.attach ~storage:st db in
+  check_bool "stale tmp deleted on attach" true
+    (not (st.Storage.exists Durable.checkpoint_tmp_file));
+  st.Storage.write Durable.checkpoint_tmp_file "half-written garbage";
+  let _d', _ = Durable.recover ~storage:st () in
+  check_bool "stale tmp deleted on recover" true
+    (not (st.Storage.exists Durable.checkpoint_tmp_file));
+  check_string "quarantine sidecar naming" "journal.3.quarantine"
+    (Durable.quarantine_name "journal.3");
+  check_raises_any "keep_checkpoints must be positive" (fun () ->
+      ignore (Durable.attach ~keep_checkpoints:0 ~storage:(Storage.mem ()) (mk_db ())))
+
+let test_legacy_layout_pinned () =
+  (* keep_checkpoints = 1 (the default) is byte-identical to the
+     pre-generation layout: exactly one bare [checkpoint] file holding
+     the raw snapshot document, one [journal] file, nothing else *)
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~storage:st db in
+  ignore (Db.append db "mileage" [ post 1 100 ]);
+  Durable.checkpoint d;
+  check_bool "exact legacy file set" true
+    (st.Storage.list () = [ "checkpoint"; "journal" ]);
+  check_string "bare checkpoint is the raw snapshot document"
+    (Snapshot.save db)
+    (Option.get (st.Storage.read "checkpoint"))
+
+let test_generation_rotation_and_prune () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~keep_checkpoints:3 ~storage:st db in
+  check_int "keep_checkpoints" 3 (Durable.keep_checkpoints d);
+  check_bool "no bare checkpoint in generation mode" true
+    (not (st.Storage.exists "checkpoint"));
+  check_int "initial generation written" 1 (List.length (Ckpt.generations st));
+  for i = 1 to 4 do
+    ignore (Db.append db "mileage" [ post i (10 * i) ]);
+    Durable.checkpoint d
+  done;
+  let gens = Ckpt.generations st in
+  check_int "pruned to three generations" 3 (List.length gens);
+  check_bool "the newest three retained" true (List.map fst gens = [ 2; 3; 4 ]);
+  ignore (Db.append db "mileage" [ post 9 1 ]);
+  let d', report = Durable.recover ~storage:st () in
+  check_bool "newest generation served" true
+    (report.Durable.generation = Some 4);
+  check_int "suffix replayed" 1 report.Durable.replayed;
+  check_int "no fallbacks on a healthy layout" 0 report.Durable.fallbacks;
+  same_state "generation round trip" db (Durable.db d')
+
+let test_segment_rotation_and_recovery () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~segment_bytes:160 ~storage:st db in
+  for i = 1 to 8 do
+    ignore (Db.append db "mileage" [ post i i ])
+  done;
+  ignore d;
+  check_bool "journal rotated into sealed segments" true
+    (List.length (Journal.segments st "journal") >= 2);
+  check_bool "the active journal keeps the bare name" true
+    (st.Storage.exists "journal");
+  let d', report = Durable.recover ~storage:st () in
+  check_int "all records replayed across segments" 8 report.Durable.replayed;
+  same_state "segment round trip" db (Durable.db d');
+  (* both instances append one more batch and stay in lockstep *)
+  ignore (Db.append (Durable.db d') "mileage" [ post 9 9 ]);
+  ignore (Db.append db "mileage" [ post 9 9 ]);
+  same_state "recovered instance stays live across segments" db
+    (Durable.db d')
+
+let test_scrub_inventory () =
+  let st = Storage.mem () in
+  let db = mk_db () in
+  let d = Durable.attach ~keep_checkpoints:2 ~segment_bytes:160 ~storage:st db in
+  for i = 1 to 4 do
+    ignore (Db.append db "mileage" [ post i i ])
+  done;
+  Durable.checkpoint d;
+  for i = 5 to 7 do
+    ignore (Db.append db "mileage" [ post i i ])
+  done;
+  let contents () =
+    List.map (fun n -> (n, st.Storage.read n)) (st.Storage.list ())
+  in
+  let bytes_before = contents () in
+  let before = Stats.snapshot () in
+  let inv = Scrub.run st in
+  let after = Stats.snapshot () in
+  check_bool "clean storage scrubs clean" true (Scrub.clean inv);
+  check_int "both generations inventoried" 2
+    (List.length inv.Scrub.checkpoints);
+  let total =
+    List.fold_left (fun acc s -> acc + s.Scrub.records) 0 inv.Scrub.segments
+  in
+  check_bool "records were verified" true (total >= 7);
+  check_int "every verified record counted" total
+    (Stats.diff_get before after Stats.Scrub_record);
+  check_bool "scrub is read-only" true (contents () = bytes_before);
+  (* damage one sealed segment: flip a bit in record 0's CRC field *)
+  let _, seg = List.hd (Journal.segments st "journal") in
+  Fault.flip_bit st ~name:seg ~byte:14 ~bit:1;
+  let inv2 = Scrub.run st in
+  check_bool "damage detected" true (not (Scrub.clean inv2));
+  check_bool "damage located in the right segment" true
+    (List.exists
+       (fun s ->
+         s.Scrub.seg_name = seg
+         &&
+         match s.Scrub.seg_damage with
+         | Some { Journal.index = 0; _ } -> true
+         | _ -> false)
+       inv2.Scrub.segments);
+  (* a damaged generation is inventoried too *)
+  let _, gname = List.hd (Ckpt.generations st) in
+  Fault.flip_bit st ~name:gname ~byte:12 ~bit:0;
+  let inv3 = Scrub.run st in
+  check_bool "checkpoint damage detected" true
+    (List.exists
+       (fun c -> c.Scrub.ck_name = gname && c.Scrub.ck_damage <> None)
+       inv3.Scrub.checkpoints)
+
 let suite =
   [
     test "crc32 vectors" test_crc32;
@@ -531,4 +659,9 @@ let suite =
     test "malformed records are typed corruption" test_malformed_records_typed_at_recovery;
     test "application failure vs malformation" test_application_failure_vs_malformation;
     test "disk-backed storage" test_disk_storage;
+    test "stale checkpoint.tmp is removed" test_stale_checkpoint_tmp_removed;
+    test "keep_checkpoints = 1 pins the legacy layout" test_legacy_layout_pinned;
+    test "checkpoint generations rotate and prune" test_generation_rotation_and_prune;
+    test "journal segments rotate and recover" test_segment_rotation_and_recovery;
+    test "scrub inventories damage read-only" test_scrub_inventory;
   ]
