@@ -1,0 +1,250 @@
+(* E19 — skew-aware join-view maintenance: heavy-light partitioning of
+   join-input keys on the append path.
+
+   A join-shaped view (CA_join: the txn chronicle keyed against the
+   accounts relation) folds every appended tuple through
+   {!Relational.Skew.matches}.  CA_M's constant-fanout guarantee
+   (Definition 4.2) makes the light path an indexed point probe into
+   the relation's key index — asymptotically O(1), but against a hash
+   table that grows with the opposite-side cardinality |R|, so every
+   probe pays the cache pressure of the whole index.  Under a skewed
+   (Zipf 1.1) key stream the partition promotes the hot keys to
+   materialized partial-join runs held in a <= 64-entry table: their
+   matches are served without touching the relation index at all
+   (index probes per append drop to the light-key residue — the
+   machine-independent contrast), and the per-append cost stays flat
+   as |R| grows.  Under a uniform stream no key ever reaches the
+   adaptive bar, and the partition must cost (almost) nothing: the
+   recorded uniform_overhead_ratio pins the <5% regression budget.
+
+   Both modes are asserted byte-identical on every operating point
+   before anything is recorded (the partition is mechanism, not
+   policy).  Wall-clock numbers carry the usual 1-core container
+   caveat (see EXPERIMENTS.md); the counter contrast — tuple_read per
+   append flat vs growing with |R| — is machine-independent.
+
+   Machine-readable evidence lands in BENCH_E19.json (recorded copy:
+   bench/results/e19_skew_join.json). *)
+
+open Relational
+open Chronicle_core
+open Chronicle_workload
+
+(* Each append call carries a batch: single-tuple appends sit at the
+   resolution floor of the wall clock (~1 us), so per-call timings
+   quantize.  16 tuples per call puts one call in the tens of
+   microseconds while keeping the per-key promote dynamics intact. *)
+let n_appends = 4_000
+let batch = 16
+let reps = 13
+let sizes = [ 10_000; 100_000; 400_000 ]
+
+(* threshold 0 = adaptive default (partitioning on); a bar no count can
+   reach = partitioning off, i.e. the sequential lazy fold *)
+let modes = [ ("partitioned", 0); ("off", max_int) ]
+
+let mk_db ~threshold ~accounts =
+  let db = Db.create ~heavy_threshold:threshold () in
+  ignore (Db.add_chronicle db ~name:"txn" Banking.txn_schema);
+  let acc =
+    Db.add_relation db ~name:"accounts" ~schema:Banking.account_schema
+      ~key:[ "acct" ] ()
+  in
+  let rng = Rng.create 42 in
+  List.iter (Versioned.insert acc) (Banking.accounts rng ~n:accounts);
+  let body =
+    Ca.KeyJoinRel
+      ( Ca.Chronicle (Db.chronicle db "txn"),
+        Versioned.relation acc,
+        [ ("acct", "acct") ] )
+  in
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"by_branch" ~body
+          (Sca.Group_agg ([ "branch" ], [ Aggregate.sum "amount" "total" ]))));
+  db
+
+(* Append the stream one batch at a time, timing each append call. *)
+let run_stream db stream =
+  let times = Array.make (List.length stream) 0. in
+  List.iteri
+    (fun i rows ->
+      let t0 = Measure.now () in
+      ignore (Db.append db "txn" rows);
+      times.(i) <- (Measure.now () -. t0) *. 1e6)
+    stream;
+  times
+
+let percentile a p =
+  let s = Array.copy a in
+  Array.sort Float.compare s;
+  let n = Array.length s in
+  s.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run () =
+  (* per-append p99 on the default minor heap is dominated by ~30 us
+     collection slices that hit both modes identically; a larger minor
+     heap makes them rare enough that the tail reflects maintenance
+     cost rather than allocator cadence *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22 };
+  Measure.section "E19: skew-aware join-view maintenance (heavy-light)"
+    "Per-append delta cost of a join view as the opposite-side relation \
+     grows, under Zipf(1.1) and uniform key streams, with heavy-light \
+     partitioning on (adaptive) and off (lazy fold).  Skewed streams \
+     promote hot keys to materialized runs: p99 stays flat as |R| \
+     grows.  Uniform streams never promote: the partition's counting \
+     overhead is the recorded uniform_overhead_ratio.";
+  Measure.note "hardware: %d recommended domain(s)"
+    (Domain.recommended_domain_count ());
+  let json = ref [] in
+  let table = ref [] in
+  List.iter
+    (fun (stream_name, s) ->
+      List.iter
+        (fun accounts ->
+          let zipf = Zipf.create ~n:accounts ~s in
+          let stream =
+            let rng = Rng.create 11 in
+            List.init n_appends (fun _ ->
+                List.init batch (fun _ -> Banking.txn rng zipf))
+          in
+          let means = Hashtbl.create 2 in
+          let contents = Hashtbl.create 2 in
+          (* one persistent database per mode; repetitions interleave
+             the modes so slow container drift hits both equally, and
+             min-of-statistic across reps keeps one GC storm or
+             scheduler hiccup from deciding a tail number *)
+          let dbs =
+            List.map
+              (fun (mode, threshold) -> (mode, mk_db ~threshold ~accounts))
+              modes
+          in
+          let rep_data = Hashtbl.create 2 in
+          for _rep = 1 to reps do
+            List.iter
+              (fun (mode, db) ->
+                Gc.full_major ();
+                let before = Stats.snapshot () in
+                let times = run_stream db stream in
+                let after = Stats.snapshot () in
+                Hashtbl.replace contents mode (Db.view_contents db "by_branch");
+                Hashtbl.replace rep_data mode
+                  ((times, before, after)
+                  :: Option.value ~default:[] (Hashtbl.find_opt rep_data mode)))
+              dbs
+          done;
+          List.iter
+            (fun (mode, _threshold) ->
+              let reps = Hashtbl.find rep_data mode in
+              let best p =
+                List.fold_left
+                  (fun acc (times, _, _) -> Float.min acc (percentile times p))
+                  infinity reps
+              in
+              (* counters from the first (cold-start) repetition — they
+                 are deterministic, later reps inherit the heavy set *)
+              let _, before, after = List.nth reps (List.length reps - 1) in
+              (* per-repetition stream means, trimmed of the top 1% of
+                 appends: sums are far stabler than quantized
+                 percentiles on a 1-core container, but a single
+                 scheduler preemption (~1 ms against ~15 us appends)
+                 otherwise owns a rep's mean *)
+              let rep_means =
+                List.map
+                  (fun (times, _, _) ->
+                    let s = Array.copy times in
+                    Array.sort Float.compare s;
+                    let keep = Array.length s * 99 / 100 in
+                    let sum = ref 0. in
+                    for i = 0 to keep - 1 do
+                      sum := !sum +. s.(i)
+                    done;
+                    !sum /. float_of_int keep)
+                  reps
+              in
+              let mean = List.fold_left Float.min infinity rep_means in
+              Hashtbl.replace means mode rep_means;
+              let per_append c =
+                float_of_int (Stats.diff_get before after c)
+                /. float_of_int n_appends
+              in
+              let p50 = best 0.50 and p99 = best 0.99 in
+              json :=
+                Measure.J_obj
+                  [
+                    ("stream", Measure.J_str stream_name);
+                    ("accounts", Measure.J_int accounts);
+                    ("mode", Measure.J_str mode);
+                    ("appends", Measure.J_int n_appends);
+                    ("rows_per_append", Measure.J_int batch);
+                    ("mean_micros_per_append", Measure.J_float mean);
+                    ("p50_micros_per_append", Measure.J_float p50);
+                    ("p99_micros_per_append", Measure.J_float p99);
+                    ("index_probe_per_append", Measure.J_float (per_append Stats.Index_probe));
+                    ( "heavy_promote_total",
+                      Measure.J_int
+                        (Stats.diff_get before after Stats.Heavy_promote) );
+                    ( "heavy_demote_total",
+                      Measure.J_int
+                        (Stats.diff_get before after Stats.Heavy_demote) );
+                    ( "heavy_probe_total",
+                      Measure.J_int
+                        (Stats.diff_get before after Stats.Heavy_probe) );
+                    ( "light_fold_total",
+                      Measure.J_int
+                        (Stats.diff_get before after Stats.Light_fold) );
+                  ]
+                :: !json;
+              table :=
+                [
+                  stream_name;
+                  string_of_int accounts;
+                  mode;
+                  Measure.f1 p50;
+                  Measure.f1 p99;
+                  Measure.f1 (per_append Stats.Index_probe);
+                  string_of_int (Stats.diff_get before after Stats.Heavy_probe);
+                ]
+                :: !table)
+            modes;
+          (* the partition is mechanism: both modes must agree exactly *)
+          let on = Hashtbl.find contents "partitioned"
+          and off = Hashtbl.find contents "off" in
+          if not (List.equal Tuple.equal on off) then
+            failwith
+              (Printf.sprintf "E19: partitioned view diverged (%s, |R|=%d)"
+                 stream_name accounts);
+          if stream_name = "uniform" then begin
+            (* the two modes' repetitions interleave, so pairing rep i
+               with rep i cancels container drift; the median of the
+               paired ratios is the recorded regression *)
+            let ratios =
+              List.map2 ( /. )
+                (Hashtbl.find means "partitioned")
+                (Hashtbl.find means "off")
+            in
+            let sorted = List.sort Float.compare ratios in
+            let ratio = List.nth sorted (List.length sorted / 2) in
+            Measure.note "uniform |R|=%d: mean overhead ratio %.3f" accounts
+              ratio;
+            json :=
+              Measure.J_obj
+                [
+                  ("stream", Measure.J_str "uniform");
+                  ("accounts", Measure.J_int accounts);
+                  ("uniform_overhead_ratio", Measure.J_float ratio);
+                ]
+              :: !json
+          end)
+        sizes)
+    [ ("zipf-1.1", 1.1); ("uniform", 0.) ];
+  Measure.print_table
+    ~title:
+      (Printf.sprintf
+         "per-append delta cost of the join view (%d appends x %d rows per \
+          point)"
+         n_appends batch)
+    ~header:
+      [ "stream"; "|R|"; "mode"; "p50 us"; "p99 us"; "idx_probe"; "hvy_probe" ]
+    (List.rev !table);
+  Measure.write_json ~file:"BENCH_E19.json" (List.rev !json)

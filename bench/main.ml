@@ -26,6 +26,7 @@ let experiments =
     ("E16", E16_indexed_ranged.run);
     ("E17", E17_group_commit.run);
     ("E18", E18_scrub_salvage.run);
+    ("E19", E19_skew_join.run);
     ("micro", Micro.run);
   ]
 

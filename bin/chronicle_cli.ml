@@ -69,16 +69,16 @@ let report_recovery_error = function
   | exn -> raise exn
 
 let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
-    salvage keep_checkpoints segment_bytes path =
+    salvage keep_checkpoints segment_bytes heavy_threshold path =
   let mode = if salvage then Durable.Salvage else Durable.Strict in
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
   let base_session () =
     match snapshot_in with
-    | None -> Session.create ~jobs ()
+    | None -> Session.create ~jobs ~heavy_threshold ()
     | Some snap -> (
-        match Session_snapshot.load_file ~jobs snap with
+        match Session_snapshot.load_file ~jobs ~heavy_threshold snap with
         | session ->
             Format.printf "restored snapshot %s@." snap;
             session
@@ -94,8 +94,8 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
         let storage = Storage.disk ~dir in
         if Durable.has_state storage then
           match
-            Durable.recover ~sync ~jobs ~mode ~keep_checkpoints ?segment_bytes
-              ~storage ()
+            Durable.recover ~sync ~jobs ~heavy_threshold ~mode ~keep_checkpoints
+              ?segment_bytes ~storage ()
           with
           | d, report ->
               Format.printf "recovered %s: %a@." dir pp_recovery report;
@@ -182,7 +182,8 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
       in
       go stmts
 
-let recover_dir sync jobs salvage keep_checkpoints segment_bytes dir =
+let recover_dir sync jobs salvage keep_checkpoints segment_bytes
+    heavy_threshold dir =
   let mode = if salvage then Durable.Salvage else Durable.Strict in
   let storage = Storage.disk ~dir in
   if not (Durable.has_state storage) then begin
@@ -191,8 +192,8 @@ let recover_dir sync jobs salvage keep_checkpoints segment_bytes dir =
   end
   else
     match
-      Durable.recover ~sync ~jobs ~mode ~keep_checkpoints ?segment_bytes
-        ~storage ()
+      Durable.recover ~sync ~jobs ~heavy_threshold ~mode ~keep_checkpoints
+        ?segment_bytes ~storage ()
     with
     | d, report ->
         Format.printf "recovered %s: %a@." dir pp_recovery report;
@@ -338,6 +339,20 @@ let segment_arg =
            active file would exceed $(docv) bytes (default: unbounded, \
            single file). Corruption is isolated per segment.")
 
+let heavy_threshold_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "heavy-threshold" ] ~docv:"N"
+        ~doc:
+          "Promotion bar of the heavy-light key partition used to maintain \
+           key-join views: a join key seen at least $(docv) times gets its \
+           matched tuples materialized and served from cache until the \
+           relation changes. $(b,0) = adaptive (default); $(b,65536) or \
+           more disables partitioning (the bar is unreachable, so probes \
+           skip tracking entirely). Never changes view contents or order, \
+           only per-append probe cost.")
+
 let run_cmd =
   let path =
     Arg.(
@@ -399,7 +414,7 @@ let run_cmd =
     Term.(
       const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
       $ crash_after $ jobs_arg $ batch_arg $ salvage_arg $ keep_arg
-      $ segment_arg $ path)
+      $ segment_arg $ heavy_threshold_arg $ path)
 
 let recover_cmd =
   let dir =
@@ -415,7 +430,7 @@ let recover_cmd =
           replayed.")
     Term.(
       const recover_dir $ sync_arg $ jobs_arg $ salvage_arg $ keep_arg
-      $ segment_arg $ dir)
+      $ segment_arg $ heavy_threshold_arg $ dir)
 
 let scrub_cmd =
   let dir =

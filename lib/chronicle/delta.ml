@@ -15,7 +15,9 @@ let delta_of_base batch c =
    maintenance recompiles nothing. *)
 type plan = { expr : Ca.t; exec : sn:Seqnum.t -> batch:batch -> Tuple.t list }
 
-let rec comp expr : sn:Seqnum.t -> batch:batch -> Tuple.t list =
+let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
+    =
+  let comp = comp ~heavy_threshold in
   match expr with
   | Ca.Chronicle c -> fun ~sn:_ ~batch -> delta_of_base batch c
   | Ca.Select (p, e) ->
@@ -68,7 +70,14 @@ let rec comp expr : sn:Seqnum.t -> batch:batch -> Tuple.t list =
   | Ca.KeyJoinRel (e, rel, pairs) ->
       (* join each Δ tuple with the matching relation tuples via an
          index probe on the join attributes (at most a constant number
-         of matches in CA_⋈, by the key guarantee) *)
+         of matches in CA_⋈, by the key guarantee).  The probe is
+         heavy-light partitioned per compiled site: keys whose
+         frequency crosses the threshold get their projected match run
+         materialized once and served from cache; light keys keep the
+         lazy probe.  [Skew.matches] guarantees the result is
+         byte-identical to the lazy expression at the relation's
+         current version, so the fold stays order-identical to the
+         sequential oracle at every parallelism degree. *)
       let schema = Ca.schema_of e in
       let left_key = Tuple.projector schema (List.map fst pairs) in
       let right_attrs = List.map snd pairs in
@@ -77,14 +86,15 @@ let rec comp expr : sn:Seqnum.t -> batch:batch -> Tuple.t list =
         List.filter (fun n -> not (List.mem n right_attrs)) (Schema.names rschema)
       in
       let rproj = Tuple.projector rschema keep in
+      let part = Skew.create ~threshold:heavy_threshold () in
       let child = comp e in
       fun ~sn ~batch ->
         List.concat_map
           (fun tu ->
             let key = Array.to_list (left_key tu) in
             List.map
-              (fun rtu -> Tuple.concat tu (rproj rtu))
-              (Relation.lookup rel ~attrs:right_attrs key))
+              (fun rtu -> Tuple.concat tu rtu)
+              (Skew.matches part rel ~attrs:right_attrs ~project:rproj key))
           (child ~sn ~batch)
   | Ca.CrossChron (l, r) ->
       (* Theorem 4.3: requires the old value of the opposite operand,
@@ -118,13 +128,15 @@ let rec comp expr : sn:Seqnum.t -> batch:batch -> Tuple.t list =
         in
         cross dl old_r @ cross old_l dr @ cross dl dr
 
-let compile expr =
+let compile ?(heavy_threshold = 0) expr =
   Stats.incr Stats.Plan_compile;
-  { expr; exec = comp expr }
+  { expr; exec = comp ~heavy_threshold expr }
 
 let run plan ~sn ~batch = plan.exec ~sn ~batch
 let expr plan = plan.expr
-let eval expr ~sn ~batch = run (compile expr) ~sn ~batch
+
+let eval ?heavy_threshold expr ~sn ~batch =
+  run (compile ?heavy_threshold expr) ~sn ~batch
 
 let all_fresh schema sn tuples =
   match Schema.pos_opt schema Seqnum.attr with

@@ -38,9 +38,17 @@ type plan
     only probe-and-fold work, which is what makes per-append maintenance
     cost a small constant on top of the paper's complexity class. *)
 
-val compile : Ca.t -> plan
+val compile : ?heavy_threshold:int -> Ca.t -> plan
 (** One-time analysis (bumps [Stats.Plan_compile]).  Raises the same
-    schema errors [Ca.schema_of] would. *)
+    schema errors [Ca.schema_of] would.
+
+    [heavy_threshold] configures the heavy-light key partition each
+    [Ca.KeyJoinRel] site of the plan carries ({!Relational.Skew}):
+    [0] (default) = adaptive promotion threshold, positive = fixed
+    bar, very large = partitioning effectively off.  Partition state
+    lives inside the compiled plan, so it is built once per view and
+    discarded with the plan on redefinition; it never changes the
+    tuples or order a run produces. *)
 
 val run : plan -> sn:Seqnum.t -> batch:batch -> Tuple.t list
 (** Tuples the batch adds to the expression; zero recompilation. *)
@@ -48,7 +56,7 @@ val run : plan -> sn:Seqnum.t -> batch:batch -> Tuple.t list
 val expr : plan -> Ca.t
 (** The expression the plan was compiled from. *)
 
-val eval : Ca.t -> sn:Seqnum.t -> batch:batch -> Tuple.t list
+val eval : ?heavy_threshold:int -> Ca.t -> sn:Seqnum.t -> batch:batch -> Tuple.t list
 (** Tuples added to the expression by the batch; [run ∘ compile].
     One-shot convenience — repeated callers should hold a {!plan}
     (or use the per-view cache, {!View.plan}). *)

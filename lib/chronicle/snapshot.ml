@@ -335,7 +335,7 @@ let sexp_of_db db =
 
 let save db = Sexp.to_string_pretty (sexp_of_db db)
 
-let db_of_sexp ?jobs doc =
+let db_of_sexp ?jobs ?heavy_threshold doc =
   (match Sexp.field_opt doc "chronicle-snapshot" with
   | Some v when Sexp.to_int v = 1 -> ()
   | Some v -> error "unsupported snapshot version %s" (Sexp.to_string v)
@@ -348,7 +348,7 @@ let db_of_sexp ?jobs doc =
         (match group_entries with
         | first :: _ -> Sexp.to_atom (Sexp.field first "name")
         | [] -> "main")
-      ?jobs ()
+      ?jobs ?heavy_threshold ()
   in
   List.iteri
     (fun i entry ->
@@ -402,13 +402,16 @@ let db_of_sexp ?jobs doc =
       in
       let summarize = summarize_of_sexp (Sexp.field entry "summarize") in
       let def = Sca.define ~allow_non_ca:true ~name ~body summarize in
-      let view = View.create ~index def in
+      let view =
+        View.create ~index ~heavy_threshold:(Db.heavy_threshold db) def
+      in
       View.load view (view_contents_of_sexp (Sexp.field entry "contents"));
       Registry.register (Db.registry db) view)
     (Sexp.to_list (Sexp.field doc "views"));
   db
 
-let load ?jobs text = db_of_sexp ?jobs (Sexp.of_string text)
+let load ?jobs ?heavy_threshold text =
+  db_of_sexp ?jobs ?heavy_threshold (Sexp.of_string text)
 
 let save_file db path =
   let oc = open_out path in
@@ -416,11 +419,11 @@ let save_file db path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (save db))
 
-let load_file ?jobs path =
+let load_file ?jobs ?heavy_threshold path =
   let ic = open_in path in
   let text =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  load ?jobs text
+  load ?jobs ?heavy_threshold text

@@ -26,18 +26,21 @@ val save : Db.t -> string
     pending future-effective updates, or a registered view definition
     is not expressible in the snapshot grammar. *)
 
-val load : ?jobs:int -> string -> Db.t
+val load : ?jobs:int -> ?heavy_threshold:int -> string -> Db.t
 (** Rebuild a database from {!save} output.  Raises {!Snapshot_error}
     (or [Sexp.Parse_error]) on malformed documents.  [jobs] is the
     maintenance parallelism degree of the rebuilt database (see
     {!Db.create}; a snapshot does not record the degree it was saved
-    under — parallelism is an execution property, not state). *)
+    under — parallelism is an execution property, not state).
+    [heavy_threshold] likewise re-applies the heavy-light promotion bar
+    to the rebuilt views: partition state is ephemeral probe-routing
+    state, deliberately not captured by {!save}. *)
 
 val save_file : Db.t -> string -> unit
-val load_file : ?jobs:int -> string -> Db.t
+val load_file : ?jobs:int -> ?heavy_threshold:int -> string -> Db.t
 
 val sexp_of_db : Db.t -> Sexp.t
-val db_of_sexp : ?jobs:int -> Sexp.t -> Db.t
+val db_of_sexp : ?jobs:int -> ?heavy_threshold:int -> Sexp.t -> Db.t
 (** The underlying document (used by the session-level snapshot, which
     embeds the database document alongside temporal and event state). *)
 

@@ -46,6 +46,9 @@ type t = {
       (* active transactional batch; [Db.append] brackets maintenance
          with [begin_txn] … [commit_txn]/[rollback_txn] so a mid-batch
          failure leaves no partially-maintained view observable *)
+  heavy_threshold : int;
+      (* promotion bar for the plan's key-join partitions; 0 = adaptive
+         (see [Skew]) *)
   mutable plan : Delta.plan option;
       (* compiled body Δ-plan, built on first use and kept for the
          view's lifetime.  Redefining a view creates a fresh [t], so the
@@ -82,7 +85,7 @@ let backing_iter : type v. (Value.t list -> v -> unit) -> v backing -> unit =
   | Hash (tbl, order) -> Vec.iter (fun key -> f key (Key_tbl.find tbl key)) order
   | Tree tree -> Key_tree.iter f tree
 
-let create ?(index = Index.Hash) def =
+let create ?(index = Index.Hash) ?(heavy_threshold = 0) def =
   let body_schema = Ca.schema_of (Sca.body def) in
   let key_of, aggs =
     match Sca.summarize def with
@@ -101,7 +104,7 @@ let create ?(index = Index.Hash) def =
     | Sca.Group_agg _ -> Groups (make_backing index)
   in
   { def; body_schema; key_of; aggs; arg_pos; contents; batches = 0; txn = None;
-    plan = None }
+    heavy_threshold; plan = None }
 
 let def t = t.def
 let name t = Sca.name t.def
@@ -114,7 +117,9 @@ let plan t =
       p
   | None ->
       Stats.incr Stats.Plan_cache_miss;
-      let p = Delta.compile (Sca.body t.def) in
+      let p =
+        Delta.compile ~heavy_threshold:t.heavy_threshold (Sca.body t.def)
+      in
       t.plan <- Some p;
       p
 
@@ -236,8 +241,8 @@ let rollback_txn t =
       t.batches <- tx.tx_batches;
       t.txn <- None
 
-let of_initial ?index def initial =
-  let t = create ?index def in
+let of_initial ?index ?heavy_threshold def initial =
+  let t = create ?index ?heavy_threshold def in
   apply_delta t initial;
   t.batches <- 0;
   t

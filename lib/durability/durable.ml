@@ -488,11 +488,16 @@ let checkpoint t =
 let install t =
   Db.set_txn_sink t.database (Some (sink t));
   Db.set_fold_probe t.database
-    (Some (fun ~view:_ ~sn:_ -> Fault.hit t.fault p_view_fold))
+    (Some (fun ~view:_ ~sn:_ -> Fault.hit t.fault p_view_fold));
+  (* heavy-light partition transitions (promote/demote inside a
+     key-join fold) are crash points too: route them to the same fault
+     plan so the sweep can abort a batch mid-build/mid-teardown *)
+  Skew.set_probe (Some (fun point -> Fault.hit t.fault point))
 
 let detach t =
   Db.set_txn_sink t.database None;
-  Db.set_fold_probe t.database None
+  Db.set_fold_probe t.database None;
+  Skew.set_probe None
 
 let next_seal_seq storage =
   match List.rev (Journal.segments storage journal_file) with
@@ -548,7 +553,8 @@ type report = {
   degraded : bool;
 }
 
-let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?(mode = Strict)
+let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?heavy_threshold
+    ?(mode = Strict)
     ?(keep_checkpoints = 1) ?segment_bytes ~storage () =
   if keep_checkpoints < 1 then
     invalid_arg "Durable.recover: keep_checkpoints must be at least 1";
@@ -585,7 +591,7 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?(mode = Strict)
           | Some contents -> (
               match generation with
               | None -> (
-                  match Snapshot.load ?jobs contents with
+                  match Snapshot.load ?jobs ?heavy_threshold contents with
                   | db -> Ok (0, db)
                   | exception e ->
                       Error ("snapshot does not load: " ^ Printexc.to_string e))
@@ -593,7 +599,7 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?(mode = Strict)
                   match Ckpt.decode contents with
                   | Error reason -> Error reason
                   | Ok (h, payload) -> (
-                      match Snapshot.load ?jobs payload with
+                      match Snapshot.load ?jobs ?heavy_threshold payload with
                       | db -> Ok (h.Ckpt.first_segment, db)
                       | exception e ->
                           Error
@@ -622,10 +628,10 @@ let recover ?fault ?(sync = Journal.Sync_always) ?jobs ?(mode = Strict)
     match load_checkpoint None candidates with
     | `Loaded (generation, first_segment, db) ->
         (true, generation, first_segment, db, false)
-    | `Fresh -> (false, None, 0, Db.create ?jobs (), false)
+    | `Fresh -> (false, None, 0, Db.create ?jobs ?heavy_threshold (), false)
     | `All_failed (generation, reason) ->
         if mode = Strict then raise (Checkpoint_corrupt { generation; reason })
-        else (false, None, 0, Db.create ?jobs (), true)
+        else (false, None, 0, Db.create ?jobs ?heavy_threshold (), true)
   in
   (* ---- journal: sealed segments the checkpoint does not cover, in
      sequence order, then the active segment ---- *)

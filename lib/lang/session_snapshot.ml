@@ -369,13 +369,13 @@ let save session =
            Sexp.List (List.map sexp_of_detector (Session.named_detectors session)) );
        ])
 
-let load ?jobs text =
+let load ?jobs ?heavy_threshold text =
   let doc = Sexp.of_string text in
   (match Sexp.field_opt doc "session-snapshot" with
   | Some v when Sexp.to_int v = 1 -> ()
   | Some v -> error "unsupported session-snapshot version %s" (Sexp.to_string v)
   | None -> error "not a session snapshot");
-  let db = Snapshot.db_of_sexp ?jobs (Sexp.field doc "db") in
+  let db = Snapshot.db_of_sexp ?jobs ?heavy_threshold (Sexp.field doc "db") in
   let session = Session.of_db db in
   let chronicle = Db.chronicle db in
   let relation name = Versioned.relation (Db.relation db name) in
@@ -394,11 +394,11 @@ let save_file session path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (save session))
 
-let load_file ?jobs path =
+let load_file ?jobs ?heavy_threshold path =
   let ic = open_in path in
   let text =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  load ?jobs text
+  load ?jobs ?heavy_threshold text

@@ -16,11 +16,11 @@
 exception Session_snapshot_error of string
 
 val save : Session.t -> string
-val load : ?jobs:int -> string -> Session.t
+val load : ?jobs:int -> ?heavy_threshold:int -> string -> Session.t
 (** Raises {!Session_snapshot_error},
     [Chronicle_core.Snapshot.Snapshot_error] or [Relational.Sexp.Parse_error]
     on malformed input.  [jobs] is the maintenance parallelism degree
     of the restored database (see {!Chronicle_core.Db.create}). *)
 
 val save_file : Session.t -> string -> unit
-val load_file : ?jobs:int -> string -> Session.t
+val load_file : ?jobs:int -> ?heavy_threshold:int -> string -> Session.t

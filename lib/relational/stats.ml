@@ -25,6 +25,10 @@ type counter =
   | Scrub_record
   | Checkpoint_fallback
   | Salvage_quarantined
+  | Heavy_promote
+  | Heavy_demote
+  | Heavy_probe
+  | Light_fold
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
@@ -32,7 +36,8 @@ let all =
     Plan_cache_miss; Index_scan; Build_reuse; Predicate_compile;
     Projector_compile; Journal_append; Journal_bytes; Journal_replay;
     Checkpoint; Rollback; Staged_appends; Group_commit; Group_size_max;
-    Sync_retry; Scrub_record; Checkpoint_fallback; Salvage_quarantined ]
+    Sync_retry; Scrub_record; Checkpoint_fallback; Salvage_quarantined;
+    Heavy_promote; Heavy_demote; Heavy_probe; Light_fold ]
 
 let slot = function
   | Index_probe -> 0
@@ -61,6 +66,10 @@ let slot = function
   | Scrub_record -> 23
   | Checkpoint_fallback -> 24
   | Salvage_quarantined -> 25
+  | Heavy_promote -> 26
+  | Heavy_demote -> 27
+  | Heavy_probe -> 28
+  | Light_fold -> 29
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -89,6 +98,10 @@ let counter_name = function
   | Scrub_record -> "scrub_record"
   | Checkpoint_fallback -> "checkpoint_fallback"
   | Salvage_quarantined -> "salvage_quarantined"
+  | Heavy_promote -> "heavy_promote"
+  | Heavy_demote -> "heavy_demote"
+  | Heavy_probe -> "heavy_probe"
+  | Light_fold -> "light_fold"
 
 (* One atomic cell per counter: the transaction path folds the deltas
    of independent views on several domains at once, and every fold
@@ -96,7 +109,7 @@ let counter_name = function
    that parallelism (no lost updates); on the jobs = 1 path the cost is
    one uncontended atomic RMW, and the observable values are identical
    to the old plain-int implementation. *)
-let counts = Array.init 26 (fun _ -> Atomic.make 0)
+let counts = Array.init 30 (fun _ -> Atomic.make 0)
 
 let incr c = Atomic.incr counts.(slot c)
 let add c n = ignore (Atomic.fetch_and_add counts.(slot c) n)

@@ -28,3 +28,8 @@ let txn rng zipf =
     if withdrawal then ("withdrawal", -.magnitude) else ("deposit", magnitude)
   in
   Tuple.make [ Value.Int acct; Value.Str kind; Value.Float amount ]
+
+(* A whole key stream at once: [n] transactions whose account keys
+   follow the given Zipf law (s = 0 degenerates to uniform) — the
+   skew-bench / differential-test driver. *)
+let txn_stream rng zipf ~n = List.init n (fun _ -> txn rng zipf)

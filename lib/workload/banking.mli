@@ -15,3 +15,8 @@ val txn_schema : Schema.t
 
 val accounts : Rng.t -> n:int -> Tuple.t list
 val txn : Rng.t -> Zipf.t -> Tuple.t
+
+val txn_stream : Rng.t -> Zipf.t -> n:int -> Tuple.t list
+(** [n] transactions whose account keys follow the Zipf law ([s = 0]
+    degenerates to uniform) — the key stream the skew bench (E19) and
+    the heavy-light differential tests append one by one. *)

@@ -32,3 +32,6 @@ let call rng zipf =
   let cost = float_of_int minutes *. 0.11 in
   Tuple.make
     [ Value.Int number; Value.Int callee; Value.Int minutes; Value.Float cost ]
+
+(* Zipf-keyed call stream, mirroring [Banking.txn_stream]. *)
+let call_stream rng zipf ~n = List.init n (fun _ -> call rng zipf)

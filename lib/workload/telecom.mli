@@ -13,4 +13,9 @@ val call_schema : Schema.t
 
 val customers : Rng.t -> n:int -> Tuple.t list
 val call : Rng.t -> Zipf.t -> Tuple.t
+
+val call_stream : Rng.t -> Zipf.t -> n:int -> Tuple.t list
+(** [n] calls whose caller keys follow the Zipf law — see
+    {!Banking.txn_stream}. *)
+
 val plans : string array

@@ -1,0 +1,85 @@
+Skew-aware key-join maintenance.  --heavy-threshold N sets the
+promotion bar of the heavy-light key partition on run and recover:
+keys of the join input whose append-path frequency reaches the bar are
+promoted to a materialized partial-join run; the rest keep the lazy
+fold.  0 is the adaptive default and a very large bar effectively
+disables partitioning.  The partition is pure mechanism — SHOW VIEW
+output is byte-identical with partitioning on and off, at every --jobs
+degree.
+
+  $ cat > skew.cdl <<CDL
+  > CREATE CHRONICLE txn (acct INT, amount FLOAT);
+  > CREATE RELATION accounts (acct INT, branch STRING) KEY (acct);
+  > INSERT INTO accounts VALUES (1, 'downtown'), (2, 'uptown'), (3, 'downtown'), (4, 'airport');
+  > DEFINE VIEW by_branch AS
+  >   SELECT branch, SUM(amount) AS total
+  >   FROM CHRONICLE txn JOIN accounts ON acct = acct
+  >   GROUP BY branch;
+  > APPEND INTO txn VALUES (1, 10.0), (2, 5.0);
+  > APPEND INTO txn VALUES (1, 1.0);
+  > APPEND INTO txn VALUES (1, 2.0);
+  > APPEND INTO txn VALUES (1, 4.0), (3, 7.5);
+  > APPEND INTO txn VALUES (1, 8.0);
+  > SHOW VIEW by_branch;
+  > CDL
+  $ chronicle-cli run --heavy-threshold 2 skew.cdl
+  created txn
+  created accounts
+  inserted 4 row(s) into accounts
+  defined view by_branch: CA_join (IM-log(R))
+  appended 2 row(s) to txn at sn 1
+  appended 1 row(s) to txn at sn 2
+  appended 1 row(s) to txn at sn 3
+  appended 2 row(s) to txn at sn 4
+  appended 1 row(s) to txn at sn 5
+  (branch:string,
+  total:float)
+  (branch="downtown", total=32.5)
+  (branch="uptown", total=5)
+
+Byte-identical with the bar out of reach, and across --jobs degrees:
+
+  $ chronicle-cli run --heavy-threshold 2 skew.cdl > on.out
+  $ chronicle-cli run --heavy-threshold 1000000 skew.cdl > off.out
+  $ cmp on.out off.out && echo identical
+  identical
+  $ chronicle-cli run --jobs 4 --heavy-threshold 2 skew.cdl > on4.out
+  $ cmp on.out on4.out && echo identical
+  identical
+
+SHOW COUNTERS exposes the partition's work counters.  The hot key
+(acct 1, five touches) crosses a bar of 2 — promotion happens and
+later touches are served from the heavy run; with the bar out of reach
+every touch stays a lazy fold and the heavy counters are all zero.
+The same stream is also below the adaptive default bar (16), so the
+default run keeps them zero too.
+
+  $ cat skew.cdl > counters.cdl && echo 'SHOW COUNTERS;' >> counters.cdl
+  $ heavy () { sed -n 's/.*counter="\(heavy_promote\|heavy_demote\|heavy_probe\|light_fold\)", value=\([0-9]*\).*/\1 \2/p' \
+  >   | awk '{ print $1, ($2 > 0) ? "nonzero" : "zero" }'; }
+  $ chronicle-cli run --heavy-threshold 2 counters.cdl | heavy
+  heavy_promote nonzero
+  heavy_demote zero
+  heavy_probe nonzero
+  light_fold nonzero
+  $ chronicle-cli run --heavy-threshold 1000000 counters.cdl | heavy
+  heavy_promote zero
+  heavy_demote zero
+  heavy_probe zero
+  light_fold nonzero
+  $ chronicle-cli run counters.cdl | heavy
+  heavy_promote zero
+  heavy_demote zero
+  heavy_probe zero
+  light_fold nonzero
+
+recover accepts the same flag: replay runs through the identical
+partitioned delta path and reaches the same state.
+
+  $ chronicle-cli run --durable skewdb --heavy-threshold 2 skew.cdl > /dev/null
+  $ chronicle-cli recover --heavy-threshold 2 skewdb
+  recovered skewdb: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view by_branch: 2 row(s)
+  $ chronicle-cli recover --heavy-threshold 1000000 skewdb
+  recovered skewdb: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view by_branch: 2 row(s)

@@ -28,6 +28,7 @@ module Group = Chronicle_core.Group
 
 let vi i = Value.Int i
 let vf f = Value.Float f
+let vs s = Value.Str s
 let tup = Tuple.make
 
 (* ---- the workload vocabulary ---- *)
@@ -42,6 +43,12 @@ type op =
        all-or-nothing across a crash *)
   | Clock of int (* advance by n >= 1 *)
   | Checkpoint
+  | Rel of int * string
+    (* insert a customers row (skew catalog only).  Direct relation
+       writes are not journaled, so the op checkpoints immediately —
+       keeping the crash-equivalence contract intact while still
+       bumping the relation version between appends (which is what
+       demotes every heavy key at the next key-join fold) *)
 
 let show_op = function
   | Append rows ->
@@ -59,6 +66,7 @@ let show_op = function
               parts))
   | Clock n -> Printf.sprintf "Clock+%d" n
   | Checkpoint -> "Checkpoint"
+  | Rel (cust, state) -> Printf.sprintf "Rel[%d:%s]" cust state
 
 let show_ops ops = String.concat " " (List.map show_op ops)
 
@@ -123,13 +131,16 @@ let apply ?durable db op =
   | Clock n -> Db.advance_clock db (Group.now (Db.default_group db) + n)
   | Checkpoint -> (
       match durable with Some d -> Durable.checkpoint d | None -> ())
+  | Rel (cust, state) -> (
+      Versioned.insert (Db.relation db "customers") (tup [ vi cust; vs state ]);
+      match durable with Some d -> Durable.checkpoint d | None -> ())
 
 (* Clean-run states S₀ … Sₙ — always computed sequentially (jobs = 1),
    so a crashed-and-recovered parallel run is checked against the
    sequential states: crash equivalence and parallel transparency in
-   one comparison. *)
-let clean_states ops =
-  let db = mk_db () in
+   one comparison.  [mk] swaps the catalog (jobs ↦ database). *)
+let clean_states ?(mk = fun jobs -> mk_db ~jobs ()) ops =
+  let db = mk 1 in
   (* bind S₀ before mapping: [::] evaluates right-to-left, and the map
      mutates [db] *)
   let s0 = Snapshot.save db in
@@ -143,8 +154,9 @@ let clean_states ops =
 
 (* Run the workload durably with [script] armed after attach; returns
    the number of ops that completed before a crash (n = no crash). *)
-let durable_run ops ~jobs ~storage ~fault ~script =
-  let db = mk_db ~jobs () in
+let durable_run ?(mk = fun jobs -> mk_db ~jobs ()) ops ~jobs ~storage ~fault
+    ~script =
+  let db = mk jobs in
   let d = Durable.attach ~fault ~storage db in
   script fault;
   let applied = ref 0 in
@@ -159,12 +171,14 @@ let durable_run ops ~jobs ~storage ~fault ~script =
 
 (* The property itself.  [jobs] is the maintenance parallelism of the
    crashing run and of recovery; the reference states stay sequential. *)
-let check_crash_equivalence ?(what = "") ?(jobs = 1) ops script =
-  let states = clean_states ops in
+let check_crash_equivalence ?(what = "") ?(jobs = 1) ?mk ?heavy_threshold
+    ?on_crashed ops script =
+  let states = clean_states ?mk ops in
   let storage = Storage.mem () in
   let fault = Fault.create () in
-  let applied, crashed = durable_run ops ~jobs ~storage ~fault ~script in
-  let d, _report = Durable.recover ~jobs ~storage () in
+  let applied, crashed = durable_run ?mk ops ~jobs ~storage ~fault ~script in
+  Option.iter (fun f -> f crashed) on_crashed;
+  let d, _report = Durable.recover ~jobs ?heavy_threshold ~storage () in
   let recovered = Snapshot.save (Durable.db d) in
   let ok =
     if not crashed then recovered = states.(Array.length states - 1)
@@ -178,7 +192,7 @@ let check_crash_equivalence ?(what = "") ?(jobs = 1) ops script =
        workload: %s"
       what crashed applied (List.length ops) (show_ops ops);
   (* recovery must be stable: recovering again changes nothing *)
-  let d2, _ = Durable.recover ~storage () in
+  let d2, _ = Durable.recover ?heavy_threshold ~storage () in
   if Snapshot.save (Durable.db d2) <> recovered then
     Alcotest.failf "recovery is not idempotent (%s): %s" what (show_ops ops)
 
@@ -273,6 +287,86 @@ let test_group_crash_sweep () =
               (fun fault -> Fault.arm fault ~after:k point)
           done)
         [ "post-journal-write"; "post-group-write"; "view-fold" ])
+    [ 1; 2; 4 ]
+
+(* Heavy-light partition crash sweep.  A skewed key-join catalog
+   maintained with a low promotion bar (2): a short hot-key stream
+   promotes on the append path, and each [Rel] op bumps the relation
+   version so the next fold demotes (and immediately re-promotes) every
+   heavy key.  The crash points sit inside the partial-state build
+   ("heavy-promote", fired before the run is installed) and teardown
+   ("heavy-demote", fired before the stale run is dropped); the property
+   is unchanged — recovered state ∈ {Sᵢ₋₁, Sᵢ} — because heavy state is
+   ephemeral and replay rebuilds it deterministically (recovery runs
+   with the same threshold). *)
+let customer_schema =
+  Schema.make [ ("cust", Value.TInt); ("state", Value.TStr) ]
+
+let mk_skew_db ?jobs () =
+  let db = Db.create ?jobs ~heavy_threshold:2 () in
+  ignore (Db.add_chronicle db ~name:"mileage" mileage_schema);
+  ignore (Db.add_chronicle db ~name:"bonus" mileage_schema);
+  let cust =
+    Db.add_relation db ~name:"customers" ~schema:customer_schema
+      ~key:[ "cust" ] ()
+  in
+  List.iter
+    (fun (c, s) -> Versioned.insert cust (tup [ vi c; vs s ]))
+    [ (1, "NJ"); (2, "NY"); (3, "NJ"); (4, "CA"); (5, "NY") ];
+  let joined =
+    Ca.KeyJoinRel
+      ( Ca.Chronicle (Db.chronicle db "mileage"),
+        Versioned.relation cust,
+        [ ("acct", "cust") ] )
+  in
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"by_state" ~body:joined
+          (Sca.Group_agg ([ "state" ], [ Aggregate.sum "miles" "total" ]))));
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"bonus_bal"
+          ~body:(Ca.Chronicle (Db.chronicle db "bonus"))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "b" ]))));
+  db
+
+let skew_workload =
+  [
+    Append [ (1, 10); (2, 40) ];
+    Append [ (1, 11) ] (* acct 1 crosses the bar: promote *);
+    Append [ (1, 12) ] (* served from the heavy cache *);
+    Rel (6, "TX") (* version bump, checkpointed *);
+    Append [ (1, 13) ] (* demote-all, then re-promote *);
+    Multi ([ (1, 14) ], [ (3, 2) ]);
+    Group [ ([ (1, 15) ], []); ([ (1, 16); (2, 5) ], [ (2, 1) ]) ];
+    Rel (7, "OR");
+    Append [ (1, 17); (3, 9) ];
+    Checkpoint;
+    Append [ (1, 18) ];
+  ]
+
+let test_skew_partition_crash_sweep () =
+  let mk jobs = mk_skew_db ~jobs () in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun point ->
+          (* guard against a vacuous sweep: every point must take the
+             process down at least once over the countdown range *)
+          let fired = ref false in
+          for k = 0 to 5 do
+            check_crash_equivalence
+              ~what:
+                (Printf.sprintf "skew: %s after %d hits (jobs=%d)" point k
+                   jobs)
+              ~jobs ~mk ~heavy_threshold:2
+              ~on_crashed:(fun c -> fired := !fired || c)
+              skew_workload
+              (fun fault -> Fault.arm fault ~after:k point)
+          done;
+          if not !fired then
+            Alcotest.failf "crash point %s never fired (jobs=%d)" point jobs)
+        [ Skew.p_promote; Skew.p_demote; "view-fold"; "post-journal-write" ])
     [ 1; 2; 4 ]
 
 let test_exhaustive_torn_sweep () =
@@ -631,6 +725,8 @@ let () =
             test_exhaustive_crash_sweep;
           Alcotest.test_case "group-commit crash sweep" `Quick
             test_group_crash_sweep;
+          Alcotest.test_case "heavy-light partition crash sweep" `Quick
+            test_skew_partition_crash_sweep;
           Alcotest.test_case "exhaustive torn-write sweep" `Quick
             test_exhaustive_torn_sweep;
           Alcotest.test_case "replay-dispatch crash sweep" `Quick

@@ -1,0 +1,269 @@
+(* Heavy-light partitioned key-join maintenance (Skew + Delta.compile
+   ~heavy_threshold): directed counter semantics, promote/demote churn,
+   and the differential property — partitioned maintenance is
+   byte-identical (contents, order, watermarks) to the sequential lazy
+   fold at every parallelism degree, under uniform and Zipf(1.1) key
+   streams. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_workload
+open Util
+
+(* ---- Skew module, directly ---- *)
+
+let mk_customers () =
+  let rel =
+    Relation.create ~name:"customers" ~schema:Fixtures.customer_schema
+      ~key:[ "cust" ] ()
+  in
+  Relation.insert_all rel
+    [
+      tup [ vi 1; vs "NJ" ];
+      tup [ vi 2; vs "NY" ];
+      tup [ vi 3; vs "NJ" ];
+    ];
+  rel
+
+let lazy_matches rel key = Relation.lookup rel ~attrs:[ "cust" ] key
+
+let test_promote_then_probe () =
+  let rel = mk_customers () in
+  let part = Skew.create ~threshold:3 () in
+  let probe key =
+    Skew.matches part rel ~attrs:[ "cust" ] ~project:Fun.id key
+  in
+  let check_same msg key =
+    check_bool msg true
+      (List.equal Tuple.equal (probe key) (lazy_matches rel key))
+  in
+  let before = Stats.snapshot () in
+  check_same "touch 1 (light)" [ vi 1 ];
+  check_same "touch 2 (light)" [ vi 1 ];
+  check_bool "not yet heavy" false (Skew.is_heavy part [ vi 1 ]);
+  check_same "touch 3 (promotes)" [ vi 1 ];
+  check_bool "now heavy" true (Skew.is_heavy part [ vi 1 ]);
+  check_int "one heavy key" 1 (Skew.heavy_count part);
+  check_same "touch 4 (served from cache)" [ vi 1 ];
+  check_same "touch 5 (served from cache)" [ vi 1 ];
+  let after = Stats.snapshot () in
+  check_int "light folds" 2 (Stats.diff_get before after Stats.Light_fold);
+  check_int "one promotion" 1 (Stats.diff_get before after Stats.Heavy_promote);
+  check_int "heavy probes" 2 (Stats.diff_get before after Stats.Heavy_probe);
+  check_int "no demotion" 0 (Stats.diff_get before after Stats.Heavy_demote)
+
+let test_demote_on_relation_change () =
+  let rel = mk_customers () in
+  let part = Skew.create ~threshold:2 () in
+  let probe key =
+    Skew.matches part rel ~attrs:[ "cust" ] ~project:Fun.id key
+  in
+  ignore (probe [ vi 1 ]);
+  ignore (probe [ vi 1 ]);
+  check_bool "heavy after threshold" true (Skew.is_heavy part [ vi 1 ]);
+  (* mutate the opposite side: the cached run is now stale *)
+  ignore (Relation.insert rel (tup [ vi 9; vs "CA" ]));
+  let before = Stats.snapshot () in
+  let got = probe [ vi 1 ] in
+  let after = Stats.snapshot () in
+  check_bool "serves the fresh relation" true
+    (List.equal Tuple.equal got (lazy_matches rel [ vi 1 ]));
+  check_int "demoted on version change" 1
+    (Stats.diff_get before after Stats.Heavy_demote);
+  (* its count is still over the bar, so the same probe re-promoted it *)
+  check_int "re-promoted" 1 (Stats.diff_get before after Stats.Heavy_promote);
+  check_bool "heavy again" true (Skew.is_heavy part [ vi 1 ])
+
+let test_below_threshold_stays_light () =
+  let rel = mk_customers () in
+  let part = Skew.create ~threshold:1_000_000 () in
+  let before = Stats.snapshot () in
+  for _ = 1 to 20 do
+    ignore (Skew.matches part rel ~attrs:[ "cust" ] ~project:Fun.id [ vi 2 ])
+  done;
+  let after = Stats.snapshot () in
+  check_int "never promotes" 0 (Stats.diff_get before after Stats.Heavy_promote);
+  check_int "all light" 20 (Stats.diff_get before after Stats.Light_fold);
+  check_int "no heavy keys" 0 (Skew.heavy_count part)
+
+let test_adaptive_rebalance () =
+  (* adaptive policy: drive more keys over the base bar than the heavy
+     budget admits; the threshold must rise and the heavy set shrink
+     back under the budget *)
+  let schema = Schema.make [ ("k", Value.TInt); ("v", Value.TInt) ] in
+  let rel = Relation.create ~name:"wide" ~schema ~key:[ "k" ] () in
+  for k = 1 to 80 do
+    ignore (Relation.insert rel (tup [ vi k; vi (k * 10) ]))
+  done;
+  let part = Skew.create () in
+  let base = Skew.threshold part in
+  (* round-robin so all 80 counts rise together: once they cross the
+     bar, promotions outnumber the heavy budget and the threshold must
+     double (the count decay sweep only delays the crossing) *)
+  let rounds = ref 0 in
+  while Skew.threshold part = base && !rounds < 60 do
+    incr rounds;
+    for k = 1 to 80 do
+      ignore (Skew.matches part rel ~attrs:[ "k" ] ~project:Fun.id [ vi k ])
+    done
+  done;
+  check_bool "threshold rose" true (Skew.threshold part > base);
+  check_bool "heavy set within budget" true (Skew.heavy_count part <= 64)
+
+(* ---- database-level fixtures: a banking key-join view ---- *)
+
+let mk_bank_db ?(jobs = 1) ?heavy_threshold ~accounts () =
+  let db = Db.create ~jobs ?heavy_threshold () in
+  let _c = Db.add_chronicle db ~name:"txn" Banking.txn_schema in
+  let acc =
+    Db.add_relation db ~name:"accounts" ~schema:Banking.account_schema
+      ~key:[ "acct" ] ()
+  in
+  let rng = Rng.create 7 in
+  List.iter (Versioned.insert acc) (Banking.accounts rng ~n:accounts);
+  let body =
+    Ca.KeyJoinRel
+      (Ca.Chronicle (Db.chronicle db "txn"), Versioned.relation acc,
+       [ ("acct", "acct") ])
+  in
+  let by_branch =
+    Sca.define ~name:"by_branch" ~body
+      (Sca.Group_agg ([ "branch" ], [ Aggregate.sum "amount" "total" ]))
+  in
+  let detail =
+    Sca.define ~name:"detail" ~body
+      (Sca.Project_out [ "acct"; "kind"; "amount"; "branch" ])
+  in
+  ignore (Db.define_view db by_branch);
+  ignore (Db.define_view db detail);
+  db
+
+let feed db stream ~churn_every =
+  List.iteri
+    (fun i tu ->
+      ignore (Db.append db "txn" [ tu ]);
+      (* deterministic churn: grow the opposite side mid-stream, which
+         invalidates (demotes) every materialized run *)
+      if churn_every > 0 && (i + 1) mod churn_every = 0 then
+        Versioned.insert
+          (Db.relation db "accounts")
+          (tup
+             [
+               vi (100_000 + i);
+               vs (Printf.sprintf "late-%d" i);
+               vs "annex";
+             ]))
+    stream
+
+let check_equivalent msg a b =
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "%s: view %s byte-identical" msg v)
+        true
+        (List.equal Tuple.equal (Db.view_contents a v) (Db.view_contents b v)))
+    [ "by_branch"; "detail" ];
+  check_bool
+    (Printf.sprintf "%s: watermarks equal" msg)
+    true
+    (Group.watermark (Db.default_group a)
+    = Group.watermark (Db.default_group b))
+
+let test_db_counters_fire_under_skew () =
+  let db = mk_bank_db ~heavy_threshold:2 ~accounts:8 () in
+  let hot = tup [ vi 1; vs "deposit"; vf 10. ] in
+  let before = Stats.snapshot () in
+  for _ = 1 to 6 do
+    ignore (Db.append db "txn" [ hot ])
+  done;
+  let after = Stats.snapshot () in
+  check_bool "promoted" true (Stats.diff_get before after Stats.Heavy_promote >= 1);
+  check_bool "cache-served probes" true
+    (Stats.diff_get before after Stats.Heavy_probe >= 3);
+  (* partitioning off: same stream, huge bar, heavy counters stay 0 *)
+  let off = mk_bank_db ~heavy_threshold:max_int ~accounts:8 () in
+  let before = Stats.snapshot () in
+  for _ = 1 to 6 do
+    ignore (Db.append off "txn" [ hot ])
+  done;
+  let after = Stats.snapshot () in
+  check_int "no promotes when off" 0
+    (Stats.diff_get before after Stats.Heavy_promote);
+  check_int "no heavy probes when off" 0
+    (Stats.diff_get before after Stats.Heavy_probe);
+  check_bool "light folds when off" true
+    (Stats.diff_get before after Stats.Light_fold >= 6);
+  check_equivalent "on vs off" db off
+
+let test_churn_promote_demote_promote () =
+  let db = mk_bank_db ~heavy_threshold:2 ~accounts:8 () in
+  let oracle = mk_bank_db ~heavy_threshold:max_int ~accounts:8 () in
+  let hot = tup [ vi 3; vs "deposit"; vf 5. ] in
+  let stream = List.init 24 (fun _ -> hot) in
+  let before = Stats.snapshot () in
+  feed db stream ~churn_every:8;
+  let after = Stats.snapshot () in
+  feed oracle stream ~churn_every:8;
+  check_bool "multiple promotions across churn" true
+    (Stats.diff_get before after Stats.Heavy_promote >= 2);
+  check_bool "demotions across churn" true
+    (Stats.diff_get before after Stats.Heavy_demote >= 1);
+  check_equivalent "churned" db oracle
+
+let test_identity_at_jobs_8 () =
+  let rng = Rng.create 11 in
+  let zipf = Zipf.create ~n:64 ~s:1.1 in
+  let stream = Banking.txn_stream rng zipf ~n:200 in
+  let par = mk_bank_db ~jobs:8 ~heavy_threshold:2 ~accounts:64 () in
+  let seq = mk_bank_db ~jobs:1 ~heavy_threshold:max_int ~accounts:64 () in
+  feed par stream ~churn_every:50;
+  feed seq stream ~churn_every:50;
+  check_equivalent "jobs=8 partitioned vs sequential oracle" par seq
+
+(* ---- the differential property ---- *)
+
+let qcheck_partitioned_equals_oracle =
+  let gen =
+    QCheck.make
+      ~print:(fun (seed, zipfy, jobs, threshold, churn) ->
+        Printf.sprintf "seed=%d %s jobs=%d threshold=%d churn=%d" seed
+          (if zipfy then "zipf(1.1)" else "uniform")
+          jobs threshold churn)
+      QCheck.Gen.(
+        tup5 (int_bound 1_000_000) bool (oneofl [ 1; 2; 4 ])
+          (oneofl [ 1; 2; 3; 16 ])
+          (oneofl [ 0; 7; 13 ]))
+  in
+  qtest ~count:40
+    "partitioned key-join maintenance = sequential fold oracle \
+     (uniform + Zipf(1.1), jobs in {1,2,4}, churn)"
+    gen
+    (fun (seed, zipfy, jobs, threshold, churn) ->
+      let mk () = Rng.create seed in
+      let zipf = Zipf.create ~n:16 ~s:(if zipfy then 1.1 else 0.) in
+      let stream = Banking.txn_stream (mk ()) zipf ~n:80 in
+      let part = mk_bank_db ~jobs ~heavy_threshold:threshold ~accounts:16 () in
+      let oracle = mk_bank_db ~jobs:1 ~heavy_threshold:max_int ~accounts:16 () in
+      feed part stream ~churn_every:churn;
+      feed oracle stream ~churn_every:churn;
+      List.for_all
+        (fun v ->
+          List.equal Tuple.equal (Db.view_contents part v)
+            (Db.view_contents oracle v))
+        [ "by_branch"; "detail" ]
+      && Group.watermark (Db.default_group part)
+         = Group.watermark (Db.default_group oracle))
+
+let suite =
+  [
+    test "light until threshold, then cached probes" test_promote_then_probe;
+    test "relation change demotes and re-promotes" test_demote_on_relation_change;
+    test "below-threshold stream never promotes" test_below_threshold_stays_light;
+    test "adaptive threshold rebalances the heavy set" test_adaptive_rebalance;
+    test "db counters fire under skew, stay zero when off"
+      test_db_counters_fire_under_skew;
+    test "promote -> demote -> promote churn stays identical"
+      test_churn_promote_demote_promote;
+    test "jobs=8 partitioned = sequential oracle" test_identity_at_jobs_8;
+    qcheck_partitioned_equals_oracle;
+  ]
