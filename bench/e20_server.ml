@@ -1,0 +1,180 @@
+(* E20 — operational: the wire protocol.
+
+   A forked chronicle server (one process, one shared Db, Unix.select
+   event loop) serves N pipelined client connections appending to one
+   chronicle with a maintained group-aggregate view.  Two request
+   shapes for the same append:
+
+     - STMT:   the ℒ source text "APPEND INTO mileage VALUES (..);" —
+               the server lexes, parses and analyzes every request;
+     - APPEND: the binary fast path — chronicle name + pre-parsed typed
+               values, straight into the session's staging queue.
+
+   The difference isolates the per-append lexer/parser/analyzer cost,
+   which the fast path deletes.  Everything is one core: the server
+   process and all client connections share it (the harness box has a
+   single hardware thread, as in E13–E19), so appends/sec here is a
+   protocol-overhead comparison, not a scaling curve — client counts
+   beyond 1 mostly measure that multiplexing N connections through one
+   select loop does not collapse.  Query latency is the round-trip of
+   a SHOW VIEW over 256 groups.  Machine-readable evidence lands in
+   BENCH_E20.json. *)
+
+open Relational
+open Chronicle_core
+open Chronicle_net
+
+let schema = Schema.make [ ("acct", Value.TInt); ("miles", Value.TInt) ]
+
+let mk_db () =
+  let db = Db.create () in
+  ignore (Db.add_chronicle db ~name:"mileage" schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:(Ca.Chronicle (Db.chronicle db "mileage"))
+          (Sca.Group_agg
+             ( [ "acct" ],
+               [ Aggregate.sum "miles" "total"; Aggregate.count_star "n" ] ))));
+  db
+
+let one_row i = [ Value.Int (i mod 256); Value.Int ((i * 7 mod 100) + 1) ]
+
+let sock_path () =
+  let f = Filename.temp_file "chronicle_e20" ".sock" in
+  Sys.remove f;
+  f
+
+let start_server path =
+  match Unix.fork () with
+  | 0 ->
+      let server = Server.create (mk_db ()) in
+      let lfd = Server.listen_unix path in
+      Server.serve server lfd;
+      Stdlib.exit 0
+  | pid -> pid
+
+let stop_server path pid =
+  let c = Client.connect_unix path in
+  Client.send c Protocol.Shutdown;
+  (match Client.recv c with _ -> () | exception End_of_file -> ());
+  Client.close c;
+  ignore (Unix.waitpid [] pid);
+  try Sys.remove path with Sys_error _ -> ()
+
+(* [times] appends spread round-robin over [clients] pipelined
+   connections: write every request, then collect every ack.  The
+   server reads unconditionally (responses buffer in its event loop),
+   so the all-writes-then-all-reads shape cannot deadlock.  Wall
+   micro-seconds per committed append, acks verified. *)
+let append_sweep ~mode ~clients ~times path =
+  let conns = Array.init clients (fun _ -> Client.connect_unix path) in
+  let t0 = Measure.now () in
+  for i = 0 to times - 1 do
+    let c = conns.(i mod clients) in
+    match mode with
+    | `Stmt ->
+        Client.send c
+          (Protocol.Stmt
+             (Printf.sprintf "APPEND INTO mileage VALUES (%d, %d);"
+                (i mod 256)
+                ((i * 7 mod 100) + 1)))
+    | `Append ->
+        Client.send c
+          (Protocol.Append { chronicle = "mileage"; rows = [ one_row i ] })
+  done;
+  Array.iteri
+    (fun k c ->
+      let expect =
+        (times / clients) + if k < times mod clients then 1 else 0
+      in
+      for _ = 1 to expect do
+        match Client.recv c with
+        | Protocol.Ack _ | Protocol.Result _ -> ()
+        | Protocol.Err { message; _ } -> failwith ("E20: " ^ message)
+        | _ -> failwith "E20: unexpected response to an append"
+      done)
+    conns;
+  let elapsed = Measure.now () -. t0 in
+  Array.iter Client.close conns;
+  elapsed /. float_of_int times *. 1e6
+
+(* Round-trip latency of a query: send SHOW VIEW, wait for its rendered
+   rows, one at a time on one connection. *)
+let query_latency ~times path =
+  let c = Client.connect_unix path in
+  let t0 = Measure.now () in
+  for _ = 1 to times do
+    Client.send c (Protocol.Stmt "SHOW VIEW balance;");
+    match Client.recv c with
+    | Protocol.Result _ -> ()
+    | _ -> failwith "E20: unexpected response to a query"
+  done;
+  let elapsed = Measure.now () -. t0 in
+  Client.close c;
+  elapsed /. float_of_int times *. 1e6
+
+let clients_sweep = [ 1; 4; 16 ]
+let times = 2048
+
+let run () =
+  Measure.section
+    "E20: wire protocol — appends/sec and query latency over the server"
+    "A forked server, N pipelined client connections, one shared Db \
+     with a maintained group-aggregate view.  STMT sends ℒ text (the \
+     server parses every append); APPEND sends pre-parsed typed values \
+     (the fast path skips the lexer/parser).  One core for everything, \
+     so this isolates protocol overhead, not parallel scaling.";
+  let path = sock_path () in
+  let pid = start_server path in
+  let json = ref [] and rows = ref [] in
+  let stmt_baseline = Hashtbl.create 4 in
+  List.iter
+    (fun (mode, label) ->
+      List.iter
+        (fun clients ->
+          let micros = append_sweep ~mode ~clients ~times path in
+          let per_sec = 1e6 /. micros in
+          (match mode with
+          | `Stmt -> Hashtbl.replace stmt_baseline clients micros
+          | `Append -> ());
+          let vs_stmt = Hashtbl.find stmt_baseline clients /. micros in
+          rows :=
+            [
+              label;
+              Measure.i clients;
+              Measure.f2 micros;
+              Measure.f1 per_sec;
+              Measure.f2 vs_stmt ^ "x";
+            ]
+            :: !rows;
+          json :=
+            Measure.J_obj
+              [
+                ("op", Measure.J_str ("server-append/" ^ label));
+                ("clients", Measure.J_int clients);
+                ("n", Measure.J_int times);
+                ("micros_per_append", Measure.J_float micros);
+                ("appends_per_sec", Measure.J_float per_sec);
+                ("speedup_vs_stmt", Measure.J_float vs_stmt);
+              ]
+            :: !json)
+        clients_sweep)
+    [ (`Stmt, "stmt"); (`Append, "append") ];
+  let qmicros = query_latency ~times:256 path in
+  stop_server path pid;
+  Measure.print_table
+    ~title:"E20  appends/sec over the wire (pipelined, 1 core)"
+    ~header:[ "opcode"; "clients"; "us/append"; "appends/s"; "vs stmt" ]
+    (List.rev !rows);
+  Measure.note "SHOW VIEW balance (256 groups) round-trip: %.1f us" qmicros;
+  json :=
+    Measure.J_obj
+      [
+        ("op", Measure.J_str "server-query/stmt");
+        ("clients", Measure.J_int 1);
+        ("n", Measure.J_int 256);
+        ("micros_per_roundtrip", Measure.J_float qmicros);
+      ]
+    :: !json;
+  Measure.write_json ~file:"BENCH_E20.json" (List.rev !json)

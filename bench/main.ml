@@ -27,6 +27,7 @@ let experiments =
     ("E17", E17_group_commit.run);
     ("E18", E18_scrub_salvage.run);
     ("E19", E19_skew_join.run);
+    ("E20", E20_server.run);
     ("micro", Micro.run);
   ]
 

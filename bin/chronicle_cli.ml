@@ -276,6 +276,136 @@ let demo () =
       0
   | exception e -> report_error e
 
+(* ---- the server and its client ---- *)
+
+module Server = Chronicle_net.Server
+module Client = Chronicle_net.Client
+module Protocol = Chronicle_net.Protocol
+
+let serve_sock socket durable_dir sync jobs batch salvage keep_checkpoints
+    segment_bytes heavy_threshold =
+  let mode = if salvage then Durable.Salvage else Durable.Strict in
+  let db, durable =
+    match durable_dir with
+    | None -> (Chronicle_core.Db.create ~jobs ~heavy_threshold (), None)
+    | Some dir -> (
+        let storage = Storage.disk ~dir in
+        if Durable.has_state storage then
+          match
+            Durable.recover ~sync ~jobs ~heavy_threshold ~mode ~keep_checkpoints
+              ?segment_bytes ~storage ()
+          with
+          | d, report ->
+              Format.printf "recovered %s: %a@." dir pp_recovery report;
+              (Durable.db d, Some d)
+          | exception e -> exit (report_recovery_error e)
+        else
+          let db = Chronicle_core.Db.create ~jobs ~heavy_threshold () in
+          ( db,
+            Some
+              (Durable.attach ~sync ~keep_checkpoints ?segment_bytes ~storage db)
+          ))
+  in
+  match Server.create ~batch db with
+  | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | server ->
+      let lfd = Server.listen_unix socket in
+      Server.serve server lfd ~on_ready:(fun () ->
+          Format.printf "listening on %s@." socket);
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      (match durable with
+      | Some d -> (
+          match Durable.health d with
+          | Durable.Degraded reason ->
+              Format.printf "degraded (%s): checkpoint skipped@." reason
+          | Durable.Healthy -> (
+              match Durable.checkpoint d with
+              | () -> Format.printf "checkpointed %s@." (Option.get durable_dir)
+              | exception Chronicle_core.Snapshot.Snapshot_error msg ->
+                  Format.eprintf "checkpoint error: %s@." msg;
+                  exit 1))
+      | None -> ());
+      Format.printf "server stopped@.";
+      0
+
+let client_run socket fast_append shutdown script_path =
+  if script_path = None && not shutdown then begin
+    Format.eprintf "client: nothing to do — pass a SCRIPT, --shutdown, or both@.";
+    1
+  end
+  else
+    match Client.connect_unix socket with
+    | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to %s: %s@." socket
+          (Unix.error_message e);
+        1
+    | c ->
+        let code = ref 0 in
+        (match script_path with
+        | None -> ()
+        | Some path -> (
+            let ic = open_in path in
+            let src = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            (* validate locally first, so a bad script reports exactly as
+               a local [run] would — and never reaches the server *)
+            match Parser.parse src with
+            | exception e -> code := report_error e
+            | stmts ->
+                (if fast_append then
+                   (* pair each statement's AST with its source chunk;
+                      appends ride the binary fast path, everything else
+                      goes as its own source text *)
+                   let chunks = Client.split_statements src in
+                   if List.length chunks = List.length stmts then
+                     List.iter2
+                       (fun stmt chunk ->
+                         match stmt with
+                         | Ast.Append_into { chronicle; rows } ->
+                             Client.send c (Protocol.Append { chronicle; rows })
+                         | _ -> Client.send c (Protocol.Stmt chunk))
+                       stmts chunks
+                   else Client.send c (Protocol.Stmt src)
+                 else Client.send c (Protocol.Stmt src));
+                Client.send c Protocol.Flush;
+                let rec loop () =
+                  match Client.recv c with
+                  | Protocol.Flushed -> ()
+                  | Protocol.Result text ->
+                      Format.printf "%s@." text;
+                      loop ()
+                  | Protocol.Ack { chronicle; sn; count } ->
+                      Format.printf "appended %d row(s) to %s at sn %a@." count
+                        chronicle Chronicle_core.Seqnum.pp sn;
+                      loop ()
+                  | Protocol.Err { kind = _; message } ->
+                      Format.eprintf "%s@." message;
+                      code := 1;
+                      loop ()
+                  | Protocol.Pong | Protocol.Bye -> loop ()
+                in
+                (match loop () with
+                | () -> ()
+                | exception End_of_file ->
+                    Format.eprintf "connection closed by server@.";
+                    code := 1
+                | exception Chronicle_net.Wire.Decode_error msg ->
+                    Format.eprintf "protocol error: %s@." msg;
+                    code := 1)));
+        (if shutdown then
+           match
+             Client.send c Protocol.Shutdown;
+             Client.recv c
+           with
+           | Protocol.Bye -> Format.printf "server shutting down@."
+           | _ -> ()
+           | exception End_of_file -> ()
+           | exception Chronicle_net.Wire.Decode_error _ -> ());
+        Client.close c;
+        !code
+
 open Cmdliner
 
 let sync_conv =
@@ -446,6 +576,73 @@ let scrub_cmd =
           journal record; exit 0 if clean, 1 if damage was found.")
     Term.(const scrub_dir $ dir)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the server.")
+
+let serve_cmd =
+  let durable_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durable" ] ~docv:"DIR"
+          ~doc:
+            "Serve with write-ahead journaling into $(docv): existing state \
+             is recovered first, every commit is journaled, and a checkpoint \
+             is taken on clean shutdown.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Initial group-commit staging threshold of every new \
+             connection's session (each client changes its own with $(b,SET \
+             BATCH)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve one shared database to wire-protocol clients over a \
+          Unix-domain socket until a client sends SHUTDOWN.")
+    Term.(
+      const serve_sock $ socket_arg $ durable_dir $ sync_arg $ jobs_arg
+      $ batch_arg $ salvage_arg $ keep_arg $ segment_arg
+      $ heavy_threshold_arg)
+
+let client_cmd =
+  let script =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT" ~doc:"Script file to run against the server.")
+  in
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast-append" ]
+          ~doc:
+            "Parse the script locally and send each $(b,APPEND INTO) as a \
+             pre-parsed binary APPEND frame — the server skips its \
+             lexer/parser on the append path.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the server to shut down (after the script, if any).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Run a script against a chronicle server; output is byte-identical \
+          to a local $(b,run) of the same script.")
+    Term.(const client_run $ socket_arg $ fast $ shutdown $ script)
+
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive statement loop.") Term.(const repl $ const ())
 
@@ -461,4 +658,6 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; recover_cmd; scrub_cmd; repl_cmd; demo_cmd ]))
+       (Cmd.group info
+          [ run_cmd; recover_cmd; scrub_cmd; serve_cmd; client_cmd; repl_cmd;
+            demo_cmd ]))

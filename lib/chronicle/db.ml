@@ -18,6 +18,7 @@ type txn_event =
       group : string;
       entries : (Seqnum.t * (string * Tuple.t list) list) list;
     }
+  | Ev_insert of { relation : string; rows : Tuple.t list; at : int }
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
   | Ev_add_chronicle of {
@@ -383,6 +384,39 @@ let append_multi t ?group:gname batch =
 let append_at t ?group:gname ~sn batch =
   let g = group t (Option.value ~default:t.default_group gname) in
   ignore (transactional_append t g (resolve_batch t batch) ~claim:(Some sn))
+
+(* Relation-row inserts follow the same write-ahead discipline as
+   appends: validate every row, emit [Ev_insert] carrying the relation's
+   pre-insert cardinality (the replay-idempotence marker: a checkpoint
+   taken after the insert already holds the rows, and its cardinality
+   exceeds [at], so recovery skips the record), then mutate under an
+   undo mark.  A failure mid-batch (e.g. a key violation on a later row)
+   rolls the relation back and emits [Ev_abort] so the journal erases
+   the write-ahead record — rows land all-or-nothing. *)
+let insert_rows t rname rows =
+  check_writable t "insert_rows";
+  let r = relation t rname in
+  let rel = Versioned.relation r in
+  let schema = Relation.schema rel in
+  List.iter
+    (fun row ->
+      if not (Tuple.type_check schema row) then
+        invalid_arg
+          (Printf.sprintf "Db.insert_rows: row does not match the schema of %s"
+             rname))
+    rows;
+  if rows <> [] then begin
+    emit t (Ev_insert { relation = rname; rows; at = Relation.cardinality rel });
+    let m = Versioned.mark r in
+    match List.iter (fun row -> Versioned.insert r row) rows with
+    | () -> Versioned.commit r
+    | exception e ->
+        Versioned.rollback r m;
+        Stats.incr Stats.Rollback;
+        let g = Versioned.group r in
+        emit t (Ev_abort { group = Group.name g; sn = Group.watermark g });
+        raise e
+  end
 
 (* ---- the replay path ----
 

@@ -155,6 +155,21 @@ val append_group : t -> ?group:string -> (string * Tuple.t list) list list -> Se
 val has_batch_hooks : t -> bool
 (** Whether any {!on_batch} hook is registered (see {!append_group}). *)
 
+val insert_rows : t -> string -> Tuple.t list -> unit
+(** Insert a batch of rows into the named relation, effective
+    immediately, under the write-ahead discipline: every row is
+    type-checked against the relation schema first (raising
+    [Invalid_argument] before anything is journaled), then [Ev_insert]
+    is emitted, then the rows land under an undo mark — a failure
+    mid-batch (e.g. [Relation.Key_violation] on a keyed relation) rolls
+    every row of the batch back, emits [Ev_abort] (so the journal
+    erases the write-ahead record) and re-raises.  This is the {e only}
+    relation-row write path that survives crash recovery; mutating a
+    relation through {!Versioned.insert} directly bypasses the journal
+    (the pre-PR 9 [INSERT INTO] durability hole).  Raises {!Unknown} if
+    the relation is not in the catalog, {!Read_only} in degraded
+    mode. *)
+
 val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
 
 (** {2 Replay}
@@ -232,6 +247,13 @@ type txn_event =
               emitted write-ahead like [Ev_append], erased by the
               [Ev_abort] that follows a group rollback *)
     }
+  | Ev_insert of { relation : string; rows : Tuple.t list; at : int }
+      (** one {!insert_rows} batch: emitted write-ahead like [Ev_append];
+          [at] is the relation's live cardinality {e before} the insert —
+          replay applies the record only while the current cardinality is
+          at or below [at] (a checkpoint taken after the insert already
+          holds the rows), the insert-path idempotence discipline.
+          Erased by the [Ev_abort] that follows a rolled-back batch. *)
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
   | Ev_add_chronicle of {

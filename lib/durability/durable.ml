@@ -12,6 +12,7 @@ let quarantine_name name = name ^ ".quarantine"
 (* crash-point names (see Fault) *)
 let p_post_journal_write = "post-journal-write"
 let p_post_group_write = "post-group-write"
+let p_post_insert_write = "post-insert-write"
 let p_pre_checkpoint_rename = "pre-checkpoint-rename"
 let p_post_checkpoint_rename = "post-checkpoint-rename"
 let p_view_fold = "view-fold"
@@ -53,6 +54,13 @@ let sexp_of_event (ev : Db.txn_event) =
                    Sexp.record
                      [ ("sn", Sexp.int sn); ("batch", sexp_of_batch batch) ])
                  entries) );
+        ]
+  | Db.Ev_insert { relation; rows; at } ->
+      tagged "insert"
+        [
+          ("relation", Sexp.atom relation);
+          ("at", Sexp.int at);
+          ("rows", Sexp.List (List.map Snapshot.sexp_of_tuple rows));
         ]
   | Db.Ev_clock { group; chronon } ->
       tagged "clock" [ ("group", Sexp.atom group); ("chronon", Sexp.int chronon) ]
@@ -129,6 +137,9 @@ type parsed =
          journal's final record, flattened into the replay window
          otherwise (a non-final group is fully committed by
          construction — its record survived the next write) *)
+  | P_insert of { relation : string; rows : Tuple.t list; at : int }
+      (* one Db.insert_rows batch; [at] is the relation's pre-insert
+         cardinality, the idempotence marker (see Db.Ev_insert) *)
   | P_clock of { group : string; chronon : Seqnum.chronon }
   | P_add_group of { name : string; clock_start : Seqnum.chronon option }
   | P_add_chronicle of {
@@ -187,6 +198,15 @@ let parse_record ~record sexp =
             in
             if entries = [] then fail "empty group record";
             P_group entries
+        | "insert" ->
+            P_insert
+              {
+                relation = Sexp.to_atom (Sexp.field fields "relation");
+                at = Sexp.to_int (Sexp.field fields "at");
+                rows =
+                  List.map Snapshot.tuple_of_sexp
+                    (Sexp.to_list (Sexp.field fields "rows"));
+              }
         | "clock" ->
             P_clock
               {
@@ -249,6 +269,18 @@ let apply_parsed db = function
          the path the journal's *final* record takes, so a process that
          died mid-group recovers to pre-group or post-group state *)
       Array.exists Fun.id (Db.replay_group db entries)
+  | P_insert { relation; rows; at } ->
+      (* skip iff the rows are already present: the language surface is
+         insert-only for relations, so live cardinality is monotone and
+         a cardinality above the record's pre-insert count means a later
+         checkpoint (or the rename half of a checkpoint the crash
+         interrupted) already holds these rows *)
+      let rel = Versioned.relation (Db.relation db relation) in
+      if Relation.cardinality rel > at then false
+      else begin
+        Db.insert_rows db relation rows;
+        true
+      end
   | P_clock { group; chronon } ->
       if chronon <= Group.now (Db.group db group) then false
       else begin
@@ -400,6 +432,13 @@ let sink t ev =
                half-committed-group window specifically *)
             Fault.hit t.fault p_post_journal_write;
             Fault.hit t.fault p_post_group_write
+        | Db.Ev_insert _ ->
+            (* relation-row inserts are write-ahead records too: the
+               generic point fires, and a dedicated point lets fault
+               sweeps target the journaled-but-not-applied window of an
+               insert specifically *)
+            Fault.hit t.fault p_post_journal_write;
+            Fault.hit t.fault p_post_insert_write
         | _ -> ())
 
 (* Retire old checkpoint generations and the journal segments no

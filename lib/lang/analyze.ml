@@ -277,7 +277,10 @@ let exec session stmt =
       in
       let schema = Relation.schema (Versioned.relation r) in
       let tuples = rows_to_tuples relation schema rows in
-      List.iter (Versioned.insert r) tuples;
+      (* through Db so the rows are journaled (Ev_insert) and survive
+         crash recovery — never Versioned.insert directly *)
+      (try Db.insert_rows db relation tuples
+       with Invalid_argument msg -> sem_error "%s" msg);
       Inserted { relation; count = List.length tuples }
   | Ast.Load_csv { target; path } -> (
       (* each CSV record of a chronicle load is one transaction (its own
@@ -325,7 +328,8 @@ let exec session stmt =
                       message
                 | Sys_error msg -> sem_error "%s" msg
               in
-              List.iter (Versioned.insert r) tuples;
+              (try Db.insert_rows db target tuples
+               with Invalid_argument msg -> sem_error "%s" msg);
               Inserted { relation = target; count = List.length tuples }
           | exception Db.Unknown _ ->
               sem_error "%s is neither a chronicle nor a relation" target))

@@ -1,0 +1,118 @@
+type t = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t; (* received, not yet framed *)
+  mutable closed : bool;
+}
+
+let connect_unix ?(retries = 50) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        go (attempt + 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  { fd = go 0; rbuf = Buffer.create 4096; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write_substring fd s !sent (len - !sent)
+  done
+
+let send t req = write_all t.fd (Protocol.encode_request req)
+
+let recv t =
+  let chunk = Bytes.create 65536 in
+  let rec frame () =
+    match Wire.split (Buffer.contents t.rbuf) ~pos:0 with
+    | `Frame (payload, next) ->
+        let data = Buffer.contents t.rbuf in
+        Buffer.clear t.rbuf;
+        Buffer.add_substring t.rbuf data next (String.length data - next);
+        Protocol.decode_response payload
+    | `Need_more -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise End_of_file
+        | n ->
+            Buffer.add_subbytes t.rbuf chunk 0 n;
+            frame ())
+  in
+  frame ()
+
+(* ---- statement splitting ----
+
+   The lexer's tokens carry line numbers but no byte offsets, so the
+   statement sources are recovered with a tiny scanner over the same
+   lexical surface: [';'] terminates a statement except inside a
+   single-quoted string (['']' escapes a quote) or a [--] comment. *)
+
+let split_statements src =
+  let n = String.length src in
+  let chunks = ref [] and start = ref 0 and i = ref 0 in
+  let in_string = ref false and in_comment = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    (if !in_comment then begin
+       if c = '\n' then in_comment := false;
+       incr i
+     end
+     else if !in_string then begin
+       if c = '\'' then
+         if !i + 1 < n && src.[!i + 1] = '\'' then i := !i + 2
+         else begin
+           in_string := false;
+           incr i
+         end
+       else incr i
+     end
+     else
+       match c with
+       | '\'' ->
+           in_string := true;
+           incr i
+       | '-' when !i + 1 < n && src.[!i + 1] = '-' ->
+           in_comment := true;
+           i := !i + 2
+       | ';' ->
+           chunks := String.sub src !start (!i + 1 - !start) :: !chunks;
+           incr i;
+           start := !i
+       | _ -> incr i)
+  done;
+  (* keep a terminator-less tail only if it is more than whitespace and
+     comments — [Parser.parse] will reject it with the same error a
+     local run reports *)
+  let tail = String.sub src !start (n - !start) in
+  let tail_blank =
+    let j = ref 0 and blank = ref true and comment = ref false in
+    let m = String.length tail in
+    while !j < m do
+      (if !comment then begin
+         if tail.[!j] = '\n' then comment := false
+       end
+       else
+         match tail.[!j] with
+         | ' ' | '\t' | '\n' | '\r' -> ()
+         | '-' when !j + 1 < m && tail.[!j + 1] = '-' ->
+             comment := true;
+             incr j
+         | _ -> blank := false);
+      incr j
+    done;
+    !blank
+  in
+  List.rev (if tail_blank then !chunks else tail :: !chunks)

@@ -67,3 +67,53 @@ skipped silently (byte 18 is inside the first record's payload):
   $ chronicle-cli recover nosuch
   no durable state in nosuch
   [1]
+
+Relation-row inserts are journaled too (Ev_insert): rows inserted
+after the last checkpoint survive a crash, and join views over the
+relation replay correctly.  Here the insert is journaled, then the
+very next append dies right after its own journal write — no
+checkpoint anywhere between the insert and the crash:
+
+  $ cat > rel-setup.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > CREATE RELATION customers (cust INT, state STRING) KEY (cust);
+  > DEFINE VIEW by_state AS
+  >   SELECT state, SUM(miles) AS total
+  >   FROM CHRONICLE mileage JOIN customers ON acct = cust
+  >   GROUP BY state;
+  > CDL
+  $ cat > rel-more.cdl <<CDL
+  > INSERT INTO customers VALUES (1, 'NJ'), (2, 'NY');
+  > APPEND INTO mileage VALUES (1, 100), (2, 40);
+  > CDL
+  $ chronicle-cli run --durable reldir rel-setup.cdl > /dev/null
+  $ chronicle-cli run --durable reldir --crash-after 1 rel-more.cdl
+  recovered reldir: checkpoint loaded; journal: 0 replayed, 0 skipped
+  inserted 2 row(s) into customers
+  simulated crash at post-journal-write
+  [2]
+
+Recovery replays the insert record and then the interrupted append;
+the join view folds the appended rows against the recovered relation:
+
+  $ chronicle-cli recover reldir
+  recovered reldir: checkpoint loaded; journal: 2 replayed, 0 skipped
+  view by_state: 2 row(s)
+
+A follow-up durable run recovers the same state, serves the join view,
+and its final checkpoint absorbs the insert (the journal record is
+then skipped as already-covered on the next recovery):
+
+  $ cat > rel-show.cdl <<CDL
+  > SHOW VIEW by_state;
+  > CDL
+  $ chronicle-cli run --durable reldir rel-show.cdl
+  recovered reldir: checkpoint loaded; journal: 2 replayed, 0 skipped
+  (state:string,
+  total:int)
+  (state="NJ", total=100)
+  (state="NY", total=40)
+  checkpointed reldir
+  $ chronicle-cli recover reldir
+  recovered reldir: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view by_state: 2 row(s)

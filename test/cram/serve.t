@@ -1,0 +1,92 @@
+The chronicle server: one shared database, many wire-protocol clients
+over a Unix-domain socket.  Each connection owns its own session
+(its own group-commit staging queue); every commit lands in the one
+shared database and, under --durable, its one journal.
+
+  $ cat > script.cdl <<CDL
+  > CREATE CHRONICLE mileage (acct INT, miles INT);
+  > CREATE RELATION customers (cust INT, state STRING) KEY (cust);
+  > INSERT INTO customers VALUES (1, 'NJ'), (2, 'NY');
+  > DEFINE VIEW by_state AS SELECT state, SUM(miles) AS total FROM CHRONICLE mileage JOIN customers ON acct = cust GROUP BY state;
+  > APPEND INTO mileage VALUES (1, 100);
+  > APPEND INTO mileage VALUES (2, 40), (1, 0);
+  > SHOW VIEW by_state;
+  > CDL
+
+  $ chronicle-cli serve --socket s.sock --durable srv > server.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+
+A client run prints byte-for-byte what a local `run` of the same
+script prints:
+
+  $ chronicle-cli client --socket s.sock script.cdl | tee client.out
+  created mileage
+  created customers
+  inserted 2 row(s) into customers
+  defined view by_state: CA_join (IM-log(R))
+  appended 1 row(s) to mileage at sn 1
+  appended 2 row(s) to mileage at sn 2
+  (state:string,
+  total:int)
+  (state="NJ", total=100)
+  (state="NY", total=40)
+
+  $ chronicle-cli run script.cdl > local.out
+  $ diff client.out local.out
+
+The binary fast path: --fast-append sends each APPEND INTO as a
+pre-parsed typed frame, skipping the server's lexer/parser; SET BATCH
+stages appends into this connection's group-commit queue, and the
+deferred acks resolve — in watermark order — before any later
+non-append response.  The server state carries over from the first
+client (sequence numbers continue):
+
+  $ cat > more.cdl <<CDL
+  > SET BATCH 2;
+  > APPEND INTO mileage VALUES (1, 25);
+  > APPEND INTO mileage VALUES (2, 10);
+  > SHOW VIEW by_state;
+  > CDL
+
+  $ chronicle-cli client --socket s.sock --fast-append more.cdl
+  batch size set to 2
+  appended 1 row(s) to mileage at sn 3
+  appended 1 row(s) to mileage at sn 4
+  (state:string,
+  total:int)
+  (state="NJ", total=125)
+  (state="NY", total=50)
+
+Failures come back as typed errors on stderr and exit status 1 — the
+session survives them:
+
+  $ cat > bad2.cdl <<CDL
+  > APPEND INTO nosuch VALUES (1);
+  > SHOW VIEW by_state;
+  > CDL
+
+  $ chronicle-cli client --socket s.sock bad2.cdl
+  semantic error: chronicle "nosuch" is not in the catalog
+  (state:string,
+  total:int)
+  (state="NJ", total=125)
+  (state="NY", total=50)
+  [1]
+
+SHUTDOWN stops the server once every connection drains; a clean
+durable shutdown checkpoints:
+
+  $ chronicle-cli client --socket s.sock --shutdown
+  server shutting down
+  $ wait
+  $ cat server.log
+  listening on s.sock
+  checkpointed srv
+  server stopped
+
+Everything the clients wrote — including the relation rows, whose
+inserts are journaled — survives:
+
+  $ chronicle-cli recover srv
+  recovered srv: checkpoint loaded; journal: 0 replayed, 0 skipped
+  view by_state: 2 row(s)

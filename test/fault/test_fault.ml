@@ -44,11 +44,11 @@ type op =
   | Clock of int (* advance by n >= 1 *)
   | Checkpoint
   | Rel of int * string
-    (* insert a customers row (skew catalog only).  Direct relation
-       writes are not journaled, so the op checkpoints immediately —
-       keeping the crash-equivalence contract intact while still
-       bumping the relation version between appends (which is what
-       demotes every heavy key at the next key-join fold) *)
+    (* insert a customers row (skew catalog only) through the
+       journaled Db.insert_rows path — an Ev_insert write-ahead
+       record, no checkpoint needed — while still bumping the
+       relation version between appends (which is what demotes every
+       heavy key at the next key-join fold) *)
 
 let show_op = function
   | Append rows ->
@@ -131,9 +131,8 @@ let apply ?durable db op =
   | Clock n -> Db.advance_clock db (Group.now (Db.default_group db) + n)
   | Checkpoint -> (
       match durable with Some d -> Durable.checkpoint d | None -> ())
-  | Rel (cust, state) -> (
-      Versioned.insert (Db.relation db "customers") (tup [ vi cust; vs state ]);
-      match durable with Some d -> Durable.checkpoint d | None -> ())
+  | Rel (cust, state) ->
+      Db.insert_rows db "customers" [ tup [ vi cust; vs state ] ]
 
 (* Clean-run states S₀ … Sₙ — always computed sequentially (jobs = 1),
    so a crashed-and-recovered parallel run is checked against the
@@ -335,7 +334,7 @@ let skew_workload =
     Append [ (1, 10); (2, 40) ];
     Append [ (1, 11) ] (* acct 1 crosses the bar: promote *);
     Append [ (1, 12) ] (* served from the heavy cache *);
-    Rel (6, "TX") (* version bump, checkpointed *);
+    Rel (6, "TX") (* version bump, journaled via Ev_insert *);
     Append [ (1, 13) ] (* demote-all, then re-promote *);
     Multi ([ (1, 14) ], [ (3, 2) ]);
     Group [ ([ (1, 15) ], []); ([ (1, 16); (2, 5) ], [ (2, 1) ]) ];
@@ -366,7 +365,13 @@ let test_skew_partition_crash_sweep () =
           done;
           if not !fired then
             Alcotest.failf "crash point %s never fired (jobs=%d)" point jobs)
-        [ Skew.p_promote; Skew.p_demote; "view-fold"; "post-journal-write" ])
+        [
+          Skew.p_promote;
+          Skew.p_demote;
+          "view-fold";
+          "post-journal-write";
+          "post-insert-write";
+        ])
     [ 1; 2; 4 ]
 
 let test_exhaustive_torn_sweep () =
