@@ -28,6 +28,7 @@ let experiments =
     ("E18", E18_scrub_salvage.run);
     ("E19", E19_skew_join.run);
     ("E20", E20_server.run);
+    ("E21", E21_retract.run);
     ("micro", Micro.run);
   ]
 

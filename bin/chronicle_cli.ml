@@ -68,8 +68,8 @@ let report_recovery_error = function
       1
   | exn -> raise exn
 
-let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
-    salvage keep_checkpoints segment_bytes heavy_threshold path =
+let run_file snapshot_in snapshot_out durable_dir sync crash_after crash_point
+    jobs batch salvage keep_checkpoints segment_bytes heavy_threshold path =
   let mode = if salvage then Durable.Salvage else Durable.Strict in
   let ic = open_in path in
   let src = really_input_string ic (in_channel_length ic) in
@@ -109,7 +109,7 @@ let run_file snapshot_in snapshot_out durable_dir sync crash_after jobs batch
                  (Session.db session)) ))
   in
   (match (durable, crash_after) with
-  | Some d, Some n -> Fault.arm (Durable.fault d) ~after:n "post-journal-write"
+  | Some d, Some n -> Fault.arm (Durable.fault d) ~after:n crash_point
   | _ -> ());
   (try Session.set_batch session batch
    with Invalid_argument msg ->
@@ -522,10 +522,19 @@ let run_cmd =
       & opt (some int) None
       & info [ "crash-after" ] ~docv:"N"
           ~doc:
-            "Simulate a crash at the post-journal-write fault point after \
-             $(docv) journal records (requires $(b,--durable)); the process \
-             stops with exit status 2, leaving the journal for \
-             $(b,recover).")
+            "Simulate a crash at the $(b,--crash-point) fault point after \
+             $(docv) hits (requires $(b,--durable)); the process stops with \
+             exit status 2, leaving the journal for $(b,recover).")
+  in
+  let crash_point =
+    Arg.(
+      value
+      & opt string "post-journal-write"
+      & info [ "crash-point" ] ~docv:"POINT"
+          ~doc:
+            "Instrumented fault point armed by $(b,--crash-after) (default \
+             $(b,post-journal-write); e.g. $(b,post-retract-write), \
+             $(b,post-insert-write), $(b,view-fold)).")
   in
   let batch_arg =
     Arg.(
@@ -543,8 +552,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a view-definition-language script.")
     Term.(
       const run_file $ snapshot_in $ snapshot_out $ durable_dir $ sync_arg
-      $ crash_after $ jobs_arg $ batch_arg $ salvage_arg $ keep_arg
-      $ segment_arg $ heavy_threshold_arg $ path)
+      $ crash_after $ crash_point $ jobs_arg $ batch_arg $ salvage_arg
+      $ keep_arg $ segment_arg $ heavy_threshold_arg $ path)
 
 let recover_cmd =
   let dir =

@@ -207,6 +207,65 @@ let stored t =
   scan (fun tu -> acc := tu :: !acc) t;
   List.rev !acc
 
+(* ---- retraction support (ℤ-weighted deltas) ----
+
+   Retraction edits retained history in place, so it demands [Full]
+   retention: a ring may already have evicted the occurrence being
+   removed, and [Discard] never had it.  [total]/[last_sn] deliberately
+   do not move — they count the append history of the chronicle, and a
+   retraction is a later event, not an un-happening of the append. *)
+
+let all_store what t =
+  match t.store with
+  | All v -> v
+  | No_store | Ring _ ->
+      raise
+        (Not_retained
+           (Printf.sprintf
+              "%s %s: retraction requires Full retention (stored occurrences \
+               must be addressable)"
+              what t.name))
+
+let at_sn t sn =
+  let v = all_store "Chron.at_sn" t in
+  let acc = ref [] in
+  Vec.iter (fun tu -> if sn_of tu = sn then acc := tu :: !acc) v;
+  List.rev !acc
+
+let remove_stored t sn rows =
+  let v = all_store "Chron.remove_stored" t in
+  check_batch t rows;
+  let pending = ref (List.map (tag sn) rows) in
+  let kept =
+    Vec.fold
+      (fun acc tu ->
+        let rec take seen = function
+          | [] -> None
+          | p :: rest when Tuple.equal p tu -> Some (List.rev_append seen rest)
+          | p :: rest -> take (p :: seen) rest
+        in
+        match take [] !pending with
+        | Some rest ->
+            pending := rest;
+            acc
+        | None -> tu :: acc)
+      [] v
+  in
+  (match !pending with
+  | [] -> ()
+  | missing ->
+      invalid_arg
+        (Format.asprintf
+           "Chron.remove_stored %s: tuple %a has no stored occurrence at sn %d"
+           t.name Tuple.pp (List.hd missing) sn));
+  Vec.clear v;
+  List.iter (fun tu -> ignore (Vec.push v tu)) (List.rev kept)
+
+let reset_store t tagged =
+  let v = all_store "Chron.reset_store" t in
+  Vec.clear v;
+  List.iter (fun tu -> ignore (Vec.push v tu)) tagged
+
 let pp ppf t =
   Format.fprintf ppf "chronicle %s %a [appended %d, retained %d]" t.name
     Schema.pp t.user_schema t.total (stored_count t)

@@ -88,6 +88,32 @@ val restore : t -> total:int -> last_sn:Seqnum.t option -> retained:Tuple.t list
     subscribers.  Raises {!Restore_conflict} if the chronicle already
     has appends. *)
 
+(** {2 Retraction (ℤ-weighted deltas)}
+
+    Retraction removes stored {e occurrences} from retained history —
+    it is a later event, not an un-happening of the append, so
+    {!total_appended} and {!last_sn} never move.  All three operations
+    require [Full] retention and raise {!Not_retained} otherwise: a
+    ring may already have evicted the occurrence and [Discard] never
+    had it. *)
+
+val at_sn : t -> Seqnum.t -> Tuple.t list
+(** Stored tagged tuples carrying the given sequence number, oldest
+    first — the at-[sn] slice that weighted delta propagation diffs
+    against.  Does not bump [Stats.Chronicle_scan]: this is the
+    retraction write path, not a history read by maintenance. *)
+
+val remove_stored : t -> Seqnum.t -> Tuple.t list -> unit
+(** Remove one stored occurrence of each given {e user} tuple (without
+    [sn]) recorded under the sequence number.  Raises
+    [Invalid_argument] if any tuple has no matching stored occurrence
+    left, leaving the store untouched in that case. *)
+
+val reset_store : t -> Tuple.t list -> unit
+(** Replace the retained store with the given tagged tuples (oldest
+    first) — [Db.retract]'s all-or-nothing undo, paired with a
+    pre-mutation {!stored} snapshot.  Counters are not touched. *)
+
 (** {2 Transactional recording}
 
     {!Db}'s atomic append path records batches without notifying, folds

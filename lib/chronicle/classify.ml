@@ -181,6 +181,89 @@ let sca def =
   in
   { r with view_im = im_max r.body_im view_im; notes }
 
+(* ---- maintenance class under retraction (ℤ-weighted deltas) ----
+
+   Retraction keeps the append-path class for purely linear bodies
+   (σ/Π/×R/⋈_key thread weight −1 through the same compiled
+   artifacts), but three shapes cost more:
+
+   - MIN/MAX aggregates lose O(1) invertibility: a group that loses
+     its extremum re-probes retained history, so the view is at best
+     IM-R^k under retraction.
+   - Non-linear operators (∪, −, ⋈_SN, GROUPBY with SN) diff their
+     at-sn slices — still bounded by the slice, but it requires Full
+     retention to reconstruct the before-image.
+   - History-reading bodies (CrossChron/ThetaJoinChron) are
+     rematerialized outright: IM-C^k regardless of append class. *)
+
+let rec body_reads_history = function
+  | Ca.CrossChron _ | Ca.ThetaJoinChron _ -> true
+  | Ca.Chronicle _ -> false
+  | Ca.Select (_, e)
+  | Ca.Project (_, e)
+  | Ca.GroupBySeq (_, _, e)
+  | Ca.ProductRel (e, _)
+  | Ca.KeyJoinRel (e, _, _) -> body_reads_history e
+  | Ca.SeqJoin (l, r) | Ca.Union (l, r) | Ca.Diff (l, r) ->
+      body_reads_history l || body_reads_history r
+
+let rec body_nonlinear = function
+  | Ca.SeqJoin _ | Ca.Union _ | Ca.Diff _ | Ca.GroupBySeq _ -> true
+  | Ca.Chronicle _ | Ca.CrossChron _ | Ca.ThetaJoinChron _ -> false
+  | Ca.Select (_, e)
+  | Ca.Project (_, e)
+  | Ca.ProductRel (e, _)
+  | Ca.KeyJoinRel (e, _, _) -> body_nonlinear e
+
+let retract_class def =
+  let r = sca def in
+  let body = Sca.body def in
+  if body_reads_history body then
+    ( IM_poly_c,
+      [
+        "body reads retained history (cross/theta chronicle join): \
+         retraction rematerializes the view from the surviving history";
+      ] )
+  else begin
+    let notes = ref [] in
+    let cls = ref r.view_im in
+    if body_nonlinear body then begin
+      notes :=
+        "non-linear body operator (∪, −, ⋈_SN or GROUPBY): retraction \
+         diffs the at-sn slices of the base chronicles, which requires \
+         Full retention" :: !notes;
+      cls := im_max !cls IM_poly_r
+    end;
+    (match Sca.summarize def with
+    | Sca.Project_out _ -> ()
+    | Sca.Group_agg (_, al) ->
+        let extremal =
+          List.filter
+            (fun (c : Aggregate.call) ->
+              match c.func with
+              | Aggregate.Min | Aggregate.Max -> true
+              | Aggregate.Count | Aggregate.Sum | Aggregate.Avg
+              | Aggregate.Var | Aggregate.Stddev -> false)
+            al
+        in
+        if extremal <> [] then begin
+          cls := im_max !cls IM_poly_r;
+          notes :=
+            Printf.sprintf
+              "%s: a group losing its extremum re-probes retained history \
+               (not O(1)-invertible); COUNT/SUM-class aggregates invert \
+               exactly"
+              (String.concat ", "
+                 (List.map (fun (c : Aggregate.call) -> c.alias) extremal))
+            :: !notes
+        end);
+    if !notes = [] then
+      notes :=
+        [ "linear body with invertible aggregates: retraction preserves \
+           the append-path maintenance class" ];
+    (!cls, List.rev !notes)
+  end
+
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>tier: %s@,body Δ class: %s@,view class: %s@,u=%d j=%d@,time: \

@@ -47,4 +47,14 @@ val im_class_name : im_class -> string
 val im_subseteq : im_class -> im_class -> bool
 (** The containment order IM-Constant ⊂ IM-log(R) ⊂ IM-Rᵏ ⊂ IM-Cᵏ. *)
 
+val retract_class : Sca.t -> im_class * string list
+(** Maintenance class of the view under {e retraction} (ℤ-weighted
+    deltas, weight [-1]), with explanatory notes.  Linear bodies with
+    COUNT/SUM-class aggregates keep their append-path class (weights
+    thread through the same compiled artifacts and the aggregates
+    invert exactly); MIN/MAX aggregates and non-linear body operators
+    demote to at least IM-Rᵏ (extremum re-probe / at-sn slice diffing
+    over retained history); history-reading bodies are IM-Cᵏ — they
+    are rematerialized outright. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -19,6 +19,10 @@ type txn_event =
       entries : (Seqnum.t * (string * Tuple.t list) list) list;
     }
   | Ev_insert of { relation : string; rows : Tuple.t list; at : int }
+  | Ev_retract of {
+      chronicle : string;
+      entries : (Seqnum.t * Tuple.t list) list;
+    }
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
   | Ev_add_chronicle of {
@@ -893,6 +897,217 @@ let replay_group t entries =
       in
       group_apply t g resolved);
   outcomes
+
+(* ---- the retraction path (ℤ-weighted deltas) ----
+
+   Retraction removes stored occurrences from a Full-retention
+   chronicle and propagates the change to the persistent views as a
+   weighted (weight −1) delta: COUNT/SUM-class aggregates invert in
+   O(1) per group, MIN/MAX groups that lose their extremum re-probe
+   retained history, and views whose bodies read history outright
+   ([Ca.CrossChron]/[Ca.ThetaJoinChron]) are rematerialized.  The
+   protocol mirrors the append path — validate → journal (write-ahead
+   [Ev_retract]) → snapshot → mutate → apply — but the undo is coarse:
+   a pre-mutation [View.dump_w] per affected view plus the chronicle's
+   stored window, restored wholesale on any failure (retraction is
+   rare; paying O(|V|) for an airtight rollback beats threading a
+   weighted undo log through every operator). *)
+
+let untag tu = Array.sub tu 1 (Array.length tu - 1)
+
+(* Whether the body contains an operator whose weighted delta is
+   computed by diffing its own plain evaluation over the at-sn slices
+   (see [Delta.run_weighted]) — only then are the slices needed. *)
+let rec nonlinear_body = function
+  | Ca.Chronicle _ -> false
+  | Ca.Select (_, e) | Ca.Project (_, e) -> nonlinear_body e
+  | Ca.ProductRel (e, _) | Ca.KeyJoinRel (e, _, _) -> nonlinear_body e
+  | Ca.SeqJoin _ | Ca.Union _ | Ca.Diff _ | Ca.GroupBySeq _ -> true
+  | Ca.CrossChron _ | Ca.ThetaJoinChron _ -> true
+
+(* Rebuild a history-reading view from retained history in place
+   (weighted deltas cannot unwind it: its old output depended on
+   history that has just changed). *)
+let rematerialize t v =
+  let initial = Eval.eval_parallel t.pool (Sca.body (View.def v)) in
+  let empty =
+    match View.dump_w v with
+    | View.Rows_dump_w _ -> View.Rows_dump_w []
+    | View.Groups_dump_w _ -> View.Groups_dump_w []
+  in
+  View.restore_w v empty;
+  View.apply_delta v initial
+
+(* Retract the given user rows at one sequence number and propagate the
+   weighted delta to every non-history-reading affected view (the
+   caller rematerializes the history readers once at the end). *)
+let retract_at t c ~sn ~rows =
+  let tagged = List.map (Chron.tag sn) rows in
+  let wbatch = [ (c, List.map (fun tu -> (tu, -1)) tagged) ] in
+  let live =
+    List.filter
+      (fun v -> not (reads_history_view v))
+      (dedup_affected (Registry.affected t.registry c tagged))
+  in
+  (* at-sn before-slices, taken pre-mutation, only where the compiled
+     plan will actually diff them *)
+  let prepared =
+    List.map
+      (fun v ->
+        let body = Sca.body (View.def v) in
+        let slice_chrons =
+          if nonlinear_body body then Ca.chronicles body else []
+        in
+        let before =
+          List.map (fun ch -> (ch, Chron.at_sn ch sn)) slice_chrons
+        in
+        (v, body, slice_chrons, before))
+      live
+  in
+  Chron.remove_stored c sn rows;
+  let apply_one (v, body, slice_chrons, before) =
+    let after = List.map (fun ch -> (ch, Chron.at_sn ch sn)) slice_chrons in
+    let wdelta =
+      Delta.run_weighted (View.plan v) ~sn ~wbatch ~before ~after
+    in
+    View.apply_weighted v ~body:(fun () -> Eval.eval body) wdelta
+  in
+  let njobs = Exec.Pool.jobs t.pool in
+  if njobs <= 1 || List.length prepared <= 1 then
+    List.iter apply_one prepared
+  else begin
+    (* same contiguous-range partitioning as the append path: each view
+       is owned by exactly one task; failures join the pool first, then
+       the lowest-indexed exception re-raises into the coarse undo *)
+    let work = Array.of_list prepared in
+    let tasks =
+      Array.map
+        (fun (start, len) () ->
+          for i = start to start + len - 1 do
+            apply_one work.(i)
+          done)
+        (Exec.Pool.chunk_ranges ~jobs:njobs (Array.length work))
+    in
+    match Exec.Pool.run t.pool tasks with
+    | exns when Array.for_all Option.is_none exns -> ()
+    | exns -> Array.iter (function Some e -> raise e | None -> ()) exns
+  end
+
+(* Apply fully resolved retraction entries ([(sn, user rows)] with sn
+   ascending) under the write-ahead + coarse-undo bracket. *)
+let retract_resolved t c entries =
+  let cname = Chron.name c in
+  emit t (Ev_retract { chronicle = cname; entries });
+  let affected =
+    dedup_affected
+      (List.concat_map
+         (fun (sn, rows) ->
+           Registry.affected t.registry c (List.map (Chron.tag sn) rows))
+         entries)
+  in
+  let saved_views = List.map (fun v -> (v, View.dump_w v)) affected in
+  let saved_store = Chron.stored c in
+  let g = Chron.group c in
+  match
+    List.iter (fun (sn, rows) -> retract_at t c ~sn ~rows) entries;
+    List.iter
+      (fun v -> if reads_history_view v then rematerialize t v)
+      affected
+  with
+  | () -> Stats.incr Stats.Retract_apply
+  | exception e ->
+      Chron.reset_store c saved_store;
+      List.iter (fun (v, d) -> View.restore_w v d) saved_views;
+      Stats.incr Stats.Rollback;
+      emit t (Ev_abort { group = Group.name g; sn = Group.watermark g });
+      raise e
+
+(* Resolve requested user rows to stored occurrences, newest occurrence
+   first per row (deterministic), and group the claims by sequence
+   number ascending. *)
+let resolve_retraction c rows =
+  let stored = Array.of_list (Chron.stored c) in
+  let n = Array.length stored in
+  let claimed = Array.make n false in
+  List.iter
+    (fun row ->
+      let rec claim i =
+        if i < 0 then
+          invalid_arg
+            (Format.asprintf
+               "Db.retract %s: tuple %a has no retained occurrence left"
+               (Chron.name c) Tuple.pp row)
+        else if (not claimed.(i)) && Tuple.equal (untag stored.(i)) row then
+          claimed.(i) <- true
+        else claim (i - 1)
+      in
+      claim (n - 1))
+    rows;
+  (* stored order is oldest-to-newest, so one left-to-right sweep groups
+     the claims by ascending sn with in-store order within each sn *)
+  let by_sn = ref [] in
+  Array.iteri
+    (fun i tu ->
+      if claimed.(i) then begin
+        let sn = Chron.sn_of tu in
+        let row = untag tu in
+        match !by_sn with
+        | (sn', rows') :: rest when sn' = sn ->
+            by_sn := (sn, row :: rows') :: rest
+        | _ -> by_sn := (sn, [ row ]) :: !by_sn
+      end)
+    stored;
+  List.rev_map (fun (sn, rows) -> (sn, List.rev rows)) !by_sn
+
+let retract t cname rows =
+  check_writable t "retract";
+  let c = chronicle t cname in
+  (match Chron.retention c with
+  | Chron.Full -> ()
+  | Chron.Discard | Chron.Window _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Db.retract %s: retraction requires Full retention (stored \
+            occurrences must be addressable)"
+           cname));
+  Chron.check_batch c rows;
+  if rows = [] then 0
+  else begin
+    retract_resolved t c (resolve_retraction c rows);
+    List.length rows
+  end
+
+(* Recovery replay of a journaled [Ev_retract].  Idempotence marker:
+   occurrences already absent from the store (the checkpoint was taken
+   after the retraction applied) are skipped; if nothing survives the
+   record is a no-op and [false] is returned. *)
+let replay_retract t cname entries =
+  check_writable t "replay_retract";
+  let c = chronicle t cname in
+  let surviving =
+    List.filter_map
+      (fun (sn, rows) ->
+        let avail = ref (List.map untag (Chron.at_sn c sn)) in
+        let take row =
+          let rec go seen = function
+            | [] -> false
+            | p :: rest when Tuple.equal p row ->
+                avail := List.rev_append seen rest;
+                true
+            | p :: rest -> go (p :: seen) rest
+          in
+          go [] !avail
+        in
+        match List.filter take rows with
+        | [] -> None
+        | present -> Some (sn, present))
+      entries
+  in
+  match surviving with
+  | [] -> false
+  | surviving ->
+      retract_resolved t c surviving;
+      true
 
 let advance_clock t ?group:gname chronon =
   check_writable t "advance_clock";

@@ -170,6 +170,47 @@ val insert_rows : t -> string -> Tuple.t list -> unit
     the relation is not in the catalog, {!Read_only} in degraded
     mode. *)
 
+val retract : t -> string -> Tuple.t list -> int
+(** [retract t chronicle rows] removes one stored occurrence of each
+    given user row from the chronicle's retained history and propagates
+    the change to every affected persistent view as a ℤ-weighted
+    (weight −1) delta; returns the number of rows retracted.  Each
+    requested row resolves to its {e newest} unclaimed stored
+    occurrence (deterministic); the claims are applied grouped by
+    sequence number, ascending.
+
+    Maintenance cost: COUNT/SUM-class aggregates invert in O(1) per
+    group ({!Relational.Aggregate.unstep}); a MIN/MAX group that loses
+    its extremum is recomputed from retained history (one body
+    evaluation per batch, [Stats.Aggregate_reprobe] per group); views
+    over non-linear operators (∪, −, ⋈_SN, GROUPBY) diff their at-sn
+    slices ([Stats.Weight_cancel]); history-reading views are
+    rematerialized outright.  One successful call bumps
+    [Stats.Retract_apply] once.  The append path is untouched: pure
+    append workloads never move any of these counters.
+
+    Write-ahead discipline: [Ev_retract] is emitted before any state
+    mutates; on any failure the chronicle store and every affected view
+    are restored wholesale from pre-mutation snapshots, [Ev_abort] is
+    emitted (the journal erases the write-ahead record) and the
+    exception re-raises — all-or-nothing, like appends.  Windowed and
+    periodic views and event detectors are {e not} maintained under
+    retraction (no subscriber notification fires: the retraction is a
+    correction to history, not a new observation).
+
+    Raises [Invalid_argument] if the chronicle's retention is not
+    [Full], a row fails the schema, or a row has no retained occurrence
+    left; {!Unknown} if the chronicle is not in the catalog;
+    {!Read_only} in degraded mode.  Validation failures precede the
+    journal record. *)
+
+val replay_retract : t -> string -> (Seqnum.t * Tuple.t list) list -> bool
+(** Recovery replay of a journaled [Ev_retract]: re-apply the resolved
+    entries ([(sn, user rows)]).  Idempotence marker: occurrences
+    already absent from the store (the checkpoint was taken after the
+    retraction applied) are skipped; returns [false] — record was a
+    complete no-op — or [true] if any surviving subset applied. *)
+
 val advance_clock : t -> ?group:string -> Seqnum.chronon -> unit
 
 (** {2 Replay}
@@ -254,6 +295,16 @@ type txn_event =
           at or below [at] (a checkpoint taken after the insert already
           holds the rows), the insert-path idempotence discipline.
           Erased by the [Ev_abort] that follows a rolled-back batch. *)
+  | Ev_retract of {
+      chronicle : string;
+      entries : (Seqnum.t * Tuple.t list) list;
+          (** one {!retract} operation, already resolved to stored
+              occurrences: per sequence number, the user tuples whose
+              occurrences were claimed.  Emitted write-ahead; replayed
+              via {!replay_retract} (occurrence-presence is the
+              idempotence marker); erased by the [Ev_abort] that
+              follows a rolled-back retraction. *)
+    }
   | Ev_clock of { group : string; chronon : Seqnum.chronon }
   | Ev_add_group of { name : string; clock_start : Seqnum.chronon option }
   | Ev_add_chronicle of {

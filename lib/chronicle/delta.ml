@@ -1,33 +1,120 @@
 open Relational
 
 type batch = (Chron.t * Tuple.t list) list
+type weighted = (Tuple.t * int) list
+type wbatch = (Chron.t * weighted) list
 
 let delta_of_base batch c =
   match List.find_opt (fun (c', _) -> c' == c) batch with
   | Some (_, tuples) -> tuples
   | None -> []
 
+module Tup_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = Value.equal_list
+  let hash = Value.hash_list
+end)
+
+(* Multiset difference [after − before] as a ℤ-weighted delta, in
+   first-appearance order.  Occurrences present on both sides cancel
+   (bumping [Stats.Weight_cancel] per cancelled pair); a tuple whose
+   counts balance exactly disappears from the delta entirely. *)
+let mdiff after before : weighted =
+  let tbl = Tup_tbl.create 32 in
+  let order = ref [] in
+  let cell key =
+    match Tup_tbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+        let c = (ref 0, ref 0) in
+        Tup_tbl.add tbl key c;
+        order := key :: !order;
+        c
+  in
+  List.iter (fun tu -> incr (fst (cell (Array.to_list tu)))) after;
+  List.iter (fun tu -> incr (snd (cell (Array.to_list tu)))) before;
+  List.filter_map
+    (fun key ->
+      let a, b = Tup_tbl.find tbl key in
+      let cancelled = min !a !b in
+      if cancelled > 0 then Stats.add Stats.Weight_cancel cancelled;
+      let w = !a - !b in
+      if w = 0 then None else Some (Tuple.make key, w))
+    (List.rev !order)
+
 (* A compiled Δ-evaluator.  All expression-dependent work — schema
    derivation, predicate compilation, projector construction, key-join
    position resolution — happens once in [compile]; [run] then does only
    probe-and-fold work per appended batch.  The chronicle layer caches
    one plan per persistent view ([View.plan]), so steady-state
-   maintenance recompiles nothing. *)
-type plan = { expr : Ca.t; exec : sn:Seqnum.t -> batch:batch -> Tuple.t list }
+   maintenance recompiles nothing.
 
-let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
-    =
+   Each node compiles into two evaluators sharing one set of compiled
+   artifacts (predicates, projectors, and crucially the key-join
+   heavy-light partition state):
+
+   - [exec], the weight=+1 append fast path — byte-for-byte the
+     pre-weighted evaluator; and
+   - [wexec], the ℤ-weighted path used by retraction.  Linear operators
+     (σ, Π, ×R, ⋈_key R, and the base chronicle) thread weights through
+     unchanged.  Non-linear operators (∪ and − under set semantics,
+     ⋈_SN, GROUPBY) cannot flip a weight through their own delta rule;
+     but a CA delta at sequence number [sn] depends only on the at-[sn]
+     slice of its base chronicles, so their weighted delta is the
+     multiset difference of the node's own plain evaluation over the
+     after-slices versus the before-slices ([mdiff]).  History-reading
+     operators have no weighted form at all — [Db.retract]
+     rematerializes such views from retained history instead. *)
+type node = {
+  x : sn:Seqnum.t -> batch:batch -> Tuple.t list;
+  w : sn:Seqnum.t -> wbatch:wbatch -> before:batch -> after:batch -> weighted;
+}
+
+type plan = { expr : Ca.t; node : node }
+
+let nonlinear x =
+ fun ~sn ~wbatch:_ ~before ~after ->
+  mdiff (x ~sn ~batch:after) (x ~sn ~batch:before)
+
+let no_weighted what =
+ fun ~sn:_ ~wbatch:_ ~before:_ ~after:_ ->
+  invalid_arg
+    (Printf.sprintf
+       "Delta: %s reads retained history and has no weighted delta form \
+        (rematerialize the view instead)"
+       what)
+
+let rec comp ~heavy_threshold expr : node =
   let comp = comp ~heavy_threshold in
   match expr with
-  | Ca.Chronicle c -> fun ~sn:_ ~batch -> delta_of_base batch c
+  | Ca.Chronicle c ->
+      {
+        x = (fun ~sn:_ ~batch -> delta_of_base batch c);
+        w = (fun ~sn:_ ~wbatch ~before:_ ~after:_ -> delta_of_base wbatch c);
+      }
   | Ca.Select (p, e) ->
       let keep = Predicate.compile (Ca.schema_of e) p in
       let child = comp e in
-      fun ~sn ~batch -> List.filter keep (child ~sn ~batch)
+      {
+        x = (fun ~sn ~batch -> List.filter keep (child.x ~sn ~batch));
+        w =
+          (fun ~sn ~wbatch ~before ~after ->
+            List.filter
+              (fun (tu, _) -> keep tu)
+              (child.w ~sn ~wbatch ~before ~after));
+      }
   | Ca.Project (attrs, e) ->
       let proj = Tuple.projector (Ca.schema_of e) attrs in
       let child = comp e in
-      fun ~sn ~batch -> List.map proj (child ~sn ~batch)
+      {
+        x = (fun ~sn ~batch -> List.map proj (child.x ~sn ~batch));
+        w =
+          (fun ~sn ~wbatch ~before ~after ->
+            List.map
+              (fun (tu, w) -> (proj tu, w))
+              (child.w ~sn ~wbatch ~before ~after));
+      }
   | Ca.SeqJoin (l, r) ->
       (* both deltas carry only the batch's sequence number, so the join
          degenerates to a product of the two deltas (appendix, Thm 4.1) *)
@@ -39,34 +126,56 @@ let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
              (Schema.names rs))
       in
       let cl = comp l and cr = comp r in
-      fun ~sn ~batch ->
-        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+      let x ~sn ~batch =
+        let dl = cl.x ~sn ~batch and dr = cr.x ~sn ~batch in
         if dl = [] || dr = [] then []
         else
           List.concat_map
             (fun ltu -> List.map (fun rtu -> Tuple.concat ltu (drop_sn rtu)) dr)
             dl
+      in
+      { x; w = nonlinear x }
   | Ca.Union (l, r) ->
       let cl = comp l and cr = comp r in
-      fun ~sn ~batch -> Tuple.dedup (cl ~sn ~batch @ cr ~sn ~batch)
+      let x ~sn ~batch = Tuple.dedup (cl.x ~sn ~batch @ cr.x ~sn ~batch) in
+      { x; w = nonlinear x }
   | Ca.Diff (l, r) ->
       let cl = comp l and cr = comp r in
-      fun ~sn ~batch -> Tuple.diff (cl ~sn ~batch) (cr ~sn ~batch)
+      let x ~sn ~batch = Tuple.diff (cl.x ~sn ~batch) (cr.x ~sn ~batch) in
+      { x; w = nonlinear x }
   | Ca.GroupBySeq (gl, al, e) ->
       let grouper = Groupby.compiled (Ca.schema_of e) ~group_by:gl ~aggs:al in
       let child = comp e in
-      fun ~sn ~batch -> Groupby.run_compiled grouper (child ~sn ~batch)
+      let x ~sn ~batch = Groupby.run_compiled grouper (child.x ~sn ~batch) in
+      { x; w = nonlinear x }
   | Ca.ProductRel (e, rel) ->
       let child = comp e in
-      fun ~sn ~batch ->
-        let delta = child ~sn ~batch in
-        if delta = [] then []
-        else
-          Relation.fold
-            (fun acc rtu ->
-              List.fold_left (fun acc tu -> Tuple.concat tu rtu :: acc) acc delta)
-            [] rel
-          |> List.rev
+      {
+        x =
+          (fun ~sn ~batch ->
+            let delta = child.x ~sn ~batch in
+            if delta = [] then []
+            else
+              Relation.fold
+                (fun acc rtu ->
+                  List.fold_left
+                    (fun acc tu -> Tuple.concat tu rtu :: acc)
+                    acc delta)
+                [] rel
+              |> List.rev);
+        w =
+          (fun ~sn ~wbatch ~before ~after ->
+            let delta = child.w ~sn ~wbatch ~before ~after in
+            if delta = [] then []
+            else
+              Relation.fold
+                (fun acc rtu ->
+                  List.fold_left
+                    (fun acc (tu, w) -> (Tuple.concat tu rtu, w) :: acc)
+                    acc delta)
+                [] rel
+              |> List.rev);
+      }
   | Ca.KeyJoinRel (e, rel, pairs) ->
       (* join each Δ tuple with the matching relation tuples via an
          index probe on the join attributes (at most a constant number
@@ -77,7 +186,9 @@ let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
          lazy probe.  [Skew.matches] guarantees the result is
          byte-identical to the lazy expression at the relation's
          current version, so the fold stays order-identical to the
-         sequential oracle at every parallelism degree. *)
+         sequential oracle at every parallelism degree.  Both the
+         append and the weighted path probe through the same partition
+         state. *)
       let schema = Ca.schema_of e in
       let left_key = Tuple.projector schema (List.map fst pairs) in
       let right_attrs = List.map snd pairs in
@@ -87,22 +198,31 @@ let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
       in
       let rproj = Tuple.projector rschema keep in
       let part = Skew.create ~threshold:heavy_threshold () in
+      let probe tu =
+        let key = Array.to_list (left_key tu) in
+        Skew.matches part rel ~attrs:right_attrs ~project:rproj key
+      in
       let child = comp e in
-      fun ~sn ~batch ->
-        List.concat_map
-          (fun tu ->
-            let key = Array.to_list (left_key tu) in
-            List.map
-              (fun rtu -> Tuple.concat tu rtu)
-              (Skew.matches part rel ~attrs:right_attrs ~project:rproj key))
-          (child ~sn ~batch)
+      {
+        x =
+          (fun ~sn ~batch ->
+            List.concat_map
+              (fun tu -> List.map (fun rtu -> Tuple.concat tu rtu) (probe tu))
+              (child.x ~sn ~batch));
+        w =
+          (fun ~sn ~wbatch ~before ~after ->
+            List.concat_map
+              (fun (tu, w) ->
+                List.map (fun rtu -> (Tuple.concat tu rtu, w)) (probe tu))
+              (child.w ~sn ~wbatch ~before ~after));
+      }
   | Ca.CrossChron (l, r) ->
       (* Theorem 4.3: requires the old value of the opposite operand,
          i.e. access to retained history — necessarily evaluated at run
          time, no compile-once shortcut exists. *)
       let cl = comp l and cr = comp r in
-      fun ~sn ~batch ->
-        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+      let x ~sn ~batch =
+        let dl = cl.x ~sn ~batch and dr = cr.x ~sn ~batch in
         let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
         let cross left right =
           List.concat_map
@@ -110,11 +230,13 @@ let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
             left
         in
         cross dl old_r @ cross old_l dr @ cross dl dr
+      in
+      { x; w = no_weighted "CrossChron" }
   | Ca.ThetaJoinChron (p, l, r) ->
       let keep = Predicate.compile (Ca.schema_of expr) p in
       let cl = comp l and cr = comp r in
-      fun ~sn ~batch ->
-        let dl = cl ~sn ~batch and dr = cr ~sn ~batch in
+      let x ~sn ~batch =
+        let dl = cl.x ~sn ~batch and dr = cr.x ~sn ~batch in
         let old_l = Eval.eval_before l sn and old_r = Eval.eval_before r sn in
         let cross left right =
           List.concat_map
@@ -127,12 +249,18 @@ let rec comp ~heavy_threshold expr : sn:Seqnum.t -> batch:batch -> Tuple.t list
             left
         in
         cross dl old_r @ cross old_l dr @ cross dl dr
+      in
+      { x; w = no_weighted "ThetaJoinChron" }
 
 let compile ?(heavy_threshold = 0) expr =
   Stats.incr Stats.Plan_compile;
-  { expr; exec = comp ~heavy_threshold expr }
+  { expr; node = comp ~heavy_threshold expr }
 
-let run plan ~sn ~batch = plan.exec ~sn ~batch
+let run plan ~sn ~batch = plan.node.x ~sn ~batch
+
+let run_weighted plan ~sn ~wbatch ~before ~after =
+  plan.node.w ~sn ~wbatch ~before ~after
+
 let expr plan = plan.expr
 
 let eval ?heavy_threshold expr ~sn ~batch =

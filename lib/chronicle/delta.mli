@@ -32,6 +32,17 @@ type batch = (Chron.t * Tuple.t list) list
 (** The tagged tuples appended to each chronicle, all under one
     sequence number. *)
 
+type weighted = (Tuple.t * int) list
+(** A ℤ-weighted delta (a Z-set): each tuple with the signed number of
+    occurrences it gains ([> 0]) or loses ([< 0]).  The append path is
+    the degenerate all-weights-[+1] case and never materializes this
+    form. *)
+
+type wbatch = (Chron.t * weighted) list
+(** The weighted change to each chronicle, all under one sequence
+    number — for retraction, the removed tagged tuples with weight
+    [-1]. *)
+
 type plan
 (** A compiled Δ-evaluator: schemas resolved, predicates/projectors
     compiled, key-join positions bound — all once.  Running a plan does
@@ -52,6 +63,25 @@ val compile : ?heavy_threshold:int -> Ca.t -> plan
 
 val run : plan -> sn:Seqnum.t -> batch:batch -> Tuple.t list
 (** Tuples the batch adds to the expression; zero recompilation. *)
+
+val run_weighted :
+  plan ->
+  sn:Seqnum.t ->
+  wbatch:wbatch ->
+  before:batch ->
+  after:batch ->
+  weighted
+(** ℤ-weighted change of the expression's output caused by [wbatch] at
+    sequence number [sn].  Linear operators thread weights through the
+    same compiled artifacts (including each key-join site's heavy-light
+    partition) as {!run}; non-linear operators (∪, −, ⋈_SN, GROUPBY)
+    evaluate their own plain delta over [after] versus [before] — the
+    full at-[sn] slices of every base chronicle, after and before the
+    mutation — and return the multiset difference (cancelled
+    occurrences bump [Stats.Weight_cancel]).  Raises
+    [Invalid_argument] on history-reading operators ([Ca.CrossChron],
+    [Ca.ThetaJoinChron]): such views must be rematerialized, not
+    incrementally unwound. *)
 
 val expr : plan -> Ca.t
 (** The expression the plan was compiled from. *)

@@ -185,20 +185,33 @@ let summarize_of_sexp = function
 let sexp_of_key key = Sexp.List (List.map Value.to_sexp key)
 let key_of_sexp s = List.map Value.of_sexp (Sexp.to_list s)
 
+(* View contents are written with their hidden ℤ-multiplicities
+   ("rows-w"/"groups-w" tags): a view restored from a checkpoint must
+   keep maintaining correctly under retraction, so crash-equivalence
+   holds for weighted workloads too.  Pre-weighted snapshots ("rows"/
+   "groups") still parse, defaulting every multiplicity to 1. *)
 let sexp_of_view_contents view =
-  match View.dump view with
-  | View.Rows_dump keys ->
-      Sexp.List [ Sexp.Atom "rows"; Sexp.List (List.map sexp_of_key keys) ]
-  | View.Groups_dump groups ->
+  match View.dump_w view with
+  | View.Rows_dump_w keys ->
       Sexp.List
         [
-          Sexp.Atom "groups";
+          Sexp.Atom "rows-w";
           Sexp.List
             (List.map
-               (fun (key, states) ->
+               (fun (key, mult) -> Sexp.List [ sexp_of_key key; Sexp.int mult ])
+               keys);
+        ]
+  | View.Groups_dump_w groups ->
+      Sexp.List
+        [
+          Sexp.Atom "groups-w";
+          Sexp.List
+            (List.map
+               (fun (key, mult, states) ->
                  Sexp.List
                    [
                      sexp_of_key key;
+                     Sexp.int mult;
                      Sexp.List (List.map Aggregate.sexp_of_state states);
                    ])
                groups);
@@ -206,13 +219,30 @@ let sexp_of_view_contents view =
 
 let view_contents_of_sexp = function
   | Sexp.List [ Sexp.Atom "rows"; Sexp.List keys ] ->
-      View.Rows_dump (List.map key_of_sexp keys)
+      View.Rows_dump_w (List.map (fun key -> (key_of_sexp key, 1)) keys)
+  | Sexp.List [ Sexp.Atom "rows-w"; Sexp.List keys ] ->
+      View.Rows_dump_w
+        (List.map
+           (function
+             | Sexp.List [ key; mult ] -> (key_of_sexp key, Sexp.to_int mult)
+             | s -> error "bad view row %s" (Sexp.to_string s))
+           keys)
   | Sexp.List [ Sexp.Atom "groups"; Sexp.List groups ] ->
-      View.Groups_dump
+      View.Groups_dump_w
         (List.map
            (function
              | Sexp.List [ key; Sexp.List states ] ->
-                 (key_of_sexp key, List.map Aggregate.state_of_sexp states)
+                 (key_of_sexp key, 1, List.map Aggregate.state_of_sexp states)
+             | s -> error "bad view group %s" (Sexp.to_string s))
+           groups)
+  | Sexp.List [ Sexp.Atom "groups-w"; Sexp.List groups ] ->
+      View.Groups_dump_w
+        (List.map
+           (function
+             | Sexp.List [ key; mult; Sexp.List states ] ->
+                 ( key_of_sexp key,
+                   Sexp.to_int mult,
+                   List.map Aggregate.state_of_sexp states )
              | s -> error "bad view group %s" (Sexp.to_string s))
            groups)
   | s -> error "bad view contents %s" (Sexp.to_string s)
@@ -405,7 +435,7 @@ let db_of_sexp ?jobs ?heavy_threshold doc =
       let view =
         View.create ~index ~heavy_threshold:(Db.heavy_threshold db) def
       in
-      View.load view (view_contents_of_sexp (Sexp.field entry "contents"));
+      View.load_w view (view_contents_of_sexp (Sexp.field entry "contents"));
       Registry.register (Db.registry db) view)
     (Sexp.to_list (Sexp.field doc "views"));
   db

@@ -72,4 +72,8 @@ val sca_of_sexp :
   Sca.t
 
 val sexp_of_view_contents : View.t -> Sexp.t
-val view_contents_of_sexp : Sexp.t -> View.dump
+val view_contents_of_sexp : Sexp.t -> View.dump_w
+(** Contents round-trip through the multiplicity-preserving
+    {!View.dump_w} ("rows-w"/"groups-w" tags), so restored views keep
+    maintaining correctly under retraction; pre-weighted "rows"/"groups"
+    documents still parse with every multiplicity defaulting to 1. *)

@@ -32,6 +32,24 @@ val apply_delta : t -> Tuple.t list -> unit
 (** Fold a batch of body-delta tuples (from [Delta.run]) into the
     materialization. *)
 
+val apply_weighted : t -> body:(unit -> Tuple.t list) -> (Tuple.t * int) list -> unit
+(** Fold a ℤ-weighted body delta: weight [w > 0] adds [w] occurrences
+    of the tuple, [w < 0] retracts [-w]; entries whose hidden
+    multiplicity reaches zero disappear from the view.  COUNT/SUM-class
+    aggregates invert in O(1) per call ({!Aggregate.unstep}); a MIN/MAX
+    group losing its extremum is recomputed from a single evaluation of
+    [body ()] — the full body output over the already-mutated base —
+    bumping [Stats.Aggregate_reprobe] once per such group.  Raises
+    [Invalid_argument] on a retraction the materialization cannot
+    account for (absent row/group or negative multiplicity) and when a
+    transactional batch is active: [Db.retract]'s undo is the coarse
+    {!dump_w}/{!restore_w} pair, never the append txn log. *)
+
+val multiplicity : t -> Value.t list -> int
+(** Hidden ℤ-multiplicity of the entry with the given logical key
+    (0 if absent).  The weight=+1 append path only ever increments it;
+    observable set semantics and aggregate results are unchanged. *)
+
 (** {2 Plan cache}
 
     Each view carries at most one compiled Δ-plan for its body
@@ -109,6 +127,23 @@ val dump : t -> dump
 val load : t -> dump -> unit
 (** Restore into a freshly created view of the same definition; raises
     [Invalid_argument] if the view is non-empty or the dump shape does
-    not match the summarization kind. *)
+    not match the summarization kind.  Multiplicities are projected out
+    by [dump] and default to 1 on [load]; a view that must keep
+    maintaining under retraction goes through {!dump_w}/{!load_w}. *)
+
+(** Multiplicity-preserving variants: the state captured here restores
+    to a view that stays correct under later ℤ-weighted deltas. *)
+type dump_w =
+  | Groups_dump_w of (Value.t list * int * Aggregate.state list) list
+  | Rows_dump_w of (Value.t list * int) list
+
+val dump_w : t -> dump_w
+
+val load_w : t -> dump_w -> unit
+(** Same contract as {!load} (empty view, matching shape/arity). *)
+
+val restore_w : t -> dump_w -> unit
+(** Clear the view and {!load_w} the dump — the all-or-nothing undo
+    primitive of [Db.retract]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,7 @@ let quarantine_name name = name ^ ".quarantine"
 let p_post_journal_write = "post-journal-write"
 let p_post_group_write = "post-group-write"
 let p_post_insert_write = "post-insert-write"
+let p_post_retract_write = "post-retract-write"
 let p_pre_checkpoint_rename = "pre-checkpoint-rename"
 let p_post_checkpoint_rename = "post-checkpoint-rename"
 let p_view_fold = "view-fold"
@@ -61,6 +62,21 @@ let sexp_of_event (ev : Db.txn_event) =
           ("relation", Sexp.atom relation);
           ("at", Sexp.int at);
           ("rows", Sexp.List (List.map Snapshot.sexp_of_tuple rows));
+        ]
+  | Db.Ev_retract { chronicle; entries } ->
+      tagged "retract"
+        [
+          ("chronicle", Sexp.atom chronicle);
+          ( "entries",
+            Sexp.List
+              (List.map
+                 (fun (sn, rows) ->
+                   Sexp.record
+                     [
+                       ("sn", Sexp.int sn);
+                       ("rows", Sexp.List (List.map Snapshot.sexp_of_tuple rows));
+                     ])
+                 entries) );
         ]
   | Db.Ev_clock { group; chronon } ->
       tagged "clock" [ ("group", Sexp.atom group); ("chronon", Sexp.int chronon) ]
@@ -140,6 +156,13 @@ type parsed =
   | P_insert of { relation : string; rows : Tuple.t list; at : int }
       (* one Db.insert_rows batch; [at] is the relation's pre-insert
          cardinality, the idempotence marker (see Db.Ev_insert) *)
+  | P_retract of {
+      chronicle : string;
+      entries : (Seqnum.t * Tuple.t list) list;
+    }
+      (* one Db.retract operation, already resolved to stored
+         occurrences; occurrence-presence is the idempotence marker
+         (see Db.Ev_retract) *)
   | P_clock of { group : string; chronon : Seqnum.chronon }
   | P_add_group of { name : string; clock_start : Seqnum.chronon option }
   | P_add_chronicle of {
@@ -206,6 +229,18 @@ let parse_record ~record sexp =
                 rows =
                   List.map Snapshot.tuple_of_sexp
                     (Sexp.to_list (Sexp.field fields "rows"));
+              }
+        | "retract" ->
+            P_retract
+              {
+                chronicle = Sexp.to_atom (Sexp.field fields "chronicle");
+                entries =
+                  List.map
+                    (fun entry ->
+                      ( Sexp.to_int (Sexp.field entry "sn"),
+                        List.map Snapshot.tuple_of_sexp
+                          (Sexp.to_list (Sexp.field entry "rows")) ))
+                    (Sexp.to_list (Sexp.field fields "entries"));
               }
         | "clock" ->
             P_clock
@@ -281,6 +316,12 @@ let apply_parsed db = function
         Db.insert_rows db relation rows;
         true
       end
+  | P_retract { chronicle; entries } ->
+      (* idempotent by occurrence-presence: entries whose stored
+         occurrences a later checkpoint already removed are skipped
+         inside [replay_retract]; [false] means the whole record was a
+         no-op *)
+      Db.replay_retract db chronicle entries
   | P_clock { group; chronon } ->
       if chronon <= Group.now (Db.group db group) then false
       else begin
@@ -439,6 +480,13 @@ let sink t ev =
                insert specifically *)
             Fault.hit t.fault p_post_journal_write;
             Fault.hit t.fault p_post_insert_write
+        | Db.Ev_retract _ ->
+            (* retractions are write-ahead records too: the generic
+               point fires, and a dedicated point lets fault sweeps
+               target the journaled-but-not-applied window of a
+               retraction specifically *)
+            Fault.hit t.fault p_post_journal_write;
+            Fault.hit t.fault p_post_retract_write
         | _ -> ())
 
 (* Retire old checkpoint generations and the journal segments no

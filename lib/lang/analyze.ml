@@ -15,6 +15,7 @@ type exec_result =
   | Defined_windowed of { view : string; buckets : int }
   | Appended of { chronicle : string; sn : Seqnum.t; count : int }
   | Staged of { chronicle : string; count : int; ticket : Staging.ticket }
+  | Retracted of { chronicle : string; count : int }
   | Inserted of { relation : string; count : int }
   | Defined_rule of { rule : string; chronicle : string }
   | Info of string
@@ -271,6 +272,19 @@ let exec session stmt =
         | Ok sn -> Appended { chronicle; sn; count }
         | Error e -> raise e
       else Staged { chronicle; count; ticket }
+  | Ast.Retract_from { chronicle; rows } ->
+      let c =
+        try Db.chronicle db chronicle with Db.Unknown msg -> sem_error "%s" msg
+      in
+      let tuples = rows_to_tuples chronicle (Chron.user_schema c) rows in
+      (* the statement barrier above already flushed staged appends, so
+         the retraction sees every prior append committed *)
+      let count =
+        try Db.retract db chronicle tuples
+        with
+        | Invalid_argument msg | Chron.Not_retained msg -> sem_error "%s" msg
+      in
+      Retracted { chronicle; count }
   | Ast.Insert_into { relation; rows } ->
       let r =
         try Db.relation db relation with Db.Unknown msg -> sem_error "%s" msg
@@ -528,6 +542,8 @@ let pp_result ppf = function
         Seqnum.pp sn
   | Staged { chronicle; count; _ } ->
       Format.fprintf ppf "staged %d row(s) for %s" count chronicle
+  | Retracted { chronicle; count } ->
+      Format.fprintf ppf "retracted %d row(s) from %s" count chronicle
   | Inserted { relation; count } ->
       Format.fprintf ppf "inserted %d row(s) into %s" count relation
   | Defined_rule { rule; chronicle } ->

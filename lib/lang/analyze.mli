@@ -31,6 +31,9 @@ type exec_result =
       (** An [APPEND INTO] held in the session's group-commit staging
           queue ([SET BATCH n], [n > 1]); resolve it to {!Appended}
           with {!resolve_staged} once its group commits. *)
+  | Retracted of { chronicle : string; count : int }
+      (** A [RETRACT FROM]: one stored occurrence of each row removed
+          and every persistent view unwound (weight [-1] delta). *)
   | Inserted of { relation : string; count : int }
   | Defined_rule of { rule : string; chronicle : string }
   | Info of string

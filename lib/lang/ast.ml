@@ -68,6 +68,7 @@ type stmt =
       bucket_width : int;
     }
   | Append_into of { chronicle : string; rows : Value.t list list }
+  | Retract_from of { chronicle : string; rows : Value.t list list }
   | Insert_into of { relation : string; rows : Value.t list list }
   | Load_csv of { target : string; path : string }
   | Define_rule of {
@@ -137,6 +138,9 @@ let pp_stmt ppf = function
   | Show_windowed name -> Format.fprintf ppf "SHOW WINDOWED %s" name
   | Append_into { chronicle; rows } ->
       Format.fprintf ppf "APPEND INTO %s (%d rows)" chronicle (List.length rows)
+  | Retract_from { chronicle; rows } ->
+      Format.fprintf ppf "RETRACT FROM %s (%d rows)" chronicle
+        (List.length rows)
   | Load_csv { target; path } ->
       Format.fprintf ppf "LOAD INTO %s FROM %S" target path
   | Insert_into { relation; rows } ->

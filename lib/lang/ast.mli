@@ -84,6 +84,10 @@ type stmt =
       bucket_width : int;
     }
   | Append_into of { chronicle : string; rows : Value.t list list }
+  | Retract_from of { chronicle : string; rows : Value.t list list }
+      (** [RETRACT FROM c VALUES (...), ...]: remove one stored
+          occurrence of each row (ℤ-weighted delta, weight [-1]) and
+          unwind every persistent view.  Requires [RETAIN FULL]. *)
   | Insert_into of { relation : string; rows : Value.t list list }
   | Load_csv of { target : string; path : string }
   | Define_rule of {

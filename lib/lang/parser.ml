@@ -51,6 +51,7 @@ let soft_keyword = function
   | Token.Kw_set -> Some "set"
   | Token.Kw_batch -> Some "batch"
   | Token.Kw_flush -> Some "flush"
+  | Token.Kw_retract -> Some "retract"
   | _ -> None
 
 let ident st =
@@ -534,6 +535,13 @@ let stmt st =
       expect st Token.Kw_values;
       let rows = comma_separated st value_row in
       Ast.Append_into { chronicle; rows }
+  | Token.Kw_retract ->
+      advance st;
+      expect st Token.Kw_from;
+      let chronicle = ident st in
+      expect st Token.Kw_values;
+      let rows = comma_separated st value_row in
+      Ast.Retract_from { chronicle; rows }
   | Token.Kw_insert ->
       advance st;
       expect st Token.Kw_into;

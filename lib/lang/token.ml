@@ -21,6 +21,7 @@ type t =
   | Kw_not
   | Kw_key
   | Kw_append
+  | Kw_retract
   | Kw_insert
   | Kw_into
   | Kw_values
@@ -97,6 +98,7 @@ let keyword_of_string s =
   | "NOT" -> Some Kw_not
   | "KEY" -> Some Kw_key
   | "APPEND" -> Some Kw_append
+  | "RETRACT" -> Some Kw_retract
   | "INSERT" -> Some Kw_insert
   | "INTO" -> Some Kw_into
   | "VALUES" -> Some Kw_values
@@ -164,6 +166,7 @@ let to_string = function
   | Kw_not -> "NOT"
   | Kw_key -> "KEY"
   | Kw_append -> "APPEND"
+  | Kw_retract -> "RETRACT"
   | Kw_insert -> "INSERT"
   | Kw_into -> "INTO"
   | Kw_values -> "VALUES"

@@ -24,6 +24,7 @@ type t =
   | Kw_not
   | Kw_key
   | Kw_append
+  | Kw_retract
   | Kw_insert
   | Kw_into
   | Kw_values

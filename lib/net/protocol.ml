@@ -6,6 +6,7 @@ type request =
   | Flush
   | Ping
   | Shutdown
+  | Retract of { chronicle : string; rows : Value.t list list }
 
 type err_kind = E_protocol | E_parse | E_semantic | E_exec
 
@@ -56,6 +57,15 @@ let encode_request = function
   | Flush -> with_payload 0x03 (fun _ -> ())
   | Ping -> with_payload 0x04 (fun _ -> ())
   | Shutdown -> with_payload 0x05 (fun _ -> ())
+  | Retract { chronicle; rows } ->
+      with_payload 0x06 (fun buf ->
+          Wire.put_string buf chronicle;
+          Wire.put_uvarint buf (List.length rows);
+          List.iter
+            (fun row ->
+              Wire.put_uvarint buf (List.length row);
+              List.iter (Wire.put_value buf) row)
+            rows)
 
 let encode_response = function
   | Result text -> with_payload 0x81 (fun buf -> Wire.put_string buf text)
@@ -100,6 +110,15 @@ let decode_request payload =
   | 0x03 -> finish r Flush
   | 0x04 -> finish r Ping
   | 0x05 -> finish r Shutdown
+  | 0x06 ->
+      let chronicle = Wire.string_ r in
+      let nrows = Wire.length r ~max:(Wire.remaining r) "row count" in
+      let rows =
+        read_n nrows (fun () ->
+            let ncols = Wire.length r ~max:(Wire.remaining r) "column count" in
+            read_n ncols (fun () -> Wire.value r))
+      in
+      finish r (Retract { chronicle; rows })
   | op -> Wire.(raise (Decode_error (Printf.sprintf "unknown request opcode %#x" op)))
 
 let decode_response payload =

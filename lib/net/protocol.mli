@@ -14,7 +14,11 @@ open Relational
        resolve the deferred acks; answered by FLUSHED after the acks.}
     {- [0x04] PING — liveness; answered by PONG.}
     {- [0x05] SHUTDOWN — stop the server once every connection drains;
-       answered by BYE.}}
+       answered by BYE.}
+    {- [0x06] RETRACT — chronicle name + pre-parsed typed rows, removed
+       as a ℤ-weighted (weight [-1]) delta; executed exactly like an ℒ
+       [RETRACT FROM] (the session's staging queue flushes first) and
+       answered by RESULT.}}
 
     Responses (server → client):
     {ul
@@ -34,6 +38,7 @@ type request =
   | Flush
   | Ping
   | Shutdown
+  | Retract of { chronicle : string; rows : Value.t list list }
 
 type err_kind = E_protocol | E_parse | E_semantic | E_exec
 

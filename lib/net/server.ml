@@ -164,6 +164,11 @@ let handle_payload conn payload =
       | exception e -> send conn (err_of_exn e)
       | stmts -> List.iter (exec_stmt conn) stmts)
   | Protocol.Append { chronicle; rows } -> exec_append conn chronicle rows
+  | Protocol.Retract { chronicle; rows } ->
+      (* no fast path: retraction is rare and transactional — route it
+         through the statement machinery so the staging queue flushes
+         first and the rendered result matches a local RETRACT FROM *)
+      exec_stmt conn (Ast.Retract_from { chronicle; rows })
   | Protocol.Flush ->
       (match Session.flush conn.session with
       | () -> drain conn

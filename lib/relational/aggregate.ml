@@ -58,6 +58,50 @@ let step func st v =
   | (Count | Sum | Min | Max | Avg | Var | Stddev), _ ->
       invalid_arg "Aggregate.step: state does not match function"
 
+type inverse = Inverted of state | Reprobe
+
+(* The weight −1 transition.  COUNT/SUM/AVG/VAR/STDDEV are group
+   homomorphisms over (ℤ, +) / (ℝ, +) and invert exactly; MIN/MAX live
+   in a semilattice with no inverse, so retracting the current extremum
+   (or any value the state cannot account for) demands a re-probe of
+   the group's retained history.  Null arguments are skipped exactly as
+   {!step} skips them, so step∘unstep = id tuple-wise. *)
+let unstep func st v =
+  Stats.incr Stats.Agg_step;
+  match func, st with
+  | Count, Count_st n -> Inverted (Count_st (if Value.is_null v then n else n - 1))
+  | Sum, Sum_st acc ->
+      if Value.is_null v then Inverted st
+      else (
+        match acc with
+        | None -> Reprobe (* nothing to invert: the state never saw [v] *)
+        | Some a -> Inverted (Sum_st (Some (Value.sub a v))))
+  | (Min | Max), Minmax_st acc ->
+      if Value.is_null v then Inverted st
+      else (
+        match acc with
+        | None -> Reprobe
+        | Some a ->
+            let c = Value.compare v a in
+            if (func = Min && c > 0) || (func = Max && c < 0) then Inverted st
+            else Reprobe (* retracting the extremum — or a value outside
+                            the state's range *))
+  | Avg, Avg_st (s, n) ->
+      if Value.is_null v then Inverted st
+      else if n <= 0 then Reprobe
+      else if n = 1 then Inverted (Avg_st (0., 0))
+      else Inverted (Avg_st (s -. Value.to_float v, n - 1))
+  | (Var | Stddev), Moments_st { n; sum; sumsq } ->
+      if Value.is_null v then Inverted st
+      else if n <= 0 then Reprobe
+      else if n = 1 then Inverted (Moments_st { n = 0; sum = 0.; sumsq = 0. })
+      else
+        let x = Value.to_float v in
+        Inverted
+          (Moments_st { n = n - 1; sum = sum -. x; sumsq = sumsq -. (x *. x) })
+  | (Count | Sum | Min | Max | Avg | Var | Stddev), _ ->
+      invalid_arg "Aggregate.unstep: state does not match function"
+
 let merge func a b =
   match func, a, b with
   | Count, Count_st x, Count_st y -> Count_st (x + y)

@@ -31,6 +31,20 @@ val step : func -> state -> Value.t -> state
 (** O(1).  Null arguments are skipped for all functions except
     COUNT( * ), mirroring SQL.  Bumps the [Agg_step] counter. *)
 
+type inverse =
+  | Inverted of state  (** the state with one [step v] undone *)
+  | Reprobe
+      (** the function has no inverse for this transition (MIN/MAX losing
+          their extremum, or a state inconsistent with the retraction) —
+          recompute the group from retained history *)
+
+val unstep : func -> state -> Value.t -> inverse
+(** O(1) inverse of {!step} — the weight −1 transition of ℤ-weighted
+    deltas.  COUNT, SUM, AVG, VAR and STDDEV invert exactly (null
+    arguments are skipped, mirroring {!step}); MIN/MAX answer
+    [Reprobe] when the retracted value reaches the current extremum.
+    Bumps [Agg_step] like the forward transition. *)
+
 val merge : func -> state -> state -> state
 (** Combine two partial states over disjoint tuple sets.  O(1). *)
 

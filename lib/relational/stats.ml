@@ -29,6 +29,9 @@ type counter =
   | Heavy_demote
   | Heavy_probe
   | Light_fold
+  | Retract_apply
+  | Weight_cancel
+  | Aggregate_reprobe
 
 let all =
   [ Index_probe; Index_node_visit; Tuple_read; Tuple_write; Agg_step;
@@ -37,7 +40,8 @@ let all =
     Projector_compile; Journal_append; Journal_bytes; Journal_replay;
     Checkpoint; Rollback; Staged_appends; Group_commit; Group_size_max;
     Sync_retry; Scrub_record; Checkpoint_fallback; Salvage_quarantined;
-    Heavy_promote; Heavy_demote; Heavy_probe; Light_fold ]
+    Heavy_promote; Heavy_demote; Heavy_probe; Light_fold; Retract_apply;
+    Weight_cancel; Aggregate_reprobe ]
 
 let slot = function
   | Index_probe -> 0
@@ -70,6 +74,9 @@ let slot = function
   | Heavy_demote -> 27
   | Heavy_probe -> 28
   | Light_fold -> 29
+  | Retract_apply -> 30
+  | Weight_cancel -> 31
+  | Aggregate_reprobe -> 32
 
 let counter_name = function
   | Index_probe -> "index_probe"
@@ -102,6 +109,9 @@ let counter_name = function
   | Heavy_demote -> "heavy_demote"
   | Heavy_probe -> "heavy_probe"
   | Light_fold -> "light_fold"
+  | Retract_apply -> "retract_apply"
+  | Weight_cancel -> "weight_cancel"
+  | Aggregate_reprobe -> "aggregate_reprobe"
 
 (* One atomic cell per counter: the transaction path folds the deltas
    of independent views on several domains at once, and every fold
@@ -109,7 +119,7 @@ let counter_name = function
    that parallelism (no lost updates); on the jobs = 1 path the cost is
    one uncontended atomic RMW, and the observable values are identical
    to the old plain-int implementation. *)
-let counts = Array.init 30 (fun _ -> Atomic.make 0)
+let counts = Array.init 33 (fun _ -> Atomic.make 0)
 
 let incr c = Atomic.incr counts.(slot c)
 let add c n = ignore (Atomic.fetch_and_add counts.(slot c) n)

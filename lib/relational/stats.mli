@@ -63,6 +63,15 @@ type counter =
                          cached run (no relation probe) *)
   | Light_fold       (** one join-Δ match computed by the lazy light path
                          (index probe or scan of the opposite side) *)
+  | Retract_apply    (** one {!Db.retract} operation applied (journaled,
+                         every affected view maintained under weight −1) *)
+  | Weight_cancel    (** one output tuple whose before/after occurrences
+                         cancelled while diffing a non-linear operator's
+                         at-sn slice under retraction *)
+  | Aggregate_reprobe
+                     (** one view group whose MIN/MAX state could not be
+                         inverted and was recomputed from retained
+                         history (the bounded re-probe fallback) *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit

@@ -71,6 +71,12 @@ let add a b =
   | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a +. to_float b)
   | _ -> invalid_arg "Value.add: non-numeric"
 
+let sub a b =
+  match a, b with
+  | Int x, Int y -> Int (x - y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a -. to_float b)
+  | _ -> invalid_arg "Value.sub: non-numeric"
+
 let pp ppf = function
   | Null -> Format.pp_print_string ppf "NULL"
   | Bool b -> Format.pp_print_bool ppf b

@@ -32,6 +32,10 @@ val to_int : t -> int
 val add : t -> t -> t
 (** Numeric addition; [Int + Int] stays [Int], otherwise [Float]. *)
 
+val sub : t -> t -> t
+(** Numeric subtraction, mirroring {!add}; the aggregate-inversion
+    primitive of weighted (retraction) deltas. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -49,6 +49,13 @@ type op =
        record, no checkpoint needed — while still bumping the
        relation version between appends (which is what demotes every
        heavy key at the next key-join fold) *)
+  | Retract of int
+    (* retract the n oldest retained mileage rows (retract catalog
+       only: requires Full retention) through the journaled
+       Db.retract path — an Ev_retract write-ahead record.  The
+       victims are read from the store at application time, so the op
+       is deterministic given the database state, and the sequential
+       oracle and the crashing run resolve it identically *)
 
 let show_op = function
   | Append rows ->
@@ -67,6 +74,7 @@ let show_op = function
   | Clock n -> Printf.sprintf "Clock+%d" n
   | Checkpoint -> "Checkpoint"
   | Rel (cust, state) -> Printf.sprintf "Rel[%d:%s]" cust state
+  | Retract n -> Printf.sprintf "Retract[%d]" n
 
 let show_ops ops = String.concat " " (List.map show_op ops)
 
@@ -133,6 +141,16 @@ let apply ?durable db op =
       match durable with Some d -> Durable.checkpoint d | None -> ())
   | Rel (cust, state) ->
       Db.insert_rows db "customers" [ tup [ vi cust; vs state ] ]
+  | Retract n -> (
+      let stored = Chron.stored (Db.chronicle db "mileage") in
+      let rec take k = function
+        | tagged :: rest when k > 0 ->
+            Array.sub tagged 1 (Array.length tagged - 1) :: take (k - 1) rest
+        | _ -> []
+      in
+      match take n stored with
+      | [] -> ()
+      | victims -> ignore (Db.retract db "mileage" victims))
 
 (* Clean-run states S₀ … Sₙ — always computed sequentially (jobs = 1),
    so a crashed-and-recovered parallel run is checked against the
@@ -372,6 +390,89 @@ let test_skew_partition_crash_sweep () =
           "post-journal-write";
           "post-insert-write";
         ])
+    [ 1; 2; 4 ]
+
+(* Retraction crash sweep.  A Full-retention twin of the standard
+   catalog (Db.retract refuses anything weaker), same three views.
+   The crash points bracket the retraction's write-ahead window: after
+   the Ev_retract record reaches the journal but before any store or
+   view mutates ("post-retract-write" — recovery must finish the
+   retraction from the journal, Sᵢ) and mid-fan-out while the views
+   absorb the weight −1 delta ("view-fold").  The property is the
+   standard crash equivalence plus replay idempotence: a recovery that
+   already holds the retraction (checkpointed post-retract state) must
+   skip the record, never double-retract. *)
+let mk_retract_db ?jobs () =
+  let db = Db.create ?jobs () in
+  ignore
+    (Db.add_chronicle db ~retention:Chron.Full ~name:"mileage" mileage_schema);
+  ignore
+    (Db.add_chronicle db ~retention:Chron.Full ~name:"bonus" mileage_schema);
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"balance"
+          ~body:
+            (Ca.Union
+               ( Ca.Chronicle (Db.chronicle db "mileage"),
+                 Ca.Chronicle (Db.chronicle db "bonus") ))
+          (Sca.Group_agg
+             ( [ "acct" ],
+               [ Aggregate.sum "miles" "balance"; Aggregate.count_star "n" ] ))));
+  ignore
+    (Db.define_view db ~index:Index.Ordered
+       (Sca.define ~name:"big"
+          ~body:
+            (Ca.Select
+               (Predicate.("miles" >% vi 50), Ca.Chronicle (Db.chronicle db "mileage")))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.max_ "miles" "hi" ]))));
+  ignore
+    (Db.define_view db
+       (Sca.define ~name:"acct2"
+          ~body:
+            (Ca.Select
+               (Predicate.("acct" =% vi 2), Ca.Chronicle (Db.chronicle db "bonus")))
+          (Sca.Group_agg ([ "acct" ], [ Aggregate.sum "miles" "b2" ]))));
+  db
+
+let retract_workload =
+  [
+    Append [ (1, 100); (2, 40) ];
+    Retract 1;
+    Bonus [ (1, 10) ];
+    Append [ (1, 60); (3, 51); (2, 1) ];
+    Retract 2 (* spans two sequence numbers: one Ev_retract record *);
+    Clock 1;
+    Checkpoint (* the surviving store, checkpointed mid-history *);
+    Append [ (4, 99); (1, 80) ];
+    Multi ([ (4, 1) ], [ (4, 2) ]);
+    Retract 3;
+    Group [ ([ (1, 30) ], []); ([ (5, 120) ], [ (5, 1) ]) ];
+    Retract 1;
+  ]
+
+let test_retract_crash_sweep () =
+  let mk jobs = mk_retract_db ~jobs () in
+  let max_countdown = 8 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun point ->
+          (* guard against a vacuous sweep: every point must take the
+             process down at least once over the countdown range *)
+          let fired = ref false in
+          for k = 0 to max_countdown do
+            check_crash_equivalence
+              ~what:
+                (Printf.sprintf "retract: %s after %d hits (jobs=%d)" point k
+                   jobs)
+              ~jobs ~mk
+              ~on_crashed:(fun c -> fired := !fired || c)
+              retract_workload
+              (fun fault -> Fault.arm fault ~after:k point)
+          done;
+          if not !fired then
+            Alcotest.failf "crash point %s never fired (jobs=%d)" point jobs)
+        [ "post-retract-write"; "post-journal-write"; "view-fold" ])
     [ 1; 2; 4 ]
 
 let test_exhaustive_torn_sweep () =
@@ -719,6 +820,43 @@ let qcheck_crash_equivalence =
          check_crash_equivalence ~what:"random" ~jobs ops script;
          true))
 
+(* The same property over retraction-bearing workloads: the op mix
+   gains Retract and the crash scripts gain the retraction's own
+   write-ahead point, run against the Full-retention catalog. *)
+let retract_op_gen =
+  QCheck.Gen.(
+    frequency [ (4, op_gen); (3, map (fun n -> Retract (n + 1)) (int_bound 2)) ])
+
+let retract_script_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, script_gen);
+        ( 3,
+          map2
+            (fun p k fault -> Fault.arm fault ~after:k p)
+            (oneofl [ "post-retract-write" ]) (int_bound 6) );
+      ])
+
+let qcheck_retract_crash_equivalence =
+  let arb =
+    QCheck.make
+      ~print:(fun (ops, _, jobs) ->
+        Printf.sprintf "jobs=%d %s" jobs (show_ops ops))
+      QCheck.Gen.(
+        triple
+          (list_size (int_range 1 14) retract_op_gen)
+          retract_script_gen (oneofl [ 1; 2; 4 ]))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"randomized retract crash equivalence"
+       arb
+       (fun (ops, script, jobs) ->
+         check_crash_equivalence ~what:"random retract" ~jobs
+           ~mk:(fun jobs -> mk_retract_db ~jobs ())
+           ops script;
+         true))
+
 let () =
   Alcotest.run "chronicle-fault"
     [
@@ -732,6 +870,8 @@ let () =
             test_group_crash_sweep;
           Alcotest.test_case "heavy-light partition crash sweep" `Quick
             test_skew_partition_crash_sweep;
+          Alcotest.test_case "retraction crash sweep" `Quick
+            test_retract_crash_sweep;
           Alcotest.test_case "exhaustive torn-write sweep" `Quick
             test_exhaustive_torn_sweep;
           Alcotest.test_case "replay-dispatch crash sweep" `Quick
@@ -745,5 +885,6 @@ let () =
           Alcotest.test_case "sync exhaustion degrades" `Quick
             test_sync_exhaustion_degrades;
           qcheck_crash_equivalence;
+          qcheck_retract_crash_equivalence;
         ] );
     ]

@@ -29,7 +29,9 @@ let schema =
 
 let mk_db ?jobs () =
   let db = Db.create ?jobs () in
-  ignore (Db.add_chronicle db ~name:"mileage" schema);
+  (* Full retention so the workload can carry Retract ops (Ev_retract
+     records interleave with appends/groups in the fuzzed journal) *)
+  ignore (Db.add_chronicle db ~retention:Chron.Full ~name:"mileage" schema);
   ignore
     (Db.define_view db
        (Sca.define ~name:"balance"
@@ -47,6 +49,7 @@ type op =
   | Group of (int * int) list list
   | Clock of int
   | Checkpoint
+  | Retract of int (* retract the n oldest retained rows, if any *)
 
 let row (a, m) = tup [ vi a; vi m ]
 
@@ -59,6 +62,16 @@ let apply d db = function
   | Clock n ->
       Db.advance_clock db (Chronicle_core.Group.now (Db.default_group db) + n)
   | Checkpoint -> Durable.checkpoint d
+  | Retract n -> (
+      let stored = Chron.stored (Db.chronicle db "mileage") in
+      let rec take k = function
+        | tagged :: rest when k > 0 ->
+            Array.sub tagged 1 (Array.length tagged - 1) :: take (k - 1) rest
+        | _ -> []
+      in
+      match take n stored with
+      | [] -> ()
+      | victims -> ignore (Db.retract db "mileage" victims))
 
 (* One fuzz case: a workload, a durability configuration, and a list of
    corruptions (name picked by index into the sorted surviving names;
@@ -83,6 +96,7 @@ let case_gen =
           (2, map (fun ps -> Group ps) (list_size (int_range 1 3) rows));
           (2, map (fun n -> Clock (n + 1)) (int_bound 2));
           (2, return Checkpoint);
+          (2, map (fun n -> Retract (n + 1)) (int_bound 2));
         ]
     in
     let corruption =

@@ -124,6 +124,10 @@ let request_gen =
           (fun c rows -> Protocol.Append { chronicle = c; rows })
           (string_size (1 -- 8))
           (list_size (0 -- 4) (list_size (0 -- 4) value_gen));
+        map2
+          (fun c rows -> Protocol.Retract { chronicle = c; rows })
+          (string_size (1 -- 8))
+          (list_size (0 -- 4) (list_size (0 -- 4) value_gen));
         return Protocol.Flush;
         return Protocol.Ping;
         return Protocol.Shutdown;
@@ -298,6 +302,34 @@ let test_machine_byte_at_a_time () =
   | [ Protocol.Result "created t"; Protocol.Pong ] -> ()
   | _ -> Alcotest.fail "byte-at-a-time delivery must produce the same answers"
 
+let test_machine_retract () =
+  let _, conn = machine () in
+  (match
+     feed conn (Protocol.Stmt "CREATE CHRONICLE t (a INT) RETAIN FULL;")
+   with
+  | [ Protocol.Result "created t" ] -> ()
+  | _ -> Alcotest.fail "CREATE did not answer Result");
+  ignore
+    (feed conn
+       (Protocol.Append
+          { chronicle = "t"; rows = [ [ Value.Int 7 ]; [ Value.Int 8 ] ] }));
+  (* the binary opcode renders exactly like a local RETRACT FROM *)
+  (match
+     feed conn (Protocol.Retract { chronicle = "t"; rows = [ [ Value.Int 7 ] ] })
+   with
+  | [ Protocol.Result "retracted 1 row(s) from t" ] -> ()
+  | _ -> Alcotest.fail "RETRACT did not answer the rendered result");
+  (* retracting an occurrence that is no longer stored is a semantic
+     error, and the session stays usable *)
+  (match
+     feed conn (Protocol.Retract { chronicle = "t"; rows = [ [ Value.Int 7 ] ] })
+   with
+  | [ Protocol.Err { kind = Protocol.E_semantic; _ } ] -> ()
+  | _ -> Alcotest.fail "double retract must answer a semantic error");
+  match feed conn Protocol.Ping with
+  | [ Protocol.Pong ] -> ()
+  | _ -> Alcotest.fail "a semantic error must not close the connection"
+
 let test_machine_protocol_error_closes () =
   let server, conn = machine () in
   ignore (feed conn (Protocol.Stmt "CREATE CHRONICLE t (a INT);"));
@@ -400,6 +432,7 @@ let suite =
     test "machine: batched acks resolve in watermark order"
       test_machine_batched_acks;
     test "machine: byte-at-a-time delivery" test_machine_byte_at_a_time;
+    test "machine: the retract opcode" test_machine_retract;
     test "machine: protocol errors close cleanly" test_machine_protocol_error_closes;
     test "machine: parse errors keep the session" test_machine_parse_error_keeps_session;
     qcheck_bitflip_machine;
